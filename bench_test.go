@@ -1,0 +1,277 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section, plus component micro-benchmarks for the substrates. Table rows
+// are printed on the first iteration of each bench, so
+//
+//	go test -bench=. -benchmem
+//
+// both measures the harness and emits the reproduced tables. The quick
+// configuration is used so the full sweep stays laptop-sized; run
+// cmd/wisdom-bench for the larger committed configuration.
+package wisdom_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"wisdom/internal/corpus"
+	"wisdom/internal/dataset"
+	"wisdom/internal/experiments"
+	"wisdom/internal/metrics"
+	"wisdom/internal/neural"
+	"wisdom/internal/ngram"
+	"wisdom/internal/tokenizer"
+	"wisdom/internal/wisdom"
+	"wisdom/internal/yaml"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = experiments.NewSuite(experiments.Quick())
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+// BenchmarkTable1DatasetConstruction regenerates the dataset-size table:
+// corpus generation plus exact-match dedup per source.
+func BenchmarkTable1DatasetConstruction(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows := s.Table1()
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-14s files=%d afterDedup=%d type=%s usage=%s",
+					r.Source, r.FileCount, r.AfterDedup, r.YAMLType, r.Usage)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2ModelMatrix renders the model / pre-training dataset
+// matrix.
+func BenchmarkTable2ModelMatrix(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		out := experiments.FormatTable2(s.Table2())
+		if i == 0 {
+			b.Logf("\n%s", out)
+		}
+	}
+}
+
+// BenchmarkTable3FewShot pre-trains and evaluates all ten few-shot rows.
+func BenchmarkTable3FewShot(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.Format("Table 3 (few-shot)", rows))
+		}
+	}
+}
+
+// BenchmarkTable4FineTuned fine-tunes and evaluates all twelve Table 4 rows
+// (context windows, model size, prefix ablation, Wisdom variants, data
+// fractions).
+func BenchmarkTable4FineTuned(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.Format("Table 4 (fine-tuned)", rows))
+		}
+	}
+}
+
+// BenchmarkTable5Breakdown evaluates the fine-tuned model per generation
+// type over the full test split.
+func BenchmarkTable5Breakdown(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatTable5(rows))
+		}
+	}
+}
+
+// BenchmarkFigure2Extraction extracts one sample per generation type, the
+// listings of the paper's Fig. 2.
+func BenchmarkFigure2Extraction(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		samples := s.Figure2()
+		if len(samples) != 4 {
+			b.Fatalf("got %d generation types", len(samples))
+		}
+	}
+}
+
+// BenchmarkThroughputSmallVsLarge reproduces the pre-training section's
+// model-size choice: generation throughput of a small vs a large
+// transformer (the paper reports the 350M model ~1.9x faster than 2.7B).
+func BenchmarkThroughputSmallVsLarge(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Throughput()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("small %.1f tok/s, large %.1f tok/s, ratio %.2fx",
+				res.SmallTokensPerSec, res.LargeTokensPerSec, res.Ratio)
+		}
+	}
+}
+
+// ---- component micro-benchmarks ----
+
+func BenchmarkYAMLParsePlaybook(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	src := corpus.Playbook(r, corpus.GalaxyStyle)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := yaml.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkYAMLMarshalPlaybook(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	node, err := yaml.Parse(corpus.Playbook(r, corpus.GalaxyStyle))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = yaml.Marshal(node)
+	}
+}
+
+func BenchmarkTokenizerEncode(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	var texts []string
+	for i := 0; i < 50; i++ {
+		texts = append(texts, corpus.RoleTaskFile(r, corpus.GalaxyStyle))
+	}
+	tok, err := tokenizer.Train(texts, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample := texts[0]
+	b.SetBytes(int64(len(sample)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tok.Encode(sample)
+	}
+}
+
+func BenchmarkNgramGenerate(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	var texts []string
+	for i := 0; i < 100; i++ {
+		texts = append(texts, corpus.RoleTaskFile(r, corpus.GalaxyStyle))
+	}
+	tok, err := tokenizer.Train(texts, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lm, err := ngram.New(5, tok.VocabSize())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, t := range texts {
+		lm.Add(tok.Encode(t))
+	}
+	prefix := tok.Encode("- name: Install nginx\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = lm.Generate(prefix, 64, ngram.GenOptions{StopToken: tok.Sep()})
+	}
+}
+
+func BenchmarkTransformerTrainStep(b *testing.B) {
+	m, err := neural.NewModel(neural.Config{Vocab: 512, Ctx: 64, Dim: 64, Heads: 4, Layers: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := make([]int, 64)
+	r := rand.New(rand.NewSource(4))
+	for i := range seq {
+		seq[i] = r.Intn(512)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Train([][]int{seq}, neural.TrainConfig{Epochs: 1, BatchSize: 1, LR: 1e-3})
+	}
+}
+
+func BenchmarkAnsibleAware(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	pred := corpus.RoleTaskFile(r, corpus.GalaxyStyle)
+	ref := corpus.RoleTaskFile(r, corpus.GalaxyStyle)
+	aware := metrics.NewAnsibleAware()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = aware.Score(pred, ref)
+	}
+}
+
+func BenchmarkBLEU(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	pred := corpus.RoleTaskFile(r, corpus.GalaxyStyle)
+	ref := corpus.RoleTaskFile(r, corpus.GalaxyStyle)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = metrics.SentenceBLEU(pred, ref)
+	}
+}
+
+func BenchmarkSampleExtraction(b *testing.B) {
+	files := corpus.Galaxy(7, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dataset.ExtractAll(files)
+	}
+}
+
+// BenchmarkFinetunedPrediction measures single-prompt inference latency of
+// the full fine-tuned model, the number the paper's latency requirement is
+// about.
+func BenchmarkFinetunedPrediction(b *testing.B) {
+	s := benchSuite(b)
+	pre, err := s.Pretrained(wisdom.WisdomAnsibleMulti, "", 0, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := wisdom.Finetune(pre, s.Pipe.Train, wisdom.FinetuneConfig{Window: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prompts := []string{"Install nginx", "Start redis", "Create deploy user", "Set timezone to UTC"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = model.Predict("", prompts[i%len(prompts)])
+	}
+}

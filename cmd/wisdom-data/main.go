@@ -1,0 +1,91 @@
+// Command wisdom-data builds the synthetic corpora that substitute the
+// paper's crawled datasets, optionally writing them to disk as JSONL, and
+// prints the Table 1 dataset statistics together with the fine-tuning
+// pipeline summary (dedup, split, generation-type counts).
+//
+// Usage:
+//
+//	wisdom-data                 # print stats at the default scale
+//	wisdom-data -factor 1000    # Table 1 counts scaled by 1/1000
+//	wisdom-data -out ./data     # also write the corpora as JSONL files
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wisdom/internal/corpus"
+	"wisdom/internal/dataset"
+)
+
+func main() {
+	factor := flag.Int("factor", 400, "divide the paper's Table 1 file counts by this factor")
+	seed := flag.Int64("seed", 7, "generator seed")
+	out := flag.String("out", "", "directory to write JSONL corpora into (empty skips writing)")
+	flag.Parse()
+
+	counts := corpus.ScaledCounts(*factor)
+	galaxy := corpus.Galaxy(*seed+900, counts.Galaxy)
+	gitlab := corpus.GitLabAnsible(*seed+500, counts.GitLab)
+	github := corpus.GitHubGBQAnsible(*seed+600, counts.GitHubAnsible)
+	generic := corpus.GitHubGBQGeneric(*seed+400, counts.GitHubGeneric)
+
+	fmt.Printf("Table 1 (scale 1/%d): extracted file count per data source\n", *factor)
+	fmt.Printf("%-14s %10s %12s %-8s %-5s\n", "Source", "Files", "AfterDedup", "Type", "Usage")
+	stat := func(name string, files []corpus.File, typ, usage string) {
+		fmt.Printf("%-14s %10d %12d %-8s %-5s\n", name, len(files), len(dataset.DedupFiles(files)), typ, usage)
+	}
+	stat("Galaxy", galaxy, "Ansible", "FT")
+	stat("GitLab", gitlab, "Ansible", "PT")
+	stat("GitHub + GBQ", github, "Ansible", "PT")
+	stat("GitHub + GBQ", generic, "Generic", "PT")
+
+	pipe := dataset.BuildPipeline(galaxy, *seed)
+	fmt.Printf("\nfine-tuning pipeline (Galaxy): %d files after dedup; %d/%d/%d train/valid/test samples\n",
+		len(pipe.Files), len(pipe.Train), len(pipe.Valid), len(pipe.Test))
+	fmt.Println("samples per generation type (train):")
+	for typ, n := range dataset.CountByType(pipe.Train) {
+		fmt.Printf("  %-10s %6d\n", typ, n)
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		write := func(name string, files []corpus.File) {
+			path := filepath.Join(*out, name+".jsonl")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w := bufio.NewWriter(f)
+			enc := json.NewEncoder(w)
+			for _, file := range files {
+				if err := enc.Encode(map[string]string{
+					"source": file.Source, "path": file.Path,
+					"kind": file.Kind.String(), "text": file.Text,
+				}); err != nil {
+					fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d files)\n", path, len(files))
+		}
+		write("galaxy", galaxy)
+		write("gitlab-ansible", gitlab)
+		write("github-gbq-ansible", github)
+		write("github-gbq-generic", generic)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wisdom-data:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command wisdom-eval scores predictions against references with the four
+// paper metrics: Schema Correct, Exact Match, BLEU and Ansible Aware.
+//
+// Usage:
+//
+//	wisdom-eval -pred predicted.yml -ref reference.yml
+//	wisdom-eval -pred-text "$(cat p.yml)" -ref-text "$(cat r.yml)"
+//	wisdom-eval -batch pairs.jsonl         # {"pred": ..., "ref": ...} lines
+//	wisdom-eval -pred p.yml -ref r.yml -explain
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"wisdom/internal/metrics"
+)
+
+func main() {
+	predFile := flag.String("pred", "", "file holding the predicted snippet")
+	refFile := flag.String("ref", "", "file holding the reference snippet")
+	predText := flag.String("pred-text", "", "predicted snippet as a literal argument")
+	refText := flag.String("ref-text", "", "reference snippet as a literal argument")
+	batch := flag.String("batch", "", `JSONL file of {"pred": ..., "ref": ...} pairs; prints the corpus-level report`)
+	explain := flag.Bool("explain", false, "also print the Ansible Aware edit list")
+	flag.Parse()
+
+	if *batch != "" {
+		runBatch(*batch)
+		return
+	}
+
+	pred, err := textOrFile(*predText, *predFile)
+	if err != nil {
+		fatal(err)
+	}
+	ref, err := textOrFile(*refText, *refFile)
+	if err != nil {
+		fatal(err)
+	}
+	if pred == "" || ref == "" {
+		fmt.Fprintln(os.Stderr, "wisdom-eval: both a prediction and a reference are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	e := metrics.NewEvaluator()
+	schemaOK, exact, bleu, aware := e.Score(pred, ref)
+	fmt.Printf("Schema Correct : %v\n", schemaOK)
+	fmt.Printf("Exact Match    : %v\n", exact)
+	fmt.Printf("BLEU           : %.2f\n", bleu)
+	fmt.Printf("Ansible Aware  : %.2f\n", 100*aware)
+	if *explain {
+		fmt.Println()
+		fmt.Print(metrics.NewAnsibleAware().Explain(pred, ref))
+	}
+}
+
+// runBatch scores a JSONL pair file and prints the aggregate report, the
+// same corpus-level numbers the paper's tables report.
+func runBatch(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var preds, refs []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var pair struct {
+			Pred string `json:"pred"`
+			Ref  string `json:"ref"`
+		}
+		if err := json.Unmarshal(line, &pair); err != nil {
+			fatal(fmt.Errorf("line %d: %w", lineNo, err))
+		}
+		preds = append(preds, pair.Pred)
+		refs = append(refs, pair.Ref)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(preds) == 0 {
+		fatal(fmt.Errorf("no pairs in %s", path))
+	}
+	r := metrics.NewEvaluator().Evaluate(preds, refs)
+	fmt.Printf("pairs          : %d\n", r.Count)
+	fmt.Printf("Schema Correct : %.2f\n", r.SchemaCorrect)
+	fmt.Printf("Exact Match    : %.2f\n", r.ExactMatch)
+	fmt.Printf("BLEU           : %.2f\n", r.BLEU)
+	fmt.Printf("Ansible Aware  : %.2f\n", r.AnsibleAware)
+}
+
+func textOrFile(text, file string) (string, error) {
+	if text != "" {
+		return text, nil
+	}
+	if file == "" {
+		return "", nil
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wisdom-eval:", err)
+	os.Exit(1)
+}

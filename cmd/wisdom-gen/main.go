@@ -1,0 +1,70 @@
+// Command wisdom-gen generates an Ansible task (or playbook snippet) from a
+// natural-language prompt, the command-line face of the Wisdom assistant.
+//
+// Usage:
+//
+//	wisdom-gen -prompt "install nginx and start it"
+//	wisdom-gen -prompt "restart postgresql" -context tasks.yml
+//	wisdom-gen -prompt "open port 443" -variant wisdom-yaml-multi -few-shot
+//
+// The model is trained on startup from the seeded synthetic corpora (a few
+// seconds at the default scale); -quick shrinks the corpora further.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wisdom/internal/experiments"
+	"wisdom/internal/wisdom"
+)
+
+func main() {
+	prompt := flag.String("prompt", "", "natural-language task description (required)")
+	contextFile := flag.String("context", "", "YAML file providing the Ansible context above the cursor")
+	variant := flag.String("variant", string(wisdom.WisdomAnsibleMulti), "model variant (see wisdom-bench -table 2)")
+	fewShot := flag.Bool("few-shot", false, "skip fine-tuning (paper's few-shot setting)")
+	quick := flag.Bool("quick", false, "use the reduced training configuration")
+	flag.Parse()
+
+	if *prompt == "" {
+		fmt.Fprintln(os.Stderr, "wisdom-gen: -prompt is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	context := ""
+	if *contextFile != "" {
+		data, err := os.ReadFile(*contextFile)
+		if err != nil {
+			fatal(err)
+		}
+		context = string(data)
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	fmt.Fprintln(os.Stderr, "training model (seeded synthetic corpora)...")
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := suite.Pretrained(wisdom.VariantID(*variant), "", 0, 1024)
+	if err != nil {
+		fatal(err)
+	}
+	if !*fewShot {
+		model, err = wisdom.Finetune(model, suite.Pipe.Train, wisdom.FinetuneConfig{Window: 1024})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Print(model.Predict(context, *prompt))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wisdom-gen:", err)
+	os.Exit(1)
+}

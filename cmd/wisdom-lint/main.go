@@ -1,0 +1,106 @@
+// Command wisdom-lint validates Ansible YAML files against the strict
+// lint-style schema behind the Schema Correct metric: playbook/task
+// structure, known keywords, module parameters with type and choice checks,
+// mutually-exclusive and required-one-of groups, and rejection of historical
+// forms (legacy "k=v" arguments, bare unknown module names).
+//
+// Usage:
+//
+//	wisdom-lint playbook.yml roles/web/tasks/main.yml
+//	wisdom-lint -fix-fqcn tasks.yml        # also print the normalised form
+//
+// Exit status is 0 when every file passes, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wisdom/internal/ansible"
+	"wisdom/internal/yaml"
+)
+
+func main() {
+	fixFQCN := flag.Bool("fix-fqcn", false, "print each file normalised (FQCN module names, k=v converted to dicts)")
+	quiet := flag.Bool("q", false, "suppress per-file PASS lines")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "wisdom-lint: no files given")
+		flag.Usage()
+		os.Exit(2)
+	}
+	validator := ansible.NewValidator()
+	reg := ansible.DefaultRegistry()
+	failed := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wisdom-lint: %v\n", err)
+			failed = true
+			continue
+		}
+		docs, err := yaml.ParseAll(string(data))
+		if err != nil {
+			fmt.Printf("%s: FAIL (yaml: %v)\n", path, err)
+			failed = true
+			continue
+		}
+		fileOK := true
+		for di, doc := range docs {
+			errs := validate(validator, doc)
+			for _, e := range errs {
+				fmt.Printf("%s: doc %d: %v\n", path, di+1, e)
+			}
+			if len(errs) > 0 {
+				fileOK = false
+			}
+			if *fixFQCN {
+				fmt.Print(yaml.MarshalDocument(normalize(reg, doc)))
+			}
+		}
+		if fileOK {
+			if !*quiet {
+				fmt.Printf("%s: PASS\n", path)
+			}
+		} else {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// validate picks the schema (playbook vs task list vs single task) by shape.
+func validate(v *ansible.Validator, doc *yaml.Node) []ansible.SchemaError {
+	switch {
+	case doc.IsNull():
+		return nil
+	case ansible.LooksLikePlaybook(doc):
+		return v.ValidatePlaybook(doc)
+	case doc.Kind == yaml.MappingNode:
+		return v.ValidateTask(doc)
+	default:
+		return v.ValidateTaskList(doc)
+	}
+}
+
+// normalize applies the FQCN / k=v normalisation appropriate for the shape.
+func normalize(reg *ansible.Registry, doc *yaml.Node) *yaml.Node {
+	switch {
+	case ansible.LooksLikePlaybook(doc):
+		return ansible.NormalizePlaybook(doc, reg)
+	case doc.Kind == yaml.MappingNode:
+		return ansible.NormalizeTask(doc, reg)
+	case doc.Kind == yaml.SequenceNode:
+		out := yaml.Sequence()
+		for _, item := range doc.Items {
+			out.Items = append(out.Items, ansible.NormalizeTask(item, reg))
+		}
+		return out
+	default:
+		return doc.Clone()
+	}
+}

@@ -1,0 +1,99 @@
+// Command wisdom-serve runs the Wisdom inference service: the REST endpoint
+// and the binary RPC endpoint from the paper's Demo/Plugin section, with the
+// LRU response cache.
+//
+// Usage:
+//
+//	wisdom-serve -http :8080 -rpc :8081
+//	curl -s localhost:8080/v1/completions -d '{"prompt":"install nginx"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"wisdom/internal/experiments"
+	"wisdom/internal/serve"
+	"wisdom/internal/wisdom"
+)
+
+func main() {
+	httpAddr := flag.String("http", ":8080", "REST listen address")
+	rpcAddr := flag.String("rpc", "", "binary RPC listen address (empty disables)")
+	variant := flag.String("variant", string(wisdom.WisdomAnsibleMulti), "model variant to serve")
+	cacheSize := flag.Int("cache", 1024, "LRU response cache entries (0 disables)")
+	quick := flag.Bool("quick", false, "use the reduced training configuration")
+	loadPath := flag.String("load", "", "load a previously saved model instead of training")
+	savePath := flag.String("save", "", "save the trained model to this file before serving")
+	flag.Parse()
+
+	var model *wisdom.Model
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		model, err = wisdom.LoadModel(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s from %s\n", model.Name, *loadPath)
+	} else {
+		cfg := experiments.Default()
+		if *quick {
+			cfg = experiments.Quick()
+		}
+		fmt.Fprintln(os.Stderr, "training model (seeded synthetic corpora)...")
+		suite, err := experiments.NewSuite(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		pre, err := suite.Pretrained(wisdom.VariantID(*variant), "", 0, 1024)
+		if err != nil {
+			fatal(err)
+		}
+		model, err = wisdom.Finetune(pre, suite.Pipe.Train, wisdom.FinetuneConfig{Window: 1024})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := model.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved model to %s\n", *savePath)
+	}
+
+	srv := serve.NewServer(model, model.Name, *cacheSize)
+	if *rpcAddr != "" {
+		ln, err := net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rpc listening on %s\n", ln.Addr())
+		go func() {
+			if err := srv.ServeRPC(ln); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	fmt.Fprintf(os.Stderr, "rest listening on %s\n", *httpAddr)
+	if err := srv.ListenHTTP(*httpAddr); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wisdom-serve:", err)
+	os.Exit(1)
+}

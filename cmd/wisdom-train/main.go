@@ -1,0 +1,105 @@
+// Command wisdom-train runs the pre-training → fine-tuning pipeline for one
+// model variant and reports its evaluation on the held-out test split —
+// the command-line equivalent of producing one row of Table 3 (with
+// -few-shot) or Table 4.
+//
+// Usage:
+//
+//	wisdom-train -variant wisdom-ansible-multi
+//	wisdom-train -variant codegen-multi -few-shot
+//	wisdom-train -variant codegen-multi -window 512 -fraction 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wisdom/internal/dataset"
+	"wisdom/internal/experiments"
+	"wisdom/internal/wisdom"
+)
+
+func main() {
+	variant := flag.String("variant", string(wisdom.WisdomAnsibleMulti), "model variant to train")
+	fewShot := flag.Bool("few-shot", false, "stop after pre-training (Table 3 setting)")
+	window := flag.Int("window", 1024, "context window in tokens")
+	fraction := flag.Float64("fraction", 0, "fine-tune on only this fraction of training data (0 = all)")
+	prefix := flag.Bool("prefix-prompt", false, "use the prefix prompt ablation instead of name completion")
+	quick := flag.Bool("quick", false, "use the reduced configuration")
+	limit := flag.Int("limit", 0, "cap evaluated test samples (0 = config default)")
+	savePath := flag.String("save", "", "save the trained model to this file")
+	selectOnValid := flag.Bool("select", false, "select the fine-tuning blend weight on validation BLEU (the paper's checkpoint selection)")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *limit > 0 {
+		cfg.EvalLimit = *limit
+	}
+	fmt.Println("building corpora and tokenizer...")
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pre-training %s (window %d)...\n", *variant, *window)
+	model, err := suite.Pretrained(wisdom.VariantID(*variant), "", 0, *window)
+	if err != nil {
+		fatal(err)
+	}
+	if !*fewShot {
+		style := dataset.NameCompletion
+		if *prefix {
+			style = dataset.PrefixPrompt
+		}
+		ftCfg := wisdom.FinetuneConfig{Window: *window, Style: style, Fraction: *fraction}
+		fmt.Printf("fine-tuning on %d Galaxy samples...\n", len(suite.Pipe.Train))
+		if *selectOnValid {
+			var validBLEU float64
+			model, validBLEU, err = wisdom.FinetuneWithValidation(model, suite.Pipe.Train, suite.Pipe.Valid, ftCfg, cfg.EvalLimit)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("selected blend weight by validation BLEU %.2f\n", validBLEU)
+		} else {
+			model, err = wisdom.Finetune(model, suite.Pipe.Train, ftCfg)
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := model.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved model to %s\n", *savePath)
+	}
+	fmt.Printf("evaluating %s on %d test samples...\n", model.Name, min(cfg.EvalLimit, len(suite.Pipe.Test)))
+	res := wisdom.Evaluate(model, suite.Pipe.Test, cfg.EvalLimit)
+	fmt.Printf("\n%-16s %8s\n", "Metric", "Score")
+	fmt.Printf("%-16s %8.2f\n", "Schema Correct", res.Overall.SchemaCorrect)
+	fmt.Printf("%-16s %8.2f\n", "Exact Match", res.Overall.ExactMatch)
+	fmt.Printf("%-16s %8.2f\n", "BLEU", res.Overall.BLEU)
+	fmt.Printf("%-16s %8.2f\n", "Ansible Aware", res.Overall.AnsibleAware)
+}
+
+func min(a, b int) int {
+	if a == 0 || (b != 0 && b < a) {
+		return b
+	}
+	return a
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wisdom-train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package wisdom is the root of the Ansible Wisdom reproduction: a pure-Go
+// implementation of "Automated Code generation for Information Technology
+// Tasks in YAML through Large Language Models" (DAC 2023).
+//
+// The library lives under internal/: the YAML engine, the Ansible domain
+// model, the trainable tokenizer and language models (n-gram with a lexical
+// translation channel, and a full decoder-only transformer), the four
+// evaluation metrics including the paper's novel Ansible Aware and Schema
+// Correct, the dataset pipeline for the four generation types, the model
+// zoo, and the serving layer. Executables live under cmd/ and runnable
+// examples under examples/. The benchmarks in bench_test.go regenerate
+// every table of the paper; see DESIGN.md and EXPERIMENTS.md.
+package wisdom

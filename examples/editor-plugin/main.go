@@ -1,0 +1,113 @@
+// Editor-plugin simulation: the end-to-end flow of the paper's Visual
+// Studio Code plugin. A Wisdom model is served over both the REST API and
+// the binary RPC protocol; a simulated editor session types task names into
+// a playbook, requests completions on Enter, and accepts or rejects the
+// suggestions — including the repeated-request case that exercises the
+// response cache.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"wisdom/internal/experiments"
+	"wisdom/internal/serve"
+	"wisdom/internal/wisdom"
+)
+
+func main() {
+	fmt.Println("== editor plugin simulation ==")
+	fmt.Println("training the serving model...")
+	suite, err := experiments.NewSuite(experiments.Quick())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pre, err := suite.Pretrained(wisdom.WisdomAnsibleMulti, "", 0, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := wisdom.Finetune(pre, suite.Pipe.Train, wisdom.FinetuneConfig{Window: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := serve.NewServer(model, model.Name, 128)
+
+	// REST endpoint (what the real plugin calls).
+	rest := httptest.NewServer(srv.Handler())
+	defer rest.Close()
+	fmt.Printf("REST endpoint: %s\n", rest.URL)
+
+	// RPC endpoint (the GRPC-shaped alternative).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.ServeRPC(ln) }()
+	rpc, err := serve.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rpc.Close()
+	fmt.Printf("RPC endpoint:  %s\n\n", ln.Addr())
+
+	// The simulated editing session: the user builds a playbook task by
+	// task. Each entry is the prompt typed after "- name:"; the growing
+	// buffer is the context.
+	buffer := "---\n- hosts: webservers\n  tasks:\n"
+	prompts := []string{
+		"Install nginx",
+		"Deploy nginx.conf from template",
+		"Start and enable nginx",
+		"Allow https through the firewall",
+	}
+	for turn, prompt := range prompts {
+		fmt.Printf("--- turn %d: user types %q and hits Enter\n", turn+1, prompt)
+		resp := restComplete(rest.URL, rest.Client(), serve.Request{Prompt: prompt, Context: buffer})
+		fmt.Printf("[suggestion in %.1f ms, cached=%v]\n%s", resp.LatencyMS, resp.Cached, resp.Suggestion)
+		// The user accepts with Tab: the suggestion lands in the buffer.
+		buffer += resp.Suggestion
+		fmt.Println("[user hits Tab: accepted]")
+	}
+
+	fmt.Println("\n--- the user re-requests the first completion (cache hit expected)")
+	again := restComplete(rest.URL, rest.Client(), serve.Request{
+		Prompt: prompts[0], Context: "---\n- hosts: webservers\n  tasks:\n",
+	})
+	fmt.Printf("[cached=%v, latency %.1f ms]\n", again.Cached, again.LatencyMS)
+
+	fmt.Println("\n--- same request over the RPC protocol")
+	rpcResp, err := rpc.Predict(serve.Request{Prompt: "Create backup directory"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[rpc answered in %.1f ms]\n%s", rpcResp.LatencyMS, rpcResp.Suggestion)
+
+	fmt.Println("\nfinal playbook:")
+	fmt.Println(strings.TrimRight(buffer, "\n"))
+	fmt.Printf("\nserver handled %d predictions\n", srv.Requests())
+}
+
+func restComplete(url string, client *http.Client, req serve.Request) serve.Response {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpResp, err := client.Post(url+"/v1/completions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var out serve.Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

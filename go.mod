@@ -1,0 +1,3 @@
+module wisdom
+
+go 1.22

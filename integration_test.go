@@ -1,0 +1,205 @@
+package wisdom_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd/ binary into a shared temp dir (once per test
+// process) and returns its path.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("integration build in short mode")
+	}
+	dir := sharedBinDir(t)
+	bin := filepath.Join(dir, name)
+	if _, err := os.Stat(bin); err == nil {
+		return bin
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+var binDir string
+
+func sharedBinDir(t *testing.T) string {
+	t.Helper()
+	if binDir == "" {
+		dir, err := os.MkdirTemp("", "wisdom-bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		binDir = dir
+	}
+	return binDir
+}
+
+func TestWisdomEvalCLI(t *testing.T) {
+	bin := buildTool(t, "wisdom-eval")
+	pred := "- name: install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n"
+	ref := "- name: install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: latest\n"
+	out, err := exec.Command(bin, "-pred-text", pred, "-ref-text", ref).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"Schema Correct : true", "Exact Match    : false", "BLEU", "Ansible Aware"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWisdomEvalCLIFiles(t *testing.T) {
+	bin := buildTool(t, "wisdom-eval")
+	dir := t.TempDir()
+	pred := filepath.Join(dir, "pred.yml")
+	ref := filepath.Join(dir, "ref.yml")
+	content := "- name: x\n  ansible.builtin.debug:\n    msg: hi\n"
+	if err := os.WriteFile(pred, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ref, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-pred", pred, "-ref", ref).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Exact Match    : true") {
+		t.Errorf("identical files not exact:\n%s", out)
+	}
+	// Missing args exit non-zero.
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Error("no-arg invocation succeeded")
+	}
+}
+
+func TestWisdomDataCLI(t *testing.T) {
+	bin := buildTool(t, "wisdom-data")
+	dir := t.TempDir()
+	out, err := exec.Command(bin, "-factor", "4000", "-out", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"Galaxy", "GitLab", "AfterDedup", "train/valid/test"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	for _, f := range []string{"galaxy.jsonl", "gitlab-ansible.jsonl", "github-gbq-ansible.jsonl", "github-gbq-generic.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing output file %s", f)
+		}
+	}
+}
+
+func TestWisdomBenchCLIFigure2(t *testing.T) {
+	bin := buildTool(t, "wisdom-bench")
+	out, err := exec.Command(bin, "-quick", "-figure", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"NL->T", "T+NL->T", "model input", "expected output"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("figure 2 output missing %q", want)
+		}
+	}
+}
+
+func TestWisdomBenchCLITables12(t *testing.T) {
+	bin := buildTool(t, "wisdom-bench")
+	out, err := exec.Command(bin, "-quick", "-table", "1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Galaxy") {
+		t.Errorf("table 1 output:\n%s", out)
+	}
+	out, err = exec.Command(bin, "-quick", "-table", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Wisdom-Yaml-Multi") {
+		t.Errorf("table 2 output:\n%s", out)
+	}
+}
+
+func TestWisdomLintCLI(t *testing.T) {
+	bin := buildTool(t, "wisdom-lint")
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.yml")
+	bad := filepath.Join(dir, "bad.yml")
+	legacy := filepath.Join(dir, "legacy.yml")
+	os.WriteFile(good, []byte("---\n- name: ok\n  ansible.builtin.debug:\n    msg: hi\n"), 0o644)
+	os.WriteFile(bad, []byte("---\n- name: broken\n  ansible.builtin.apt:\n    name: x\n    bogus: 1\n"), 0o644)
+	os.WriteFile(legacy, []byte("---\n- name: legacy\n  yum: name=httpd state=latest\n"), 0o644)
+
+	out, err := exec.Command(bin, good).CombinedOutput()
+	if err != nil {
+		t.Fatalf("good file failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "PASS") {
+		t.Errorf("no PASS line:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, bad).CombinedOutput()
+	if err == nil {
+		t.Errorf("bad file passed:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown parameter") {
+		t.Errorf("missing violation message:\n%s", out)
+	}
+
+	// -fix-fqcn prints the normalised form with the FQCN and a dict.
+	out, _ = exec.Command(bin, "-fix-fqcn", legacy).CombinedOutput()
+	text := string(out)
+	if !strings.Contains(text, "ansible.builtin.yum") || !strings.Contains(text, "state: latest") {
+		t.Errorf("normalised output wrong:\n%s", text)
+	}
+
+	// No args: usage error.
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Error("no-arg invocation succeeded")
+	}
+}
+
+func TestWisdomEvalBatchAndExplain(t *testing.T) {
+	bin := buildTool(t, "wisdom-eval")
+	dir := t.TempDir()
+	task := `- name: x\n  ansible.builtin.debug:\n    msg: hi\n`
+	batch := filepath.Join(dir, "pairs.jsonl")
+	line := `{"pred": "` + task + `", "ref": "` + task + `"}` + "\n"
+	if err := os.WriteFile(batch, []byte(line+line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-batch", batch).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "pairs          : 2") || !strings.Contains(text, "Exact Match    : 100.00") {
+		t.Errorf("batch output:\n%s", text)
+	}
+
+	// Explain mode prints an edit list.
+	pred := "- name: x\n  ansible.builtin.apt:\n    name: nginx\n    state: absent\n"
+	ref := "- name: x\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n"
+	out, err = exec.Command(bin, "-pred-text", pred, "-ref-text", ref, "-explain").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "wrong-value") {
+		t.Errorf("explain output:\n%s", out)
+	}
+}

@@ -1,0 +1,513 @@
+// Package ansible models the Ansible language: playbooks, plays, tasks, the
+// module catalogue with fully-qualified collection names (FQCN), play/task
+// keywords, legacy "k=v" free-form syntax, and the strict lint-style schema
+// used by the Schema Correct metric from the paper.
+package ansible
+
+import (
+	"sort"
+	"strings"
+)
+
+// ParamType describes the expected YAML shape of a module parameter or
+// keyword value.
+type ParamType int
+
+const (
+	// StrParam accepts any scalar rendered as text.
+	StrParam ParamType = iota
+	// IntParam accepts integer scalars.
+	IntParam
+	// BoolParam accepts boolean scalars (including YAML 1.1 yes/no forms).
+	BoolParam
+	// ListParam accepts sequences (or a single scalar promoted to one).
+	ListParam
+	// DictParam accepts mappings.
+	DictParam
+	// PathParam accepts filesystem path strings.
+	PathParam
+	// AnyParam accepts any node.
+	AnyParam
+)
+
+// ParamSpec describes one parameter of a module.
+type ParamSpec struct {
+	Name     string
+	Type     ParamType
+	Required bool
+	// Choices restricts string values when non-empty.
+	Choices []string
+	// Aliases are alternative accepted spellings (e.g. dest/path).
+	Aliases []string
+}
+
+// Module describes one entry of the module catalogue.
+type Module struct {
+	// FQCN is the fully qualified collection name, e.g.
+	// "ansible.builtin.apt".
+	FQCN string
+	// Description is a short imperative summary used by the corpus
+	// generator to build natural "name" fields.
+	Description string
+	// Params lists the accepted parameters. A module with UnknownParams
+	// set additionally accepts arbitrary parameters (e.g. set_fact).
+	Params []ParamSpec
+	// FreeForm marks modules that accept a free-form command string
+	// (command, shell, raw, script) instead of / besides a parameter dict.
+	FreeForm bool
+	// UnknownParams marks modules accepting arbitrary extra parameters.
+	UnknownParams bool
+	// EquivGroup names the near-equivalence class used by the Ansible
+	// Aware metric: modules in the same group (e.g. apt/dnf/yum/package)
+	// receive partial credit when exchanged.
+	EquivGroup string
+	// MutuallyExclusive lists parameter groups of which at most one member
+	// may be set (e.g. copy's src vs content).
+	MutuallyExclusive [][]string
+	// RequiredOneOf lists parameter groups of which at least one member
+	// must be set.
+	RequiredOneOf [][]string
+}
+
+// ShortName returns the final component of the module FQCN.
+func (m *Module) ShortName() string {
+	i := strings.LastIndexByte(m.FQCN, '.')
+	if i < 0 {
+		return m.FQCN
+	}
+	return m.FQCN[i+1:]
+}
+
+// Collection returns the collection prefix of the FQCN, e.g.
+// "ansible.builtin".
+func (m *Module) Collection() string {
+	i := strings.LastIndexByte(m.FQCN, '.')
+	if i < 0 {
+		return ""
+	}
+	return m.FQCN[:i]
+}
+
+// Param returns the spec for a parameter name or alias, or nil.
+func (m *Module) Param(name string) *ParamSpec {
+	for i := range m.Params {
+		p := &m.Params[i]
+		if p.Name == name {
+			return p
+		}
+		for _, a := range p.Aliases {
+			if a == name {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// p is a compact ParamSpec constructor used by the catalogue below.
+func p(name string, t ParamType) ParamSpec { return ParamSpec{Name: name, Type: t} }
+
+func preq(name string, t ParamType) ParamSpec {
+	return ParamSpec{Name: name, Type: t, Required: true}
+}
+
+func pcho(name string, choices ...string) ParamSpec {
+	return ParamSpec{Name: name, Type: StrParam, Choices: choices}
+}
+
+var stateAbsent = pcho("state", "present", "absent")
+var statePkg = pcho("state", "present", "absent", "latest")
+var stateSvc = pcho("state", "started", "stopped", "restarted", "reloaded")
+
+// catalogue is the module registry. It covers the modules that dominate
+// public Ansible content (and therefore the synthetic Galaxy corpus): package
+// management, services, files, users, source control, networking and a slice
+// of popular community collections.
+var catalogue = []Module{
+	// --- package management (equivalence group "package") ---
+	{FQCN: "ansible.builtin.apt", Description: "manage apt packages", EquivGroup: "package", Params: []ParamSpec{
+		p("name", ListParam), statePkg, p("update_cache", BoolParam), p("cache_valid_time", IntParam),
+		p("install_recommends", BoolParam), p("upgrade", StrParam), p("force", BoolParam), p("autoremove", BoolParam)}},
+	{FQCN: "ansible.builtin.yum", Description: "manage yum packages", EquivGroup: "package", Params: []ParamSpec{
+		p("name", ListParam), statePkg, p("enablerepo", StrParam), p("disablerepo", StrParam),
+		p("update_cache", BoolParam), p("disable_gpg_check", BoolParam)}},
+	{FQCN: "ansible.builtin.dnf", Description: "manage dnf packages", EquivGroup: "package", Params: []ParamSpec{
+		p("name", ListParam), statePkg, p("enablerepo", StrParam), p("update_cache", BoolParam),
+		p("disable_gpg_check", BoolParam)}},
+	{FQCN: "ansible.builtin.package", Description: "manage packages with the system package manager", EquivGroup: "package", Params: []ParamSpec{
+		preq("name", ListParam), statePkg, p("use", StrParam)}},
+	{FQCN: "ansible.builtin.pip", Description: "manage python packages", EquivGroup: "package", Params: []ParamSpec{
+		p("name", ListParam), statePkg, p("requirements", PathParam), p("virtualenv", PathParam),
+		p("executable", PathParam), p("extra_args", StrParam)}},
+	{FQCN: "community.general.zypper", Description: "manage zypper packages", EquivGroup: "package", Params: []ParamSpec{
+		preq("name", ListParam), statePkg, p("update_cache", BoolParam), p("disable_recommends", BoolParam)}},
+	{FQCN: "community.general.pacman", Description: "manage pacman packages", EquivGroup: "package", Params: []ParamSpec{
+		p("name", ListParam), statePkg, p("update_cache", BoolParam), p("force", BoolParam)}},
+	{FQCN: "community.general.homebrew", Description: "manage homebrew packages", EquivGroup: "package", Params: []ParamSpec{
+		p("name", ListParam), statePkg, p("update_homebrew", BoolParam)}},
+	{FQCN: "community.general.npm", Description: "manage node.js packages", EquivGroup: "package", Params: []ParamSpec{
+		p("name", StrParam), stateAbsent, p("global", BoolParam), p("path", PathParam), p("version", StrParam)}},
+
+	// --- services (group "service") ---
+	{FQCN: "ansible.builtin.service", Description: "manage services", EquivGroup: "service", Params: []ParamSpec{
+		preq("name", StrParam), stateSvc, p("enabled", BoolParam), p("daemon_reload", BoolParam), p("pattern", StrParam)}},
+	{FQCN: "ansible.builtin.systemd", Description: "manage systemd units", EquivGroup: "service", Params: []ParamSpec{
+		p("name", StrParam), stateSvc, p("enabled", BoolParam), p("daemon_reload", BoolParam),
+		p("masked", BoolParam), pcho("scope", "system", "user", "global")}},
+	{FQCN: "community.general.supervisorctl", Description: "manage supervisord programs", EquivGroup: "service", Params: []ParamSpec{
+		preq("name", StrParam), stateSvc, p("config", PathParam)}},
+
+	// --- commands (group "command") ---
+	{FQCN: "ansible.builtin.command", Description: "run a command", EquivGroup: "command", FreeForm: true, Params: []ParamSpec{
+		p("cmd", StrParam), p("argv", ListParam), p("chdir", PathParam), p("creates", PathParam),
+		p("removes", PathParam), p("stdin", StrParam)}},
+	{FQCN: "ansible.builtin.shell", Description: "run a shell command", EquivGroup: "command", FreeForm: true, Params: []ParamSpec{
+		p("cmd", StrParam), p("chdir", PathParam), p("creates", PathParam), p("removes", PathParam),
+		p("executable", PathParam)}},
+	{FQCN: "ansible.builtin.raw", Description: "run a raw command over ssh", EquivGroup: "command", FreeForm: true, Params: []ParamSpec{
+		p("executable", PathParam)}},
+	{FQCN: "ansible.builtin.script", Description: "run a local script on the remote node", EquivGroup: "command", FreeForm: true, Params: []ParamSpec{
+		p("cmd", StrParam), p("chdir", PathParam), p("creates", PathParam), p("executable", PathParam)}},
+
+	// --- files (groups "copy", "file") ---
+	{FQCN: "ansible.builtin.copy", Description: "copy a file to the remote node", EquivGroup: "copy",
+		MutuallyExclusive: [][]string{{"src", "content"}},
+		RequiredOneOf:     [][]string{{"src", "content"}},
+		Params: []ParamSpec{
+			preq("dest", PathParam), p("src", PathParam), p("content", StrParam), p("owner", StrParam),
+			p("group", StrParam), p("mode", StrParam), p("backup", BoolParam), p("remote_src", BoolParam),
+			p("validate", StrParam), p("force", BoolParam)}},
+	{FQCN: "ansible.builtin.template", Description: "render a template to the remote node", EquivGroup: "copy", Params: []ParamSpec{
+		preq("src", PathParam), preq("dest", PathParam), p("owner", StrParam), p("group", StrParam),
+		p("mode", StrParam), p("backup", BoolParam), p("validate", StrParam), p("trim_blocks", BoolParam)}},
+	{FQCN: "ansible.builtin.file", Description: "manage file and directory properties", EquivGroup: "file", Params: []ParamSpec{
+		preq("path", PathParam), pcho("state", "file", "directory", "link", "hard", "touch", "absent"),
+		p("owner", StrParam), p("group", StrParam), p("mode", StrParam), p("src", PathParam),
+		p("recurse", BoolParam), p("force", BoolParam)}},
+	{FQCN: "ansible.builtin.lineinfile", Description: "manage lines in a file", EquivGroup: "file",
+		MutuallyExclusive: [][]string{{"insertafter", "insertbefore"}},
+		Params: []ParamSpec{
+			preq("path", PathParam), p("line", StrParam), p("regexp", StrParam), stateAbsent,
+			p("insertafter", StrParam), p("insertbefore", StrParam), p("create", BoolParam), p("backup", BoolParam),
+			p("owner", StrParam), p("group", StrParam), p("mode", StrParam)}},
+	{FQCN: "ansible.builtin.blockinfile", Description: "manage a block of lines in a file", EquivGroup: "file", Params: []ParamSpec{
+		preq("path", PathParam), p("block", StrParam), p("marker", StrParam), stateAbsent,
+		p("insertafter", StrParam), p("create", BoolParam), p("backup", BoolParam)}},
+	{FQCN: "ansible.builtin.stat", Description: "get file status", EquivGroup: "file", Params: []ParamSpec{
+		preq("path", PathParam), p("follow", BoolParam), p("get_checksum", BoolParam)}},
+	{FQCN: "ansible.builtin.fetch", Description: "fetch a file from the remote node", EquivGroup: "copy", Params: []ParamSpec{
+		preq("src", PathParam), preq("dest", PathParam), p("flat", BoolParam), p("fail_on_missing", BoolParam)}},
+	{FQCN: "ansible.builtin.unarchive", Description: "extract an archive on the remote node", EquivGroup: "copy", Params: []ParamSpec{
+		preq("src", PathParam), preq("dest", PathParam), p("remote_src", BoolParam), p("creates", PathParam),
+		p("owner", StrParam), p("group", StrParam), p("mode", StrParam)}},
+	{FQCN: "ansible.posix.synchronize", Description: "synchronize files with rsync", EquivGroup: "copy", Params: []ParamSpec{
+		preq("src", PathParam), preq("dest", PathParam), p("delete", BoolParam), p("recursive", BoolParam),
+		pcho("mode", "push", "pull"), p("rsync_opts", ListParam)}},
+
+	// --- accounts ---
+	{FQCN: "ansible.builtin.user", Description: "manage user accounts", Params: []ParamSpec{
+		preq("name", StrParam), stateAbsent, p("uid", IntParam), p("group", StrParam), p("groups", ListParam),
+		p("shell", PathParam), p("home", PathParam), p("createhome", BoolParam), p("password", StrParam),
+		p("append", BoolParam), p("system", BoolParam), p("comment", StrParam)}},
+	{FQCN: "ansible.builtin.group", Description: "manage groups", Params: []ParamSpec{
+		preq("name", StrParam), stateAbsent, p("gid", IntParam), p("system", BoolParam)}},
+	{FQCN: "ansible.posix.authorized_key", Description: "manage ssh authorized keys", Params: []ParamSpec{
+		preq("user", StrParam), preq("key", StrParam), stateAbsent, p("exclusive", BoolParam),
+		p("manage_dir", BoolParam), p("path", PathParam)}},
+	{FQCN: "ansible.builtin.known_hosts", Description: "manage ssh known hosts", Params: []ParamSpec{
+		preq("name", StrParam), p("key", StrParam), stateAbsent, p("path", PathParam)}},
+	{FQCN: "community.general.htpasswd", Description: "manage htpasswd entries", Params: []ParamSpec{
+		preq("path", PathParam), preq("name", StrParam), p("password", StrParam), stateAbsent,
+		p("owner", StrParam), p("group", StrParam), p("mode", StrParam)}},
+
+	// --- source control / downloads ---
+	{FQCN: "ansible.builtin.git", Description: "manage git checkouts", Params: []ParamSpec{
+		preq("repo", StrParam), preq("dest", PathParam), p("version", StrParam), p("update", BoolParam),
+		p("force", BoolParam), p("depth", IntParam), p("accept_hostkey", BoolParam)}},
+	{FQCN: "ansible.builtin.get_url", Description: "download a file over http", Params: []ParamSpec{
+		preq("url", StrParam), preq("dest", PathParam), p("mode", StrParam), p("owner", StrParam),
+		p("group", StrParam), p("checksum", StrParam), p("timeout", IntParam), p("validate_certs", BoolParam),
+		p("force", BoolParam)}},
+	{FQCN: "ansible.builtin.uri", Description: "interact with web services", Params: []ParamSpec{
+		preq("url", StrParam), pcho("method", "GET", "POST", "PUT", "DELETE", "PATCH", "HEAD"),
+		p("body", AnyParam), pcho("body_format", "json", "form-urlencoded", "raw"), p("status_code", ListParam),
+		p("return_content", BoolParam), p("headers", DictParam), p("timeout", IntParam), p("validate_certs", BoolParam)}},
+
+	// --- system configuration ---
+	{FQCN: "ansible.builtin.cron", Description: "manage cron entries", Params: []ParamSpec{
+		preq("name", StrParam), p("job", StrParam), p("minute", StrParam), p("hour", StrParam),
+		p("day", StrParam), p("month", StrParam), p("weekday", StrParam), p("user", StrParam),
+		stateAbsent, pcho("special_time", "reboot", "hourly", "daily", "weekly", "monthly", "yearly", "annually")}},
+	{FQCN: "ansible.posix.mount", Description: "manage mount points", Params: []ParamSpec{
+		preq("path", PathParam), p("src", StrParam), p("fstype", StrParam), p("opts", StrParam),
+		pcho("state", "mounted", "unmounted", "present", "absent", "remounted")}},
+	{FQCN: "ansible.builtin.hostname", Description: "set the system hostname", Params: []ParamSpec{
+		preq("name", StrParam), p("use", StrParam)}},
+	{FQCN: "ansible.builtin.reboot", Description: "reboot the remote node", Params: []ParamSpec{
+		p("reboot_timeout", IntParam), p("msg", StrParam), p("pre_reboot_delay", IntParam),
+		p("post_reboot_delay", IntParam), p("test_command", StrParam)}},
+	{FQCN: "ansible.builtin.wait_for", Description: "wait for a condition", Params: []ParamSpec{
+		p("host", StrParam), p("port", IntParam), p("path", PathParam), p("timeout", IntParam),
+		p("delay", IntParam), pcho("state", "started", "stopped", "present", "absent", "drained"),
+		p("search_regex", StrParam)}},
+	{FQCN: "ansible.posix.sysctl", Description: "manage sysctl settings", Params: []ParamSpec{
+		preq("name", StrParam), p("value", StrParam), stateAbsent, p("reload", BoolParam),
+		p("sysctl_file", PathParam), p("sysctl_set", BoolParam)}},
+	{FQCN: "ansible.posix.firewalld", Description: "manage firewalld rules", Params: []ParamSpec{
+		p("service", StrParam), p("port", StrParam), p("zone", StrParam), p("permanent", BoolParam),
+		p("immediate", BoolParam), pcho("state", "enabled", "disabled", "present", "absent"),
+		p("rich_rule", StrParam), p("source", StrParam)}},
+	{FQCN: "community.general.ufw", Description: "manage ufw firewall rules", Params: []ParamSpec{
+		pcho("rule", "allow", "deny", "limit", "reject"), p("port", StrParam), p("proto", StrParam),
+		pcho("state", "enabled", "disabled", "reloaded", "reset"), pcho("direction", "in", "out", "incoming", "outgoing"),
+		p("from_ip", StrParam), pcho("default", "allow", "deny", "reject")}},
+	{FQCN: "ansible.builtin.iptables", Description: "manage iptables rules", Params: []ParamSpec{
+		p("chain", StrParam), p("protocol", StrParam), p("destination_port", StrParam),
+		pcho("jump", "ACCEPT", "DROP", "REJECT", "LOG"), p("source", StrParam), p("comment", StrParam),
+		pcho("state", "present", "absent"), p("table", StrParam)}},
+	{FQCN: "community.general.timezone", Description: "set the system timezone", Params: []ParamSpec{
+		preq("name", StrParam), p("hwclock", StrParam)}},
+	{FQCN: "community.general.locale_gen", Description: "manage locales", Params: []ParamSpec{
+		preq("name", StrParam), stateAbsent}},
+	{FQCN: "community.general.modprobe", Description: "manage kernel modules", Params: []ParamSpec{
+		preq("name", StrParam), stateAbsent, p("params", StrParam)}},
+	{FQCN: "community.general.alternatives", Description: "manage alternative symlinks", Params: []ParamSpec{
+		preq("name", StrParam), preq("path", PathParam), p("link", PathParam), p("priority", IntParam)}},
+	{FQCN: "ansible.posix.seboolean", Description: "manage selinux booleans", Params: []ParamSpec{
+		preq("name", StrParam), preq("state", BoolParam), p("persistent", BoolParam)}},
+	{FQCN: "ansible.posix.selinux", Description: "configure selinux mode and policy", Params: []ParamSpec{
+		pcho("state", "enforcing", "permissive", "disabled"), p("policy", StrParam)}},
+
+	// --- repositories ---
+	{FQCN: "ansible.builtin.apt_repository", Description: "manage apt repositories", Params: []ParamSpec{
+		preq("repo", StrParam), stateAbsent, p("filename", StrParam), p("update_cache", BoolParam)}},
+	{FQCN: "ansible.builtin.apt_key", Description: "manage apt keys", Params: []ParamSpec{
+		p("url", StrParam), p("id", StrParam), p("keyserver", StrParam), stateAbsent, p("keyring", PathParam)}},
+	{FQCN: "ansible.builtin.yum_repository", Description: "manage yum repositories", Params: []ParamSpec{
+		preq("name", StrParam), p("description", StrParam), p("baseurl", StrParam), p("gpgcheck", BoolParam),
+		p("gpgkey", StrParam), p("enabled", BoolParam), stateAbsent}},
+
+	// --- control flow / facts ---
+	{FQCN: "ansible.builtin.debug", Description: "print a debug message",
+		MutuallyExclusive: [][]string{{"msg", "var"}},
+		Params: []ParamSpec{
+			p("msg", StrParam), p("var", StrParam), p("verbosity", IntParam)}},
+	{FQCN: "ansible.builtin.set_fact", Description: "set host facts", UnknownParams: true, Params: []ParamSpec{
+		p("cacheable", BoolParam)}},
+	{FQCN: "ansible.builtin.assert", Description: "assert expressions are true", Params: []ParamSpec{
+		preq("that", ListParam), p("fail_msg", StrParam), p("success_msg", StrParam), p("quiet", BoolParam)}},
+	{FQCN: "ansible.builtin.fail", Description: "fail with a message", Params: []ParamSpec{
+		p("msg", StrParam)}},
+	{FQCN: "ansible.builtin.meta", Description: "execute ansible meta actions", FreeForm: true, Params: []ParamSpec{}},
+	{FQCN: "ansible.builtin.setup", Description: "gather facts", Params: []ParamSpec{
+		p("gather_subset", ListParam), p("filter", StrParam), p("gather_timeout", IntParam)}},
+	{FQCN: "ansible.builtin.include_tasks", Description: "include a task list", FreeForm: true, Params: []ParamSpec{
+		p("file", PathParam), p("apply", DictParam)}},
+	{FQCN: "ansible.builtin.import_tasks", Description: "import a task list", FreeForm: true, Params: []ParamSpec{
+		p("file", PathParam)}},
+	{FQCN: "ansible.builtin.include_role", Description: "include a role", Params: []ParamSpec{
+		preq("name", StrParam), p("tasks_from", StrParam), p("vars_from", StrParam), p("public", BoolParam)}},
+	{FQCN: "ansible.builtin.import_role", Description: "import a role", Params: []ParamSpec{
+		preq("name", StrParam), p("tasks_from", StrParam)}},
+	{FQCN: "ansible.builtin.include_vars", Description: "include variables from a file", FreeForm: true, Params: []ParamSpec{
+		p("file", PathParam), p("name", StrParam), p("dir", PathParam)}},
+	{FQCN: "ansible.builtin.pause", Description: "pause playbook execution", Params: []ParamSpec{
+		p("seconds", IntParam), p("minutes", IntParam), p("prompt", StrParam)}},
+	{FQCN: "ansible.builtin.add_host", Description: "add a host to the inventory", UnknownParams: true, Params: []ParamSpec{
+		preq("name", StrParam), p("groups", ListParam)}},
+
+	// --- databases ---
+	{FQCN: "community.mysql.mysql_db", Description: "manage mysql databases", Params: []ParamSpec{
+		preq("name", StrParam), pcho("state", "present", "absent", "dump", "import"), p("login_user", StrParam),
+		p("login_password", StrParam), p("target", PathParam), p("encoding", StrParam)}},
+	{FQCN: "community.mysql.mysql_user", Description: "manage mysql users", Params: []ParamSpec{
+		preq("name", StrParam), p("password", StrParam), p("priv", StrParam), p("host", StrParam),
+		stateAbsent, p("login_user", StrParam), p("login_password", StrParam)}},
+	{FQCN: "community.postgresql.postgresql_db", Description: "manage postgresql databases", Params: []ParamSpec{
+		preq("name", StrParam), pcho("state", "present", "absent", "dump", "restore"), p("owner", StrParam),
+		p("encoding", StrParam), p("template", StrParam)}},
+	{FQCN: "community.postgresql.postgresql_user", Description: "manage postgresql users", Params: []ParamSpec{
+		preq("name", StrParam), p("password", StrParam), p("db", StrParam), stateAbsent,
+		p("priv", StrParam), p("role_attr_flags", StrParam)}},
+
+	// --- containers / cloud ---
+	{FQCN: "community.docker.docker_container", Description: "manage docker containers", Params: []ParamSpec{
+		preq("name", StrParam), p("image", StrParam), pcho("state", "present", "absent", "started", "stopped"),
+		p("ports", ListParam), p("volumes", ListParam), p("env", DictParam), pcho("restart_policy", "always", "no", "on-failure", "unless-stopped"),
+		p("detach", BoolParam), p("pull", BoolParam)}},
+	{FQCN: "community.docker.docker_image", Description: "manage docker images", Params: []ParamSpec{
+		preq("name", StrParam), p("tag", StrParam), pcho("source", "pull", "build", "load", "local"),
+		stateAbsent, p("force_source", BoolParam)}},
+	{FQCN: "kubernetes.core.k8s", Description: "manage kubernetes objects", Params: []ParamSpec{
+		stateAbsent, p("definition", DictParam), p("src", PathParam), p("namespace", StrParam),
+		p("kind", StrParam), p("name", StrParam), p("api_version", StrParam), p("wait", BoolParam)}},
+	{FQCN: "amazon.aws.s3_object", Description: "manage s3 objects", Params: []ParamSpec{
+		preq("bucket", StrParam), p("object", StrParam), pcho("mode", "get", "put", "delete", "create", "list"),
+		p("src", PathParam), p("dest", PathParam), p("region", StrParam)}},
+	{FQCN: "amazon.aws.ec2_instance", Description: "manage ec2 instances", Params: []ParamSpec{
+		p("name", StrParam), pcho("state", "present", "absent", "running", "stopped", "restarted"),
+		p("instance_type", StrParam), p("image_id", StrParam), p("key_name", StrParam),
+		p("security_group", StrParam), p("region", StrParam), p("tags", DictParam)}},
+
+	// --- network devices ---
+	{FQCN: "vyos.vyos.vyos_facts", Description: "gather facts from vyos devices", Params: []ParamSpec{
+		p("gather_subset", ListParam), p("gather_network_resources", ListParam)}},
+	{FQCN: "vyos.vyos.vyos_config", Description: "manage vyos configuration", Params: []ParamSpec{
+		p("lines", ListParam), p("src", PathParam), p("backup", BoolParam), p("save", BoolParam),
+		pcho("match", "line", "none"), p("comment", StrParam)}},
+	{FQCN: "cisco.ios.ios_config", Description: "manage cisco ios configuration", Params: []ParamSpec{
+		p("lines", ListParam), p("parents", ListParam), p("src", PathParam), p("backup", BoolParam),
+		pcho("match", "line", "strict", "exact", "none"), p("save_when", StrParam)}},
+	{FQCN: "cisco.ios.ios_facts", Description: "gather facts from cisco ios devices", Params: []ParamSpec{
+		p("gather_subset", ListParam), p("gather_network_resources", ListParam)}},
+	{FQCN: "junipernetworks.junos.junos_config", Description: "manage juniper junos configuration", Params: []ParamSpec{
+		p("lines", ListParam), p("src", PathParam), p("backup", BoolParam), p("confirm", IntParam),
+		p("comment", StrParam), pcho("update", "merge", "override", "replace")}},
+
+	// --- misc ---
+	{FQCN: "ansible.builtin.slurp", Description: "read a remote file", Params: []ParamSpec{
+		preq("src", PathParam)}},
+	{FQCN: "ansible.builtin.tempfile", Description: "create a temporary file or directory", Params: []ParamSpec{
+		pcho("state", "file", "directory"), p("suffix", StrParam), p("prefix", StrParam), p("path", PathParam)}},
+	{FQCN: "ansible.builtin.find", Description: "find files matching criteria", Params: []ParamSpec{
+		preq("paths", ListParam), p("patterns", ListParam), pcho("file_type", "file", "directory", "link", "any"),
+		p("recurse", BoolParam), p("age", StrParam), p("size", StrParam)}},
+	{FQCN: "ansible.builtin.replace", Description: "replace text in a file", EquivGroup: "file", Params: []ParamSpec{
+		preq("path", PathParam), preq("regexp", StrParam), p("replace", StrParam), p("backup", BoolParam),
+		p("owner", StrParam), p("group", StrParam), p("mode", StrParam)}},
+	{FQCN: "ansible.builtin.git_config", Description: "manage git configuration", Params: []ParamSpec{
+		preq("name", StrParam), p("value", StrParam), pcho("scope", "local", "global", "system"),
+		p("repo", PathParam), stateAbsent}},
+	{FQCN: "ansible.windows.win_service", Description: "manage windows services", EquivGroup: "service", Params: []ParamSpec{
+		preq("name", StrParam), stateSvc, pcho("start_mode", "auto", "manual", "disabled", "delayed")}},
+	{FQCN: "ansible.windows.win_package", Description: "manage windows packages", EquivGroup: "package", Params: []ParamSpec{
+		p("path", PathParam), p("product_id", StrParam), stateAbsent, p("arguments", StrParam)}},
+	{FQCN: "chocolatey.chocolatey.win_chocolatey", Description: "manage chocolatey packages", EquivGroup: "package", Params: []ParamSpec{
+		preq("name", ListParam), statePkg, p("version", StrParam), p("source", StrParam)}},
+
+	// --- additional widely used modules ---
+	{FQCN: "ansible.builtin.expect", Description: "run a command answering prompts", EquivGroup: "command", FreeForm: true, Params: []ParamSpec{
+		p("command", StrParam), p("responses", DictParam), p("timeout", IntParam), p("chdir", PathParam)}},
+	{FQCN: "ansible.posix.acl", Description: "manage file acl entries", Params: []ParamSpec{
+		preq("path", PathParam), p("entity", StrParam), pcho("etype", "user", "group", "other", "mask"),
+		p("permissions", StrParam), stateAbsent, p("recursive", BoolParam)}},
+	{FQCN: "ansible.posix.at", Description: "schedule one-shot at jobs", Params: []ParamSpec{
+		p("command", StrParam), preq("count", IntParam), pcho("units", "minutes", "hours", "days", "weeks"),
+		stateAbsent}},
+	{FQCN: "community.general.sudoers", Description: "manage sudoers rules", Params: []ParamSpec{
+		preq("name", StrParam), stateAbsent, p("user", StrParam), p("group", StrParam),
+		p("commands", ListParam), p("nopassword", BoolParam)}},
+	{FQCN: "community.general.snap", Description: "manage snap packages", EquivGroup: "package", Params: []ParamSpec{
+		preq("name", ListParam), stateAbsent, p("classic", BoolParam), p("channel", StrParam)}},
+	{FQCN: "community.general.flatpak", Description: "manage flatpak packages", EquivGroup: "package", Params: []ParamSpec{
+		preq("name", ListParam), stateAbsent, pcho("method", "system", "user"), p("remote", StrParam)}},
+	{FQCN: "community.general.gem", Description: "manage ruby gems", EquivGroup: "package", Params: []ParamSpec{
+		preq("name", StrParam), stateAbsent, p("version", StrParam), p("user_install", BoolParam)}},
+	{FQCN: "community.general.cargo", Description: "manage rust crates", EquivGroup: "package", Params: []ParamSpec{
+		preq("name", ListParam), stateAbsent, p("version", StrParam), p("locked", BoolParam)}},
+	{FQCN: "community.crypto.openssl_certificate", Description: "manage tls certificates", Params: []ParamSpec{
+		preq("path", PathParam), pcho("provider", "selfsigned", "ownca", "acme"), p("privatekey_path", PathParam),
+		p("csr_path", PathParam), stateAbsent}},
+	{FQCN: "community.crypto.openssh_keypair", Description: "manage ssh keypairs", Params: []ParamSpec{
+		preq("path", PathParam), pcho("type", "rsa", "ed25519", "ecdsa"), p("size", IntParam),
+		p("comment", StrParam), stateAbsent}},
+	{FQCN: "community.general.lvol", Description: "manage lvm logical volumes", Params: []ParamSpec{
+		preq("vg", StrParam), preq("lv", StrParam), p("size", StrParam), stateAbsent,
+		p("resizefs", BoolParam), p("shrink", BoolParam)}},
+	{FQCN: "community.general.filesystem", Description: "create filesystems", Params: []ParamSpec{
+		preq("dev", PathParam), pcho("fstype", "ext4", "xfs", "btrfs", "vfat", "swap"),
+		p("force", BoolParam), p("resizefs", BoolParam)}},
+	{FQCN: "community.general.parted", Description: "manage disk partitions", Params: []ParamSpec{
+		preq("device", PathParam), p("number", IntParam), pcho("state", "present", "absent", "info"),
+		p("part_start", StrParam), p("part_end", StrParam), pcho("label", "gpt", "msdos")}},
+	{FQCN: "community.zabbix.zabbix_host", Description: "manage zabbix hosts", Params: []ParamSpec{
+		preq("host_name", StrParam), p("host_groups", ListParam), p("link_templates", ListParam),
+		stateAbsent, pcho("status", "enabled", "disabled")}},
+	{FQCN: "community.grafana.grafana_dashboard", Description: "manage grafana dashboards", Params: []ParamSpec{
+		p("dashboard_id", IntParam), p("path", PathParam), stateAbsent, p("overwrite", BoolParam),
+		p("folder", StrParam)}},
+	{FQCN: "ansible.windows.win_copy", Description: "copy files to windows nodes", EquivGroup: "copy", Params: []ParamSpec{
+		preq("dest", PathParam), p("src", PathParam), p("content", StrParam), p("remote_src", BoolParam)}},
+	{FQCN: "ansible.windows.win_regedit", Description: "manage windows registry entries", Params: []ParamSpec{
+		preq("path", StrParam), p("name", StrParam), p("data", StrParam),
+		pcho("type", "string", "dword", "binary", "expandstring"), stateAbsent}},
+}
+
+// Registry resolves module names (short or fully qualified) to catalogue
+// entries and answers equivalence queries for the Ansible Aware metric.
+type Registry struct {
+	byFQCN  map[string]*Module
+	byShort map[string]*Module
+}
+
+// NewRegistry builds a registry over the built-in module catalogue.
+func NewRegistry() *Registry {
+	r := &Registry{
+		byFQCN:  make(map[string]*Module, len(catalogue)),
+		byShort: make(map[string]*Module, len(catalogue)),
+	}
+	for i := range catalogue {
+		m := &catalogue[i]
+		r.byFQCN[m.FQCN] = m
+		// Short names resolve builtin first, then first registration.
+		short := m.ShortName()
+		if prev, ok := r.byShort[short]; !ok || (prev.Collection() != "ansible.builtin" && m.Collection() == "ansible.builtin") {
+			r.byShort[short] = m
+		}
+	}
+	return r
+}
+
+// defaultRegistry is shared by the package-level helpers; the registry is
+// immutable after construction, so sharing is safe.
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry returns the shared registry over the built-in catalogue.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// Lookup resolves a module name, accepting both short names ("apt") and
+// FQCNs ("ansible.builtin.apt").
+func (r *Registry) Lookup(name string) (*Module, bool) {
+	if m, ok := r.byFQCN[name]; ok {
+		return m, true
+	}
+	m, ok := r.byShort[name]
+	return m, ok
+}
+
+// Canonical returns the FQCN for a module name, normalising short names
+// ("copy" -> "ansible.builtin.copy"). Unknown names are returned unchanged.
+func (r *Registry) Canonical(name string) string {
+	if m, ok := r.Lookup(name); ok {
+		return m.FQCN
+	}
+	return name
+}
+
+// IsModule reports whether name resolves to a catalogue module.
+func (r *Registry) IsModule(name string) bool {
+	_, ok := r.Lookup(name)
+	return ok
+}
+
+// Equivalent reports whether two module names are near-equivalent (same
+// equivalence group, e.g. command/shell or apt/yum/dnf/package) without being
+// the same module.
+func (r *Registry) Equivalent(a, b string) bool {
+	ma, oka := r.Lookup(a)
+	mb, okb := r.Lookup(b)
+	if !oka || !okb || ma.FQCN == mb.FQCN {
+		return false
+	}
+	return ma.EquivGroup != "" && ma.EquivGroup == mb.EquivGroup
+}
+
+// Modules returns all catalogue entries sorted by FQCN.
+func (r *Registry) Modules() []*Module {
+	out := make([]*Module, 0, len(r.byFQCN))
+	for _, m := range r.byFQCN {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FQCN < out[j].FQCN })
+	return out
+}

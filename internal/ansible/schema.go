@@ -1,0 +1,366 @@
+package ansible
+
+import (
+	"fmt"
+	"strings"
+
+	"wisdom/internal/yaml"
+)
+
+// SchemaError is one violation of the strict playbook/task schema.
+type SchemaError struct {
+	Path string // dotted location, e.g. "[0].tasks[1].apt.state"
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e SchemaError) Error() string { return e.Path + ": " + e.Msg }
+
+// Validator checks documents against the strict lint-style schema the paper
+// uses for its Schema Correct metric. As the paper notes, the schema is
+// stricter than Ansible itself: historical forms (legacy "k=v" arguments on
+// non-free-form modules, unqualified module names treated leniently by
+// Ansible, unknown parameters) are rejected.
+type Validator struct {
+	reg *Registry
+	// AllowUnknownModules accepts tasks whose module is not in the
+	// catalogue (their parameters then go unchecked). The strict linter
+	// behaviour used by Schema Correct leaves this false only for module
+	// *parameters*; unknown module names themselves are accepted when they
+	// are fully qualified, mirroring ansible-lint with offline schemas.
+	AllowUnknownModules bool
+}
+
+// NewValidator returns a Validator over the default module catalogue.
+func NewValidator() *Validator {
+	return &Validator{reg: DefaultRegistry(), AllowUnknownModules: true}
+}
+
+// ValidateTask checks one task mapping and returns every violation found.
+func (v *Validator) ValidateTask(n *yaml.Node) []SchemaError {
+	return v.validateTask(n, "task", false)
+}
+
+// ValidateTaskList checks a role-style list of tasks.
+func (v *Validator) ValidateTaskList(n *yaml.Node) []SchemaError {
+	if n == nil || n.Kind != yaml.SequenceNode {
+		return []SchemaError{{Path: "$", Msg: "task list must be a sequence"}}
+	}
+	if len(n.Items) == 0 {
+		return []SchemaError{{Path: "$", Msg: "task list is empty"}}
+	}
+	var errs []SchemaError
+	for i, item := range n.Items {
+		errs = append(errs, v.validateTask(item, fmt.Sprintf("[%d]", i), false)...)
+	}
+	return errs
+}
+
+// ValidatePlaybook checks a playbook: a non-empty sequence of plays.
+func (v *Validator) ValidatePlaybook(n *yaml.Node) []SchemaError {
+	if n == nil || n.Kind != yaml.SequenceNode {
+		return []SchemaError{{Path: "$", Msg: "playbook must be a sequence of plays"}}
+	}
+	if len(n.Items) == 0 {
+		return []SchemaError{{Path: "$", Msg: "playbook is empty"}}
+	}
+	var errs []SchemaError
+	for i, play := range n.Items {
+		errs = append(errs, v.validatePlay(play, fmt.Sprintf("[%d]", i))...)
+	}
+	return errs
+}
+
+// Valid reports whether a document passes as either a playbook or a task
+// list, the acceptance criterion of the Schema Correct metric.
+func (v *Validator) Valid(n *yaml.Node) bool {
+	if n == nil {
+		return false
+	}
+	if n.Kind == yaml.MappingNode {
+		return len(v.ValidateTask(n)) == 0
+	}
+	if LooksLikePlaybook(n) {
+		return len(v.ValidatePlaybook(n)) == 0
+	}
+	return len(v.ValidateTaskList(n)) == 0
+}
+
+func (v *Validator) validatePlay(n *yaml.Node, path string) []SchemaError {
+	if n == nil || n.Kind != yaml.MappingNode {
+		return []SchemaError{{Path: path, Msg: "play must be a mapping"}}
+	}
+	var errs []SchemaError
+	if !n.Has("hosts") && !n.Has("import_playbook") {
+		errs = append(errs, SchemaError{Path: path, Msg: "play is missing required key hosts"})
+	}
+	hasSection := false
+	for i, k := range n.Keys {
+		key, val := k.Value, n.Values[i]
+		switch {
+		case key == "import_playbook":
+			hasSection = true
+		case isTaskSection(key):
+			hasSection = true
+			if val == nil || val.Kind != yaml.SequenceNode {
+				errs = append(errs, SchemaError{Path: path + "." + key, Msg: "must be a sequence of tasks"})
+				continue
+			}
+			for j, task := range val.Items {
+				p := fmt.Sprintf("%s.%s[%d]", path, key, j)
+				errs = append(errs, v.validateTask(task, p, key == "handlers")...)
+			}
+		case key == "roles":
+			hasSection = true
+			errs = append(errs, v.validateRoles(val, path+".roles")...)
+		case IsPlayKeyword(key):
+			kw, _ := PlayKeyword(key)
+			errs = append(errs, checkType(val, kw.Type, path+"."+key)...)
+		default:
+			errs = append(errs, SchemaError{Path: path + "." + key, Msg: "unknown play keyword"})
+		}
+	}
+	if !hasSection {
+		errs = append(errs, SchemaError{Path: path, Msg: "play has no tasks, roles or handlers section"})
+	}
+	return errs
+}
+
+func (v *Validator) validateRoles(n *yaml.Node, path string) []SchemaError {
+	if n == nil || n.Kind != yaml.SequenceNode {
+		return []SchemaError{{Path: path, Msg: "roles must be a sequence"}}
+	}
+	var errs []SchemaError
+	for i, item := range n.Items {
+		p := fmt.Sprintf("%s[%d]", path, i)
+		switch item.Kind {
+		case yaml.ScalarNode:
+			if item.Tag != yaml.StrTag {
+				errs = append(errs, SchemaError{Path: p, Msg: "role name must be a string"})
+			}
+		case yaml.MappingNode:
+			if !item.Has("role") && !item.Has("name") {
+				errs = append(errs, SchemaError{Path: p, Msg: "role entry is missing role key"})
+			}
+		default:
+			errs = append(errs, SchemaError{Path: p, Msg: "role entry must be a string or mapping"})
+		}
+	}
+	return errs
+}
+
+func (v *Validator) validateTask(n *yaml.Node, path string, handler bool) []SchemaError {
+	if n == nil || n.Kind != yaml.MappingNode {
+		return []SchemaError{{Path: path, Msg: "task must be a mapping"}}
+	}
+	if n.Len() == 0 {
+		return []SchemaError{{Path: path, Msg: "task is empty"}}
+	}
+	t, err := AnalyzeTask(n, v.reg)
+	if err != nil {
+		return []SchemaError{{Path: path, Msg: err.Error()}}
+	}
+	var errs []SchemaError
+	if t.IsBlock {
+		for i, k := range n.Keys {
+			key, val := k.Value, n.Values[i]
+			switch {
+			case IsBlockKeyword(key):
+				if val == nil || val.Kind != yaml.SequenceNode || len(val.Items) == 0 {
+					errs = append(errs, SchemaError{Path: path + "." + key, Msg: "block section must be a non-empty sequence"})
+					continue
+				}
+				for j, inner := range val.Items {
+					errs = append(errs, v.validateTask(inner, fmt.Sprintf("%s.%s[%d]", path, key, j), handler)...)
+				}
+			case IsTaskKeyword(key):
+				kw, _ := TaskKeyword(key)
+				errs = append(errs, checkType(val, kw.Type, path+"."+key)...)
+			default:
+				errs = append(errs, SchemaError{Path: path + "." + key, Msg: "unknown block keyword"})
+			}
+		}
+		return errs
+	}
+
+	for i, k := range n.Keys {
+		key, val := k.Value, n.Values[i]
+		switch {
+		case key == t.ModuleKey:
+			errs = append(errs, v.validateModuleArgs(t, val, path+"."+key)...)
+		case IsTaskKeyword(key):
+			if key == "listen" && !handler {
+				errs = append(errs, SchemaError{Path: path + ".listen", Msg: "listen is only valid on handlers"})
+				continue
+			}
+			kw, _ := TaskKeyword(key)
+			errs = append(errs, checkType(val, kw.Type, path+"."+key)...)
+		default:
+			errs = append(errs, SchemaError{Path: path + "." + key, Msg: "unknown task keyword"})
+		}
+	}
+	if t.Module == nil {
+		// Unknown modules are accepted only when fully qualified (and
+		// only if the validator allows unknown modules at all): the
+		// strict schema has no way to check a bare unknown name.
+		if !v.AllowUnknownModules || strings.Count(t.ModuleKey, ".") < 2 {
+			errs = append(errs, SchemaError{Path: path + "." + t.ModuleKey, Msg: "unknown module " + t.ModuleKey})
+		}
+	}
+	return errs
+}
+
+func (v *Validator) validateModuleArgs(t *Task, val *yaml.Node, path string) []SchemaError {
+	m := t.Module
+	// Free-form usage: a scalar value.
+	if val != nil && val.Kind == yaml.ScalarNode {
+		if m == nil {
+			return nil
+		}
+		if m.FreeForm {
+			return nil
+		}
+		// The strict schema rejects the historical "k=v" string form.
+		return []SchemaError{{Path: path, Msg: "legacy string arguments are not accepted; use a parameter mapping"}}
+	}
+	if val == nil || val.IsNull() {
+		if m != nil && requiredParams(m) > 0 {
+			return []SchemaError{{Path: path, Msg: "missing required parameters"}}
+		}
+		return nil
+	}
+	if val.Kind != yaml.MappingNode {
+		return []SchemaError{{Path: path, Msg: "module arguments must be a mapping"}}
+	}
+	if m == nil {
+		return nil
+	}
+	var errs []SchemaError
+	seen := make(map[string]bool)
+	for i, k := range val.Keys {
+		name := k.Value
+		spec := m.Param(name)
+		if spec == nil {
+			if m.UnknownParams {
+				continue
+			}
+			errs = append(errs, SchemaError{Path: path + "." + name, Msg: "unknown parameter"})
+			continue
+		}
+		seen[spec.Name] = true
+		errs = append(errs, checkParam(val.Values[i], spec, path+"."+name)...)
+	}
+	for i := range m.Params {
+		spec := &m.Params[i]
+		if spec.Required && !seen[spec.Name] {
+			errs = append(errs, SchemaError{Path: path, Msg: "missing required parameter " + spec.Name})
+		}
+	}
+	for _, group := range m.MutuallyExclusive {
+		set := presentOf(group, seen)
+		if len(set) > 1 {
+			errs = append(errs, SchemaError{Path: path,
+				Msg: "parameters " + strings.Join(set, " and ") + " are mutually exclusive"})
+		}
+	}
+	for _, group := range m.RequiredOneOf {
+		if len(presentOf(group, seen)) == 0 {
+			errs = append(errs, SchemaError{Path: path,
+				Msg: "one of " + strings.Join(group, ", ") + " is required"})
+		}
+	}
+	return errs
+}
+
+// presentOf returns the members of group present in seen, in group order.
+func presentOf(group []string, seen map[string]bool) []string {
+	var out []string
+	for _, name := range group {
+		if seen[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func requiredParams(m *Module) int {
+	n := 0
+	for i := range m.Params {
+		if m.Params[i].Required {
+			n++
+		}
+	}
+	return n
+}
+
+// checkParam validates one parameter value against its spec.
+func checkParam(val *yaml.Node, spec *ParamSpec, path string) []SchemaError {
+	errs := checkType(val, spec.Type, path)
+	if len(errs) > 0 || len(spec.Choices) == 0 || val == nil || val.Kind != yaml.ScalarNode {
+		return errs
+	}
+	if isTemplated(val.Value) {
+		return nil
+	}
+	for _, c := range spec.Choices {
+		if val.Value == c {
+			return nil
+		}
+	}
+	return []SchemaError{{Path: path, Msg: fmt.Sprintf("value %q is not one of the accepted choices", val.Value)}}
+}
+
+// checkType validates a node against a ParamType. Jinja2-templated values
+// ("{{ ... }}") are accepted for any type, as the real schema does.
+func checkType(val *yaml.Node, t ParamType, path string) []SchemaError {
+	if val == nil || val.IsNull() || t == AnyParam {
+		return nil
+	}
+	if val.Kind == yaml.ScalarNode && isTemplated(val.Value) {
+		return nil
+	}
+	bad := func(want string) []SchemaError {
+		return []SchemaError{{Path: path, Msg: fmt.Sprintf("expected %s, found %s", want, describe(val))}}
+	}
+	switch t {
+	case StrParam, PathParam:
+		if val.Kind != yaml.ScalarNode {
+			return bad("a string")
+		}
+	case IntParam:
+		if val.Kind != yaml.ScalarNode || val.Tag != yaml.IntTag {
+			return bad("an integer")
+		}
+	case BoolParam:
+		if val.Kind != yaml.ScalarNode || val.Tag != yaml.BoolTag {
+			return bad("a boolean")
+		}
+	case ListParam:
+		// A single scalar is promoted to a one-element list by Ansible.
+		if val.Kind == yaml.MappingNode {
+			return bad("a list")
+		}
+	case DictParam:
+		if val.Kind != yaml.MappingNode {
+			return bad("a mapping")
+		}
+	}
+	return nil
+}
+
+func describe(n *yaml.Node) string {
+	if n.Kind == yaml.ScalarNode {
+		return "a " + n.Tag.String() + " scalar"
+	}
+	return "a " + n.Kind.String()
+}
+
+// isTemplated reports whether a scalar contains a Jinja2 expression.
+func isTemplated(v string) bool {
+	for i := 0; i+1 < len(v); i++ {
+		if v[i] == '{' && (v[i+1] == '{' || v[i+1] == '%') {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,254 @@
+package ansible
+
+import (
+	"testing"
+)
+
+func TestValidateTaskOK(t *testing.T) {
+	v := NewValidator()
+	good := []string{
+		"name: install nginx\nansible.builtin.apt:\n  name: nginx\n  state: present\n",
+		"name: run\nansible.builtin.shell: echo hello\n", // free-form OK
+		"ansible.builtin.debug:\n  msg: hi\n",            // name optional
+		"name: copy\nansible.builtin.copy:\n  dest: /etc/motd\n  content: hi\n  mode: '0644'\n",
+		"name: loop\nansible.builtin.user:\n  name: '{{ item }}'\n  state: present\nloop:\n  - alice\n  - bob\n",
+		"name: cond\nansible.builtin.service:\n  name: nginx\n  state: started\nwhen: start_nginx | bool\nbecome: true\n",
+		"name: templated choice\nansible.builtin.file:\n  path: /tmp/x\n  state: '{{ desired_state }}'\n",
+		"name: unknown module\nmy.custom.thing:\n  anything: goes\n",
+	}
+	for _, src := range good {
+		n := parseNode(t, src)
+		if errs := v.ValidateTask(n); len(errs) != 0 {
+			t.Errorf("ValidateTask(%q) = %v, want none", src, errs)
+		}
+	}
+}
+
+func TestValidateTaskBad(t *testing.T) {
+	v := NewValidator()
+	bad := map[string]string{
+		"name: x\nansible.builtin.apt:\n  name: nginx\n  bogus_param: 1\n":          "unknown parameter",
+		"name: x\nansible.builtin.apt: name=nginx state=present\n":                  "legacy string",
+		"name: x\nansible.builtin.apt:\n  name: nginx\n  state: sideways\n":         "not one of the accepted choices",
+		"name: x\nansible.builtin.copy:\n  src: a\n":                                "missing required parameter dest",
+		"name: x\nansible.builtin.apt:\n  name: nginx\nfrobnicate: yes\n":           "unknown task keyword",
+		"name: x\nansible.builtin.apt:\n  name: nginx\n  update_cache: sometimes\n": "expected a boolean",
+		"name: x\nansible.builtin.user:\n  name: bob\n  uid: abc\n":                 "expected an integer",
+		"name: x\nansible.builtin.apt:\n  name: nginx\nretries: many\n":             "expected an integer",
+		"name: x\nansible.builtin.debug:\n  msg: hi\nlisten: restart\n":             "listen is only valid on handlers",
+	}
+	for src, wantSub := range bad {
+		n := parseNode(t, src)
+		errs := v.ValidateTask(n)
+		if len(errs) == 0 {
+			t.Errorf("ValidateTask(%q) passed, want error containing %q", src, wantSub)
+			continue
+		}
+		found := false
+		for _, e := range errs {
+			if containsSub(e.Error(), wantSub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ValidateTask(%q) = %v, want message containing %q", src, errs, wantSub)
+		}
+	}
+}
+
+func TestValidatePlaybookOK(t *testing.T) {
+	v := NewValidator()
+	src := `- name: Network Setup Playbook
+  connection: ansible.netcommon.network_cli
+  gather_facts: false
+  hosts: all
+  tasks:
+    - name: Get config for VyOS devices
+      vyos.vyos.vyos_facts:
+        gather_subset: all
+    - name: Update the hostname
+      vyos.vyos.vyos_config:
+        backup: yes
+        lines:
+          - set system host-name vyos-changed
+`
+	n := parseNode(t, src)
+	if errs := v.ValidatePlaybook(n); len(errs) != 0 {
+		t.Errorf("paper Fig.2 playbook rejected: %v", errs)
+	}
+}
+
+func TestValidatePlaybookBad(t *testing.T) {
+	v := NewValidator()
+	bad := map[string]string{
+		"- tasks:\n    - ansible.builtin.debug:\n        msg: hi\n": "missing required key hosts",
+		"- hosts: all\n": "no tasks, roles or handlers",
+		"- hosts: all\n  bogus_keyword: 1\n  tasks:\n    - ansible.builtin.debug:\n        msg: x\n": "unknown play keyword",
+		"- hosts: all\n  tasks: not-a-list\n":                                                        "must be a sequence of tasks",
+		"key: value\n":                                                                               "must be a sequence",
+	}
+	for src, wantSub := range bad {
+		n := parseNode(t, src)
+		errs := v.ValidatePlaybook(n)
+		found := false
+		for _, e := range errs {
+			if containsSub(e.Error(), wantSub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ValidatePlaybook(%q) = %v, want %q", src, errs, wantSub)
+		}
+	}
+}
+
+func TestValidateBlocks(t *testing.T) {
+	v := NewValidator()
+	src := `name: install and verify
+block:
+  - name: install
+    ansible.builtin.apt:
+      name: nginx
+      state: present
+rescue:
+  - name: report
+    ansible.builtin.debug:
+      msg: install failed
+always:
+  - name: cleanup
+    ansible.builtin.file:
+      path: /tmp/lock
+      state: absent
+when: ansible_os_family == 'Debian'
+`
+	n := parseNode(t, src)
+	if errs := v.ValidateTask(n); len(errs) != 0 {
+		t.Errorf("block task rejected: %v", errs)
+	}
+
+	badSrc := "block: not-a-list\n"
+	n = parseNode(t, badSrc)
+	if errs := v.ValidateTask(n); len(errs) == 0 {
+		t.Error("scalar block accepted")
+	}
+}
+
+func TestValidateHandlersListen(t *testing.T) {
+	v := NewValidator()
+	src := `- hosts: all
+  tasks:
+    - name: t
+      ansible.builtin.debug:
+        msg: x
+  handlers:
+    - name: restart nginx
+      ansible.builtin.service:
+        name: nginx
+        state: restarted
+      listen: restart web stack
+`
+	n := parseNode(t, src)
+	if errs := v.ValidatePlaybook(n); len(errs) != 0 {
+		t.Errorf("listen on handler rejected: %v", errs)
+	}
+}
+
+func TestValidateTaskList(t *testing.T) {
+	v := NewValidator()
+	src := `- name: Ensure apache is at the latest version
+  ansible.builtin.yum:
+    name: httpd
+    state: latest
+- name: Write the apache config file
+  ansible.builtin.template:
+    src: /srv/httpd.j2
+    dest: /etc/httpd.conf
+`
+	n := parseNode(t, src)
+	if errs := v.ValidateTaskList(n); len(errs) != 0 {
+		t.Errorf("paper Fig.2c task list rejected: %v", errs)
+	}
+	if !v.Valid(n) {
+		t.Error("Valid() = false for good task list")
+	}
+	if v.Valid(parseNode(t, "just a string\n")) {
+		t.Error("Valid() = true for scalar")
+	}
+}
+
+func TestValidateRoles(t *testing.T) {
+	v := NewValidator()
+	src := `- hosts: web
+  roles:
+    - common
+    - role: nginx
+      vars:
+        port: 80
+`
+	n := parseNode(t, src)
+	if errs := v.ValidatePlaybook(n); len(errs) != 0 {
+		t.Errorf("roles play rejected: %v", errs)
+	}
+	bad := parseNode(t, "- hosts: web\n  roles:\n    - 42\n")
+	if errs := v.ValidatePlaybook(bad); len(errs) == 0 {
+		t.Error("numeric role accepted")
+	}
+}
+
+func containsSub(s, sub string) bool {
+	return len(sub) == 0 || len(s) >= len(sub) && contains(s, sub)
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMutuallyExclusiveParams(t *testing.T) {
+	v := NewValidator()
+	// copy with both src and content: rejected.
+	bad := parseNode(t, "name: x\nansible.builtin.copy:\n  dest: /etc/motd\n  src: motd\n  content: hi\n")
+	found := false
+	for _, e := range v.ValidateTask(bad) {
+		if contains(e.Error(), "mutually exclusive") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("src+content accepted on copy")
+	}
+	// debug with both msg and var: rejected.
+	bad = parseNode(t, "ansible.builtin.debug:\n  msg: hi\n  var: result\n")
+	if len(v.ValidateTask(bad)) == 0 {
+		t.Error("msg+var accepted on debug")
+	}
+	// lineinfile with both insertafter and insertbefore: rejected.
+	bad = parseNode(t, "ansible.builtin.lineinfile:\n  path: /etc/hosts\n  line: x\n  insertafter: EOF\n  insertbefore: BOF\n")
+	if len(v.ValidateTask(bad)) == 0 {
+		t.Error("insertafter+insertbefore accepted")
+	}
+}
+
+func TestRequiredOneOfParams(t *testing.T) {
+	v := NewValidator()
+	// copy with neither src nor content: rejected.
+	bad := parseNode(t, "name: x\nansible.builtin.copy:\n  dest: /etc/motd\n  mode: '0644'\n")
+	found := false
+	for _, e := range v.ValidateTask(bad) {
+		if contains(e.Error(), "is required") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("copy without src/content accepted")
+	}
+	// With exactly one of them: accepted.
+	good := parseNode(t, "name: x\nansible.builtin.copy:\n  dest: /etc/motd\n  content: hi\n")
+	if errs := v.ValidateTask(good); len(errs) != 0 {
+		t.Errorf("valid copy rejected: %v", errs)
+	}
+}

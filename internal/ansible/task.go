@@ -1,0 +1,323 @@
+package ansible
+
+import (
+	"fmt"
+	"strings"
+
+	"wisdom/internal/yaml"
+)
+
+// Task is the analysed view of one task mapping: its module, arguments and
+// execution keywords, referencing (not copying) the underlying YAML nodes.
+type Task struct {
+	// Node is the task's mapping node.
+	Node *yaml.Node
+	// Name is the value of the "name" field, empty when absent.
+	Name string
+	// ModuleKey is the module key exactly as written ("apt" or
+	// "ansible.builtin.apt"); empty for block tasks.
+	ModuleKey string
+	// FQCN is the canonical module name; equals ModuleKey when unknown.
+	FQCN string
+	// Module is the catalogue entry, nil when the module is unknown.
+	Module *Module
+	// Args is the module's argument node: a mapping, or a scalar for
+	// free-form / legacy "k=v" usage.
+	Args *yaml.Node
+	// IsBlock marks tasks defined by block/rescue/always sections.
+	IsBlock bool
+}
+
+// AnalyzeTask classifies the keys of a task mapping. It is tolerant: an
+// unknown non-keyword key containing a dot (or the single unknown non-keyword
+// key) is taken as the module, matching how Ansible itself resolves actions.
+func AnalyzeTask(n *yaml.Node, reg *Registry) (*Task, error) {
+	if n == nil || n.Kind != yaml.MappingNode {
+		return nil, fmt.Errorf("ansible: task is not a mapping")
+	}
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	t := &Task{Node: n}
+	if name := n.Get("name"); name != nil && name.Kind == yaml.ScalarNode {
+		t.Name = name.Value
+	}
+	var unknown []int
+	for i, k := range n.Keys {
+		if k.Kind != yaml.ScalarNode {
+			return nil, fmt.Errorf("ansible: non-scalar task key")
+		}
+		key := k.Value
+		switch {
+		case IsBlockKeyword(key):
+			t.IsBlock = true
+		case IsTaskKeyword(key):
+			// execution keyword
+		case reg.IsModule(key):
+			if t.ModuleKey != "" {
+				return nil, fmt.Errorf("ansible: task has two module keys: %s and %s", t.ModuleKey, key)
+			}
+			t.ModuleKey = key
+			t.Args = n.Values[i]
+		default:
+			unknown = append(unknown, i)
+		}
+	}
+	if t.IsBlock {
+		if t.ModuleKey != "" {
+			return nil, fmt.Errorf("ansible: block task also names module %s", t.ModuleKey)
+		}
+		return t, nil
+	}
+	// Resolve a module among unknown keys when none matched the catalogue.
+	if t.ModuleKey == "" {
+		for _, i := range unknown {
+			key := n.Keys[i].Value
+			if strings.Contains(key, ".") || len(unknown) == 1 {
+				t.ModuleKey = key
+				t.Args = n.Values[i]
+				break
+			}
+		}
+	}
+	if t.ModuleKey == "" {
+		return nil, fmt.Errorf("ansible: task has no module key")
+	}
+	t.FQCN = reg.Canonical(t.ModuleKey)
+	t.Module, _ = reg.Lookup(t.ModuleKey)
+	return t, nil
+}
+
+// Keywords returns the task's execution keyword entries (excluding name and
+// the module key) in document order.
+func (t *Task) Keywords() (keys []string, values []*yaml.Node) {
+	for i, k := range t.Node.Keys {
+		key := k.Value
+		if key == "name" || key == t.ModuleKey {
+			continue
+		}
+		if IsTaskKeyword(key) || IsBlockKeyword(key) {
+			keys = append(keys, key)
+			values = append(values, t.Node.Values[i])
+		}
+	}
+	return keys, values
+}
+
+// ParseKV parses the legacy "k1=v1 k2=v2" module-argument syntax into an
+// ordered list of pairs. Values may be single- or double-quoted to contain
+// spaces. Tokens without "=" are returned in freeForm (joined by spaces), as
+// for command/shell where the command itself is free text.
+func ParseKV(s string) (pairs [][2]string, freeForm string) {
+	var free []string
+	for _, tok := range splitKVTokens(s) {
+		eq := strings.IndexByte(tok, '=')
+		if eq <= 0 {
+			free = append(free, tok)
+			continue
+		}
+		key, val := tok[:eq], tok[eq+1:]
+		if !isIdentifier(key) {
+			free = append(free, tok)
+			continue
+		}
+		val = unquoteKV(val)
+		pairs = append(pairs, [2]string{key, val})
+	}
+	return pairs, strings.Join(free, " ")
+}
+
+// splitKVTokens splits on spaces outside quotes.
+func splitKVTokens(s string) []string {
+	var toks []string
+	var cur strings.Builder
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+			cur.WriteByte(c)
+		case c == '"' && !inSingle:
+			inDouble = !inDouble
+			cur.WriteByte(c)
+		case c == ' ' && !inSingle && !inDouble:
+			if cur.Len() > 0 {
+				toks = append(toks, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		toks = append(toks, cur.String())
+	}
+	return toks
+}
+
+func unquoteKV(v string) string {
+	if len(v) >= 2 {
+		if (v[0] == '\'' && v[len(v)-1] == '\'') || (v[0] == '"' && v[len(v)-1] == '"') {
+			return v[1 : len(v)-1]
+		}
+	}
+	return v
+}
+
+func isIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || (i > 0 && c >= '0' && c <= '9') {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// NormalizeTask returns a normalised deep copy of a task node, applying the
+// two normalisations the paper's Ansible Aware metric specifies:
+//
+//   - module names are replaced by their FQCN (copy -> ansible.builtin.copy);
+//   - legacy "k1=v1 k2=v2" argument strings are converted to a dict; for
+//     free-form modules the residual command text becomes the "cmd"
+//     parameter (or "_raw_params" when the module has no cmd parameter).
+//
+// Nodes that do not analyse as tasks are returned as plain deep copies.
+func NormalizeTask(n *yaml.Node, reg *Registry) *yaml.Node {
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	t, err := AnalyzeTask(n, reg)
+	if err != nil {
+		return n.Clone()
+	}
+	out := yaml.Mapping()
+	out.Line, out.Col = n.Line, n.Col
+	for i, k := range n.Keys {
+		key, val := k.Value, n.Values[i]
+		if t.IsBlock && IsBlockKeyword(key) {
+			// Recursively normalise the tasks inside block sections.
+			section := yaml.Sequence()
+			if val != nil && val.Kind == yaml.SequenceNode {
+				for _, item := range val.Items {
+					section.Items = append(section.Items, NormalizeTask(item, reg))
+				}
+			}
+			out.Set(key, section)
+			continue
+		}
+		if key != t.ModuleKey {
+			out.Set(key, val.Clone())
+			continue
+		}
+		out.Set(t.FQCN, normalizeArgs(t, val))
+	}
+	return out
+}
+
+// normalizeArgs converts legacy string arguments into a parameter mapping.
+func normalizeArgs(t *Task, val *yaml.Node) *yaml.Node {
+	if val == nil || val.Kind != yaml.ScalarNode || val.Tag != yaml.StrTag {
+		return val.Clone()
+	}
+	pairs, free := ParseKV(val.Value)
+	freeForm := t.Module != nil && t.Module.FreeForm
+	if len(pairs) == 0 && freeForm {
+		// Pure free-form command: canonical form keeps the scalar.
+		return val.Clone()
+	}
+	if len(pairs) == 0 {
+		return val.Clone()
+	}
+	m := yaml.Mapping()
+	if free != "" {
+		key := "_raw_params"
+		if t.Module != nil && t.Module.Param("cmd") != nil {
+			key = "cmd"
+		}
+		m.Set(key, yaml.ScalarTyped(free, yaml.StrTag, yaml.Plain))
+	}
+	for _, kv := range pairs {
+		m.Set(kv[0], yaml.Scalar(kv[1]))
+	}
+	return m
+}
+
+// NormalizePlaybook returns a normalised deep copy of a playbook node,
+// normalising every task in tasks/pre_tasks/post_tasks/handlers sections of
+// every play.
+func NormalizePlaybook(n *yaml.Node, reg *Registry) *yaml.Node {
+	if n == nil || n.Kind != yaml.SequenceNode {
+		return n.Clone()
+	}
+	out := yaml.Sequence()
+	for _, play := range n.Items {
+		if play.Kind != yaml.MappingNode {
+			out.Items = append(out.Items, play.Clone())
+			continue
+		}
+		np := yaml.Mapping()
+		for i, k := range play.Keys {
+			key, val := k.Value, play.Values[i]
+			if isTaskSection(key) && val != nil && val.Kind == yaml.SequenceNode {
+				section := yaml.Sequence()
+				for _, task := range val.Items {
+					section.Items = append(section.Items, NormalizeTask(task, reg))
+				}
+				np.Set(key, section)
+				continue
+			}
+			np.Set(key, val.Clone())
+		}
+		out.Items = append(out.Items, np)
+	}
+	return out
+}
+
+// isTaskSection reports whether a play key holds a list of tasks.
+func isTaskSection(key string) bool {
+	switch key {
+	case "tasks", "pre_tasks", "post_tasks", "handlers":
+		return true
+	}
+	return false
+}
+
+// LooksLikePlaybook reports whether a parsed document is shaped like a
+// playbook: a sequence whose mapping items carry play keywords such as hosts.
+func LooksLikePlaybook(n *yaml.Node) bool {
+	if n == nil || n.Kind != yaml.SequenceNode || len(n.Items) == 0 {
+		return false
+	}
+	for _, item := range n.Items {
+		if item.Kind != yaml.MappingNode {
+			return false
+		}
+		if !item.Has("hosts") && !item.Has("import_playbook") {
+			return false
+		}
+	}
+	return true
+}
+
+// LooksLikeTaskList reports whether a parsed document is shaped like a role
+// task file: a sequence of task mappings (and not a playbook).
+func LooksLikeTaskList(n *yaml.Node) bool {
+	if n == nil || n.Kind != yaml.SequenceNode || len(n.Items) == 0 {
+		return false
+	}
+	if LooksLikePlaybook(n) {
+		return false
+	}
+	for _, item := range n.Items {
+		if item.Kind != yaml.MappingNode || item.Len() == 0 {
+			return false
+		}
+	}
+	return true
+}

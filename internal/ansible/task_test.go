@@ -1,0 +1,224 @@
+package ansible
+
+import (
+	"testing"
+
+	"wisdom/internal/yaml"
+)
+
+func parseNode(t *testing.T, src string) *yaml.Node {
+	t.Helper()
+	n, err := yaml.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return n
+}
+
+func TestAnalyzeTask(t *testing.T) {
+	n := parseNode(t, `name: Install nginx
+ansible.builtin.apt:
+  name: nginx
+  state: present
+become: true
+when: ansible_os_family == 'Debian'
+`)
+	task, err := AnalyzeTask(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Name != "Install nginx" {
+		t.Errorf("Name = %q", task.Name)
+	}
+	if task.ModuleKey != "ansible.builtin.apt" || task.FQCN != "ansible.builtin.apt" {
+		t.Errorf("module = %q / %q", task.ModuleKey, task.FQCN)
+	}
+	if task.Module == nil || task.Args == nil || task.Args.Get("state").Value != "present" {
+		t.Errorf("args = %+v", task.Args)
+	}
+	keys, _ := task.Keywords()
+	if len(keys) != 2 || keys[0] != "become" || keys[1] != "when" {
+		t.Errorf("keywords = %v", keys)
+	}
+}
+
+func TestAnalyzeTaskShortName(t *testing.T) {
+	n := parseNode(t, "name: copy file\ncopy:\n  src: a\n  dest: /b\n")
+	task, err := AnalyzeTask(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.FQCN != "ansible.builtin.copy" || task.ModuleKey != "copy" {
+		t.Errorf("got %q / %q", task.ModuleKey, task.FQCN)
+	}
+}
+
+func TestAnalyzeTaskUnknownDottedModule(t *testing.T) {
+	n := parseNode(t, "name: x\nmy.collection.widget:\n  opt: 1\n")
+	task, err := AnalyzeTask(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.FQCN != "my.collection.widget" || task.Module != nil {
+		t.Errorf("got %q module=%v", task.FQCN, task.Module)
+	}
+}
+
+func TestAnalyzeTaskBlock(t *testing.T) {
+	n := parseNode(t, `name: handle failures
+block:
+  - name: try
+    ansible.builtin.command: /bin/true
+rescue:
+  - name: recover
+    ansible.builtin.debug:
+      msg: failed
+`)
+	task, err := AnalyzeTask(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !task.IsBlock || task.ModuleKey != "" {
+		t.Errorf("block = %v, module = %q", task.IsBlock, task.ModuleKey)
+	}
+}
+
+func TestAnalyzeTaskErrors(t *testing.T) {
+	for _, src := range []string{
+		"- a\n- b\n",                         // not a mapping
+		"name: only a name\n",                // no module
+		"apt:\n  name: x\nyum:\n  name: y\n", // two modules
+	} {
+		n := parseNode(t, src)
+		if _, err := AnalyzeTask(n, nil); err == nil {
+			t.Errorf("AnalyzeTask(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseKV(t *testing.T) {
+	pairs, free := ParseKV("name=httpd state=latest")
+	if len(pairs) != 2 || pairs[0] != [2]string{"name", "httpd"} || pairs[1] != [2]string{"state", "latest"} {
+		t.Errorf("pairs = %v", pairs)
+	}
+	if free != "" {
+		t.Errorf("free = %q", free)
+	}
+
+	pairs, free = ParseKV(`content='hello world' dest="/etc/motd"`)
+	if len(pairs) != 2 || pairs[0][1] != "hello world" || pairs[1][1] != "/etc/motd" {
+		t.Errorf("quoted pairs = %v", pairs)
+	}
+	_ = free
+
+	pairs, free = ParseKV("echo hello chdir=/tmp")
+	if free != "echo hello" || len(pairs) != 1 || pairs[0][0] != "chdir" {
+		t.Errorf("free-form: pairs=%v free=%q", pairs, free)
+	}
+
+	// Equals inside the command should not create bogus pairs.
+	pairs, free = ParseKV("export PATH=/usr/bin && run")
+	if free == "" {
+		t.Errorf("expected free-form text, got pairs=%v", pairs)
+	}
+}
+
+func TestNormalizeTaskFQCN(t *testing.T) {
+	n := parseNode(t, "name: copy\ncopy:\n  src: a\n  dest: /b\n")
+	out := NormalizeTask(n, nil)
+	if !out.Has("ansible.builtin.copy") || out.Has("copy") {
+		t.Errorf("normalised keys: %v", keysOf(out))
+	}
+	// Original untouched.
+	if !n.Has("copy") {
+		t.Error("NormalizeTask mutated its input")
+	}
+}
+
+func TestNormalizeTaskKV(t *testing.T) {
+	n := parseNode(t, "name: install\nyum: name=httpd state=latest\n")
+	out := NormalizeTask(n, nil)
+	args := out.Get("ansible.builtin.yum")
+	if args == nil || args.Kind != yaml.MappingNode {
+		t.Fatalf("args = %+v", args)
+	}
+	if args.Get("name").Value != "httpd" || args.Get("state").Value != "latest" {
+		t.Errorf("args = %v", yaml.Marshal(args))
+	}
+}
+
+func TestNormalizeTaskFreeFormPreserved(t *testing.T) {
+	n := parseNode(t, "name: run\nshell: echo hello\n")
+	out := NormalizeTask(n, nil)
+	args := out.Get("ansible.builtin.shell")
+	if args == nil || args.Kind != yaml.ScalarNode || args.Value != "echo hello" {
+		t.Errorf("args = %+v", args)
+	}
+}
+
+func TestNormalizeTaskFreeFormWithKV(t *testing.T) {
+	n := parseNode(t, "name: run\nshell: echo hello chdir=/tmp\n")
+	out := NormalizeTask(n, nil)
+	args := out.Get("ansible.builtin.shell")
+	if args == nil || args.Kind != yaml.MappingNode {
+		t.Fatalf("args = %+v", args)
+	}
+	if args.Get("cmd").Value != "echo hello" || args.Get("chdir").Value != "/tmp" {
+		t.Errorf("args = %v", yaml.Marshal(args))
+	}
+}
+
+func TestNormalizeTaskBlock(t *testing.T) {
+	n := parseNode(t, `block:
+  - name: inner
+    copy: src=a dest=/b
+`)
+	out := NormalizeTask(n, nil)
+	inner := out.Get("block").Items[0]
+	if !inner.Has("ansible.builtin.copy") {
+		t.Errorf("inner = %v", yaml.Marshal(inner))
+	}
+}
+
+func TestNormalizePlaybook(t *testing.T) {
+	n := parseNode(t, `- hosts: all
+  tasks:
+    - name: install
+      apt: name=nginx state=present
+  handlers:
+    - name: restart
+      service: name=nginx state=restarted
+`)
+	out := NormalizePlaybook(n, nil)
+	task := out.Items[0].Get("tasks").Items[0]
+	if !task.Has("ansible.builtin.apt") {
+		t.Errorf("task = %v", yaml.Marshal(task))
+	}
+	h := out.Items[0].Get("handlers").Items[0]
+	if !h.Has("ansible.builtin.service") {
+		t.Errorf("handler = %v", yaml.Marshal(h))
+	}
+}
+
+func TestLooksLike(t *testing.T) {
+	pb := parseNode(t, "- hosts: all\n  tasks:\n    - ansible.builtin.debug:\n        msg: hi\n")
+	if !LooksLikePlaybook(pb) || LooksLikeTaskList(pb) {
+		t.Error("playbook misclassified")
+	}
+	tl := parseNode(t, "- name: a\n  ansible.builtin.debug:\n    msg: hi\n")
+	if LooksLikePlaybook(tl) || !LooksLikeTaskList(tl) {
+		t.Error("task list misclassified")
+	}
+	scalar := parseNode(t, "just a string\n")
+	if LooksLikePlaybook(scalar) || LooksLikeTaskList(scalar) {
+		t.Error("scalar misclassified")
+	}
+}
+
+func keysOf(n *yaml.Node) []string {
+	var out []string
+	for _, k := range n.Keys {
+		out = append(out, k.Value)
+	}
+	return out
+}

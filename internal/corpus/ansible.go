@@ -1,0 +1,239 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wisdom/internal/yaml"
+)
+
+// blockRate is the fraction of role tasks rendered as block/rescue tasks —
+// the Ansible Blocks coverage the paper lists as future work; kept low to
+// match their rarity in Galaxy.
+const blockRate = 0.04
+
+// RoleTaskFile generates a role-style list of tasks (the dominant Ansible
+// file kind in Galaxy) and returns its YAML source.
+func RoleTaskFile(r *rand.Rand, st Style) string {
+	n := 2 + r.Intn(6)
+	return roleTaskFileN(r, st, n)
+}
+
+func roleTaskFileN(r *rand.Rand, st Style, n int) string {
+	v := &vocab{r: r}
+	seq := yaml.Sequence()
+	for i := 0; i < n; i++ {
+		if v.chance(blockRate) {
+			seq.Items = append(seq.Items, blockTask(r, st))
+			continue
+		}
+		seq.Items = append(seq.Items, renderTask(r, drawTask(r), st))
+	}
+	return yaml.MarshalDocument(seq)
+}
+
+// blockTask renders a block/rescue task: an attempted task with a debug
+// fallback, the dominant block pattern in real roles.
+func blockTask(r *rand.Rand, st Style) *yaml.Node {
+	v := &vocab{r: r}
+	attempt := renderTask(r, drawTask(r), st)
+	inner := attempt.Get("name")
+	name := "Attempt risky change"
+	if inner != nil {
+		name = inner.Value + " with fallback"
+	}
+	rescueTask := yaml.Mapping().
+		Set("name", yaml.ScalarTyped("Report failure", yaml.StrTag, yaml.Plain)).
+		Set("ansible.builtin.debug", m("msg", "task failed, continuing"))
+	task := yaml.Mapping()
+	task.Set("name", yaml.ScalarTyped(name, yaml.StrTag, yaml.Plain))
+	task.Set("block", yaml.Sequence(attempt))
+	task.Set("rescue", yaml.Sequence(rescueTask))
+	if v.chance(0.3) {
+		task.Set("when", yaml.ScalarTyped(v.pick(whenConditions), yaml.StrTag, yaml.Plain))
+	}
+	return task
+}
+
+// Playbook generates a playbook. Mirroring the paper's observation about
+// Galaxy, most generated playbooks are small: one play with one or two
+// tasks dominates; some carry handlers and vars.
+func Playbook(r *rand.Rand, st Style) string {
+	v := &vocab{r: r}
+	pb := yaml.Sequence()
+	pb.Items = append(pb.Items, playNode(r, v, st))
+	if v.chance(0.07) {
+		pb.Items = append(pb.Items, playNode(r, v, st))
+	}
+	return yaml.MarshalDocument(pb)
+}
+
+func playNode(r *rand.Rand, v *vocab, st Style) *yaml.Node {
+	play := yaml.Mapping()
+	if v.chance(0.8) {
+		play.Set("name", yaml.ScalarTyped(playName(v), yaml.StrTag, yaml.Plain))
+	}
+	play.Set("hosts", yaml.ScalarTyped(v.pick(hostPatterns), yaml.StrTag, yaml.Plain))
+	if v.chance(0.35) {
+		play.Set("become", yaml.BoolScalar(true))
+	}
+	if v.chance(0.25) {
+		play.Set("gather_facts", yaml.BoolScalar(v.chance(0.3)))
+	}
+	if v.chance(0.2) {
+		vars := yaml.Mapping()
+		for i := 0; i < 1+r.Intn(3); i++ {
+			vars.Set(v.pick(varNames), yaml.IntScalar(r.Intn(1000)))
+		}
+		play.Set("vars", vars)
+	}
+	// Task count skews tiny, as the paper notes of Galaxy playbooks —
+	// but a quarter of playbooks carry more than two tasks, the slice
+	// that feeds the PB+NL→T generation type.
+	nTasks := 1
+	switch {
+	case v.chance(0.25):
+		nTasks = 3 + r.Intn(3)
+	case v.chance(0.45):
+		nTasks = 2
+	}
+	tasks := yaml.Sequence()
+	var handlerDrafts []taskDraft
+	for i := 0; i < nTasks; i++ {
+		d := drawTask(r)
+		t := renderTask(r, d, st)
+		if notify := t.Get("notify"); notify != nil && notify.Kind == yaml.ScalarNode {
+			handlerDrafts = append(handlerDrafts, handlerFor(notify.Value))
+		}
+		tasks.Items = append(tasks.Items, t)
+	}
+	play.Set("tasks", tasks)
+	if len(handlerDrafts) > 0 {
+		handlers := yaml.Sequence()
+		for _, d := range handlerDrafts {
+			h := yaml.Mapping()
+			h.Set("name", yaml.ScalarTyped(d.name, yaml.StrTag, yaml.Plain))
+			h.Set(d.fqcn, d.args)
+			handlers.Items = append(handlers.Items, h)
+		}
+		play.Set("handlers", handlers)
+	}
+	return play
+}
+
+// handlerFor builds the restart handler matching a notify value like
+// "restart nginx".
+func handlerFor(notify string) taskDraft {
+	svc := shortPath(notify) // last word
+	for i := len(notify) - 1; i >= 0; i-- {
+		if notify[i] == ' ' {
+			svc = notify[i+1:]
+			break
+		}
+	}
+	if svc == "systemd" || notify == "reload systemd" {
+		return taskDraft{name: notify, fqcn: "ansible.builtin.systemd",
+			args: m("daemon_reload", true)}
+	}
+	state := "restarted"
+	if len(notify) >= 6 && notify[:6] == "reload" {
+		state = "reloaded"
+	}
+	return taskDraft{name: notify, fqcn: "ansible.builtin.service",
+		args: m("name", svc, "state", state)}
+}
+
+func playName(v *vocab) string {
+	verbs := []string{"Configure", "Deploy", "Provision", "Set up", "Bootstrap", "Harden", "Update"}
+	things := []string{"web servers", "database servers", "application nodes", "the monitoring stack",
+		"load balancers", "docker hosts", "the staging environment", "worker nodes"}
+	return fmt.Sprintf("%s %s", v.pick(verbs), v.pick(things))
+}
+
+// AnsibleFile generates one Ansible file: a playbook with probability
+// pbRatio, otherwise a role task file.
+func AnsibleFile(r *rand.Rand, st Style, pbRatio float64) (text string, isPlaybook bool) {
+	if r.Float64() < pbRatio {
+		return Playbook(r, st), true
+	}
+	return RoleTaskFile(r, st), false
+}
+
+var roleNames = []string{
+	"common", "nginx", "postgresql", "docker", "monitoring", "firewall",
+	"users", "backup", "hardening", "redis", "haproxy", "app_deploy",
+}
+
+var galaxyPlatforms = []string{"Ubuntu", "EL", "Debian", "Fedora"}
+var galaxyTags = []string{"web", "database", "system", "networking", "security", "monitoring", "cloud"}
+
+// Role generates a complete Galaxy-style role: tasks/main.yml, usually a
+// handlers file, and the defaults/meta files the paper's pipeline filters
+// out ("we extracted only playbooks containing tasks, and lists of tasks
+// from roles" — this generator supplies the files that extraction must
+// skip). Paths are rooted at roles/<name>/.
+func Role(r *rand.Rand, name string, st Style) []File {
+	v := &vocab{r: r}
+	base := "roles/" + name + "/"
+	files := []File{{
+		Source: "galaxy",
+		Path:   base + "tasks/main.yml",
+		Kind:   AnsibleTasks,
+		Text:   RoleTaskFile(r, st),
+	}}
+	if v.chance(0.6) {
+		handlers := yaml.Sequence()
+		for i := 0; i < 1+r.Intn(2); i++ {
+			d := handlerFor(v.pick(notifyHandlers))
+			h := yaml.Mapping().
+				Set("name", yaml.ScalarTyped(d.name, yaml.StrTag, yaml.Plain)).
+				Set(d.fqcn, d.args)
+			handlers.Items = append(handlers.Items, h)
+		}
+		files = append(files, File{
+			Source: "galaxy",
+			Path:   base + "handlers/main.yml",
+			Kind:   AnsibleTasks,
+			Text:   yaml.MarshalDocument(handlers),
+		})
+	}
+	if v.chance(0.7) {
+		defaults := yaml.Mapping()
+		for i := 0; i < 1+r.Intn(4); i++ {
+			defaults.Set(name+"_"+v.pick(varNames), yaml.IntScalar(r.Intn(1000)))
+		}
+		files = append(files, File{
+			Source: "galaxy",
+			Path:   base + "defaults/main.yml",
+			Kind:   GenericYAML,
+			Text:   yaml.MarshalDocument(defaults),
+		})
+	}
+	meta := yaml.Mapping().Set("galaxy_info", yaml.Mapping().
+		Set("author", yaml.Scalar(v.pick(users))).
+		Set("description", yaml.Scalar("Role to manage "+name)).
+		Set("license", yaml.Scalar(v.pick([]string{"MIT", "GPL-3.0", "Apache-2.0"}))).
+		Set("min_ansible_version", yaml.ScalarTyped("2.9", yaml.StrTag, yaml.SingleQuoted)).
+		Set("platforms", yaml.Sequence(yaml.Mapping().
+			Set("name", yaml.Scalar(v.pick(galaxyPlatforms))).
+			Set("versions", seqOf("all")))).
+		Set("galaxy_tags", seqOf(v.pick(galaxyTags))))
+	files = append(files, File{
+		Source: "galaxy",
+		Path:   base + "meta/main.yml",
+		Kind:   GenericYAML,
+		Text:   yaml.MarshalDocument(meta),
+	})
+	return files
+}
+
+// GalaxyRoles generates n complete roles (each 2-4 files).
+func GalaxyRoles(seed int64, n int) []File {
+	r := rand.New(rand.NewSource(seed))
+	var files []File
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s%02d", roleNames[r.Intn(len(roleNames))], i)
+		files = append(files, Role(r, name, GalaxyStyle)...)
+	}
+	return files
+}

@@ -1,0 +1,367 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wisdom/internal/ansible"
+	"wisdom/internal/yaml"
+)
+
+func TestRoleTaskFileParsesAndValidates(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	v := ansible.NewValidator()
+	for i := 0; i < 100; i++ {
+		src := RoleTaskFile(r, GalaxyStyle)
+		n, err := yaml.Parse(src)
+		if err != nil {
+			t.Fatalf("generated task file does not parse: %v\n%s", err, src)
+		}
+		if !ansible.LooksLikeTaskList(n) {
+			t.Fatalf("not a task list:\n%s", src)
+		}
+		// Galaxy-style output must be schema-clean: it is the vetted corpus.
+		if errs := v.ValidateTaskList(n); len(errs) != 0 {
+			t.Fatalf("galaxy-style task file fails schema: %v\n%s", errs, src)
+		}
+	}
+}
+
+func TestPlaybookParsesAndValidates(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	v := ansible.NewValidator()
+	for i := 0; i < 100; i++ {
+		src := Playbook(r, GalaxyStyle)
+		n, err := yaml.Parse(src)
+		if err != nil {
+			t.Fatalf("generated playbook does not parse: %v\n%s", err, src)
+		}
+		if !ansible.LooksLikePlaybook(n) {
+			t.Fatalf("not a playbook:\n%s", src)
+		}
+		if errs := v.ValidatePlaybook(n); len(errs) != 0 {
+			t.Fatalf("galaxy-style playbook fails schema: %v\n%s", errs, src)
+		}
+	}
+}
+
+func TestCrawlStyleStillParses(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		src := RoleTaskFile(r, CrawlStyle)
+		if _, err := yaml.Parse(src); err != nil {
+			t.Fatalf("crawl-style file does not parse: %v\n%s", err, src)
+		}
+	}
+}
+
+func TestCrawlStyleContainsLegacyForms(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	legacy, short := 0, 0
+	for i := 0; i < 200; i++ {
+		src := RoleTaskFile(r, CrawlStyle)
+		if strings.Contains(src, "state=") || strings.Contains(src, "name=") {
+			legacy++
+		}
+		if strings.Contains(src, "\n  apt:") || strings.Contains(src, "\n  service:") ||
+			strings.Contains(src, "\n  copy:") || strings.Contains(src, "\n  file:") {
+			short++
+		}
+	}
+	if legacy == 0 {
+		t.Error("crawl style never produced legacy k=v arguments")
+	}
+	if short == 0 {
+		t.Error("crawl style never produced short module names")
+	}
+}
+
+func TestGalaxyStyleIsFullyQualified(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		src := RoleTaskFile(r, GalaxyStyle)
+		if strings.Contains(src, "state=") {
+			t.Fatalf("galaxy style produced legacy k=v:\n%s", src)
+		}
+	}
+}
+
+func TestTasksHaveNames(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		src := RoleTaskFile(r, GalaxyStyle)
+		n, err := yaml.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range n.Items {
+			name := task.Get("name")
+			if name == nil || name.Value == "" {
+				t.Fatalf("task without name:\n%s", src)
+			}
+			// The name must be the FIRST key: the prompt formulation
+			// depends on it.
+			if task.Keys[0].Value != "name" {
+				t.Fatalf("name is not the first key:\n%s", src)
+			}
+		}
+	}
+}
+
+func TestGenericYAMLParses(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		src := GenYAML(r)
+		if _, err := yaml.Parse(src); err != nil {
+			t.Fatalf("generic YAML does not parse: %v\n%s", err, src)
+		}
+	}
+}
+
+func TestGenericYAMLIsNotAnsible(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		src := GenYAML(r)
+		n, err := yaml.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ansible.LooksLikePlaybook(n) || ansible.LooksLikeTaskList(n) {
+			t.Fatalf("generic YAML looks like Ansible:\n%s", src)
+		}
+	}
+}
+
+func TestNaturalTextShape(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	text := NaturalText(r)
+	if !strings.HasSuffix(text, "\n") || !strings.Contains(text, ". ") && strings.Count(text, ".") < 2 {
+		t.Errorf("odd prose: %q", text)
+	}
+	if strings.Contains(text, ":") {
+		t.Errorf("prose contains YAML-ish colon usage: %q", text)
+	}
+}
+
+func TestCodeLanguages(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	markers := map[Language]string{
+		LangPython:     "def ",
+		LangGo:         "func ",
+		LangJava:       "public ",
+		LangJavaScript: "function ",
+		LangCpp:        "#include",
+		LangC:          "int ",
+	}
+	for lang, marker := range markers {
+		code := Code(r, lang)
+		if !strings.Contains(code, marker) {
+			t.Errorf("%s code lacks marker %q:\n%s", lang.Name(), marker, code)
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := Galaxy(42, 20)
+	b := Galaxy(42, 20)
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i].Text != b[i].Text || a[i].Path != b[i].Path {
+			t.Fatalf("file %d differs across same-seed runs", i)
+		}
+	}
+	c := Galaxy(43, 20)
+	same := 0
+	for i := range a {
+		if a[i].Text == c[i].Text {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical corpus")
+	}
+}
+
+func TestCorpusContainsDuplicates(t *testing.T) {
+	files := GitHubGBQAnsible(11, 300)
+	seen := map[string]bool{}
+	dups := 0
+	for _, f := range files {
+		if seen[f.Text] {
+			dups++
+		}
+		seen[f.Text] = true
+	}
+	if dups == 0 {
+		t.Error("crawl corpus contains no duplicates; dedup stage untestable")
+	}
+}
+
+func TestPileSimComposition(t *testing.T) {
+	files := PileSim(12, 1000)
+	var nl, yamlish, ans int
+	for _, f := range files {
+		switch {
+		case f.Kind == NaturalTextKind:
+			nl++
+		case f.IsAnsible():
+			ans++
+		case f.Kind == GenericYAML:
+			yamlish++
+		}
+	}
+	if nl < 800 {
+		t.Errorf("pile-sim NL fraction too low: %d/1000", nl)
+	}
+	if ans == 0 || yamlish == 0 {
+		t.Errorf("pile-sim lacks YAML admixture: ansible=%d generic=%d", ans, yamlish)
+	}
+	if ans > yamlish {
+		t.Errorf("pile-sim has more Ansible (%d) than generic YAML (%d)", ans, yamlish)
+	}
+}
+
+func TestBigQuerySimComposition(t *testing.T) {
+	files := BigQuerySim(13, 1000)
+	langs := map[string]int{}
+	var code int
+	for _, f := range files {
+		if f.Kind == SourceCode {
+			code++
+			i := strings.LastIndexByte(f.Path, '.')
+			langs[f.Path[i+1:]]++
+		}
+	}
+	if code < 700 {
+		t.Errorf("bigquery-sim code fraction too low: %d/1000", code)
+	}
+	if len(langs) != 6 {
+		t.Errorf("bigquery-sim languages = %v, want 6", langs)
+	}
+}
+
+func TestBigPythonOnlyPython(t *testing.T) {
+	for _, f := range BigPythonSim(14, 50) {
+		if f.Kind != SourceCode || !strings.HasSuffix(f.Path, ".py") {
+			t.Fatalf("non-python file in bigpython-sim: %+v", f.Path)
+		}
+	}
+}
+
+func TestScaledCounts(t *testing.T) {
+	c := ScaledCounts(100)
+	if c.Galaxy != 1120 || c.GitLab != 640 || c.GitHubAnsible != 11000 || c.GitHubGeneric != 22000 {
+		t.Errorf("counts = %+v", c)
+	}
+	// Ratios from Table 1 must be preserved.
+	if c.GitHubGeneric != 2*c.GitHubAnsible {
+		t.Error("generic:ansible ratio broken")
+	}
+	z := ScaledCounts(0)
+	if z.Galaxy != 112_000 {
+		t.Errorf("factor<1 not clamped: %+v", z)
+	}
+}
+
+func TestPlaybookTaskCountSkew(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	small, large := 0, 0
+	for i := 0; i < 200; i++ {
+		src := Playbook(r, GalaxyStyle)
+		n, err := yaml.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks := n.Items[0].Get("tasks")
+		if tasks.Len() <= 2 {
+			small++
+		} else {
+			large++
+		}
+	}
+	if small < large*2 {
+		t.Errorf("playbooks not skewed small: %d small vs %d large", small, large)
+	}
+}
+
+func TestHandlersMatchNotify(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	found := false
+	for i := 0; i < 300 && !found; i++ {
+		src := Playbook(r, GalaxyStyle)
+		n, err := yaml.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, play := range n.Items {
+			handlers := play.Get("handlers")
+			if handlers == nil {
+				continue
+			}
+			found = true
+			// Every notify must have a matching handler name.
+			names := map[string]bool{}
+			for _, h := range handlers.Items {
+				names[h.Get("name").Value] = true
+			}
+			for _, task := range play.Get("tasks").Items {
+				if nt := task.Get("notify"); nt != nil && nt.Kind == yaml.ScalarNode {
+					if !names[nt.Value] {
+						t.Fatalf("notify %q has no handler in:\n%s", nt.Value, src)
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no playbook with handlers generated in 300 tries")
+	}
+}
+
+func TestRoleStructure(t *testing.T) {
+	files := GalaxyRoles(17, 30)
+	var tasks, handlers, defaults, meta int
+	v := ansible.NewValidator()
+	for _, f := range files {
+		n, err := yaml.Parse(f.Text)
+		if err != nil {
+			t.Fatalf("%s does not parse: %v", f.Path, err)
+		}
+		switch {
+		case strings.Contains(f.Path, "/tasks/"):
+			tasks++
+			if f.Kind != AnsibleTasks {
+				t.Errorf("%s kind = %v", f.Path, f.Kind)
+			}
+			if errs := v.ValidateTaskList(n); len(errs) != 0 {
+				t.Errorf("%s fails schema: %v", f.Path, errs)
+			}
+		case strings.Contains(f.Path, "/handlers/"):
+			handlers++
+			if errs := v.ValidateTaskList(n); len(errs) != 0 {
+				t.Errorf("%s fails schema: %v", f.Path, errs)
+			}
+		case strings.Contains(f.Path, "/defaults/"):
+			defaults++
+			if f.Kind != GenericYAML || n.Kind != yaml.MappingNode {
+				t.Errorf("%s: kind %v node %v", f.Path, f.Kind, n.Kind)
+			}
+		case strings.Contains(f.Path, "/meta/"):
+			meta++
+			if n.Get("galaxy_info") == nil {
+				t.Errorf("%s lacks galaxy_info", f.Path)
+			}
+		default:
+			t.Errorf("unexpected path %s", f.Path)
+		}
+	}
+	if tasks != 30 || meta != 30 {
+		t.Errorf("tasks=%d meta=%d, want 30 each", tasks, meta)
+	}
+	if handlers == 0 || defaults == 0 {
+		t.Errorf("handlers=%d defaults=%d, want > 0", handlers, defaults)
+	}
+}

@@ -1,0 +1,299 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"wisdom/internal/yaml"
+)
+
+// GenYAML generates one non-Ansible YAML document of a random flavour:
+// Kubernetes manifests, CI pipelines, compose files, app configs, Ansible
+// inventories, Prometheus alert rules and Helm-style values files — the
+// kinds that dominate generic YAML on GitHub and BigQuery.
+func GenYAML(r *rand.Rand) string {
+	switch r.Intn(7) {
+	case 0:
+		return k8sManifest(r)
+	case 1:
+		return ciPipeline(r)
+	case 2:
+		return composeFile(r)
+	case 3:
+		return inventoryFile(r)
+	case 4:
+		return prometheusRules(r)
+	case 5:
+		return helmValues(r)
+	default:
+		return appConfig(r)
+	}
+}
+
+var k8sKinds = []string{"Deployment", "Service", "ConfigMap", "StatefulSet"}
+var appNames = []string{"web", "api", "worker", "cache", "frontend", "ingest", "auth", "billing"}
+var namespaces = []string{"default", "prod", "staging", "monitoring", "infra"}
+
+func k8sManifest(r *rand.Rand) string {
+	v := &vocab{r: r}
+	app := v.pick(appNames)
+	kind := v.pick(k8sKinds)
+	doc := yaml.Mapping()
+	meta := yaml.Mapping().
+		Set("name", yaml.Scalar(app)).
+		Set("namespace", yaml.Scalar(v.pick(namespaces)))
+
+	switch kind {
+	case "Service":
+		doc.Set("apiVersion", yaml.Scalar("v1"))
+		doc.Set("kind", yaml.Scalar(kind))
+		doc.Set("metadata", meta)
+		port := 8000 + r.Intn(1000)
+		spec := yaml.Mapping().
+			Set("selector", yaml.Mapping().Set("app", yaml.Scalar(app))).
+			Set("ports", yaml.Sequence(yaml.Mapping().
+				Set("port", yaml.IntScalar(port)).
+				Set("targetPort", yaml.IntScalar(port))))
+		doc.Set("spec", spec)
+	case "ConfigMap":
+		doc.Set("apiVersion", yaml.Scalar("v1"))
+		doc.Set("kind", yaml.Scalar(kind))
+		doc.Set("metadata", meta)
+		data := yaml.Mapping().
+			Set("LOG_LEVEL", yaml.ScalarTyped(v.pick([]string{"info", "debug", "warn"}), yaml.StrTag, yaml.Plain)).
+			Set("MAX_CONNECTIONS", yaml.ScalarTyped(fmt.Sprint(50+r.Intn(200)), yaml.StrTag, yaml.DoubleQuoted))
+		doc.Set("data", data)
+	default: // Deployment / StatefulSet
+		doc.Set("apiVersion", yaml.Scalar("apps/v1"))
+		doc.Set("kind", yaml.Scalar(kind))
+		doc.Set("metadata", meta)
+		container := yaml.Mapping().
+			Set("name", yaml.Scalar(app)).
+			Set("image", yaml.Scalar(v.pick(containerImages))).
+			Set("ports", yaml.Sequence(yaml.Mapping().Set("containerPort", yaml.IntScalar(8000+r.Intn(1000)))))
+		if v.chance(0.5) {
+			container.Set("resources", yaml.Mapping().
+				Set("limits", yaml.Mapping().
+					Set("memory", yaml.Scalar(fmt.Sprintf("%dMi", 128*(1+r.Intn(8))))).
+					Set("cpu", yaml.Scalar(fmt.Sprintf("%dm", 100*(1+r.Intn(10)))))))
+		}
+		spec := yaml.Mapping().
+			Set("replicas", yaml.IntScalar(1+r.Intn(5))).
+			Set("selector", yaml.Mapping().Set("matchLabels", yaml.Mapping().Set("app", yaml.Scalar(app)))).
+			Set("template", yaml.Mapping().
+				Set("metadata", yaml.Mapping().Set("labels", yaml.Mapping().Set("app", yaml.Scalar(app)))).
+				Set("spec", yaml.Mapping().Set("containers", yaml.Sequence(container))))
+		doc.Set("spec", spec)
+	}
+	return yaml.MarshalDocument(doc)
+}
+
+var ciJobs = []string{"build", "test", "lint", "deploy", "release", "docs"}
+var ciImages = []string{"golang:1.22", "python:3.11", "node:20", "ubuntu:22.04", "alpine:3.19"}
+
+func ciPipeline(r *rand.Rand) string {
+	v := &vocab{r: r}
+	doc := yaml.Mapping()
+	doc.Set("stages", seqOf("build", "test", "deploy"))
+	n := 2 + r.Intn(3)
+	used := map[string]bool{}
+	for i := 0; i < n; i++ {
+		job := v.pick(ciJobs)
+		if used[job] {
+			continue
+		}
+		used[job] = true
+		spec := yaml.Mapping().
+			Set("stage", yaml.Scalar(stageOf(job))).
+			Set("image", yaml.Scalar(v.pick(ciImages))).
+			Set("script", seqOf(scriptFor(v, job)...))
+		if v.chance(0.3) {
+			spec.Set("only", seqOf("main"))
+		}
+		doc.Set(job, spec)
+	}
+	return yaml.Marshal(doc)
+}
+
+func stageOf(job string) string {
+	switch job {
+	case "deploy", "release":
+		return "deploy"
+	case "test", "lint":
+		return "test"
+	}
+	return "build"
+}
+
+func scriptFor(v *vocab, job string) []string {
+	switch job {
+	case "build":
+		return []string{"make build"}
+	case "test":
+		return []string{"make test", "make coverage"}
+	case "lint":
+		return []string{"make lint"}
+	case "deploy":
+		return []string{"./scripts/deploy.sh " + v.pick(namespaces)}
+	case "release":
+		return []string{"make release"}
+	default:
+		return []string{"make docs"}
+	}
+}
+
+func composeFile(r *rand.Rand) string {
+	v := &vocab{r: r}
+	doc := yaml.Mapping()
+	doc.Set("version", yaml.ScalarTyped("3.8", yaml.StrTag, yaml.SingleQuoted))
+	servicesNode := yaml.Mapping()
+	n := 1 + r.Intn(3)
+	used := map[string]bool{}
+	for i := 0; i < n; i++ {
+		name := v.pick(appNames)
+		if used[name] {
+			continue
+		}
+		used[name] = true
+		svc := yaml.Mapping().
+			Set("image", yaml.Scalar(v.pick(containerImages))).
+			Set("restart", yaml.Scalar("unless-stopped"))
+		if v.chance(0.6) {
+			p := v.pick(ports)
+			svc.Set("ports", seqOf(p+":"+p))
+		}
+		if v.chance(0.4) {
+			env := yaml.Mapping().Set("TZ", yaml.Scalar(v.pick(timezones)))
+			svc.Set("environment", env)
+		}
+		servicesNode.Set(name, svc)
+	}
+	doc.Set("services", servicesNode)
+	return yaml.Marshal(doc)
+}
+
+// inventoryFile generates an Ansible inventory in YAML form — generic YAML
+// from the pipeline's point of view (inventories hold no tasks), yet full of
+// the hostnames and group names that surround real Ansible work.
+func inventoryFile(r *rand.Rand) string {
+	v := &vocab{r: r}
+	hostsFor := func(prefix string, n int) *yaml.Node {
+		hosts := yaml.Mapping()
+		for i := 1; i <= n; i++ {
+			h := yaml.Mapping()
+			h.Set("ansible_host", yaml.Scalar(fmt.Sprintf("10.0.%d.%d", r.Intn(16), 10+i)))
+			if v.chance(0.3) {
+				h.Set("ansible_user", yaml.Scalar(v.pick(users)))
+			}
+			hosts.Set(fmt.Sprintf("%s%02d", prefix, i), h)
+		}
+		return hosts
+	}
+	groupsNode := yaml.Mapping()
+	used := map[string]bool{}
+	for i := 0; i < 2+r.Intn(2); i++ {
+		g := v.pick([]string{"webservers", "dbservers", "workers", "monitoring", "loadbalancers"})
+		if used[g] {
+			continue
+		}
+		used[g] = true
+		group := yaml.Mapping().Set("hosts", hostsFor(g[:3], 1+r.Intn(3)))
+		if v.chance(0.4) {
+			group.Set("vars", yaml.Mapping().Set(v.pick(varNames), yaml.IntScalar(r.Intn(100))))
+		}
+		groupsNode.Set(g, group)
+	}
+	doc := yaml.Mapping().Set("all", yaml.Mapping().Set("children", groupsNode))
+	return yaml.Marshal(doc)
+}
+
+// prometheusRules generates a Prometheus alerting-rules file.
+func prometheusRules(r *rand.Rand) string {
+	v := &vocab{r: r}
+	alerts := []struct{ name, expr, severity string }{
+		{"HighCPU", "avg(rate(node_cpu_seconds_total[5m])) > 0.9", "warning"},
+		{"DiskFull", "node_filesystem_avail_bytes / node_filesystem_size_bytes < 0.1", "critical"},
+		{"ServiceDown", "up == 0", "critical"},
+		{"HighMemory", "node_memory_MemAvailable_bytes < 268435456", "warning"},
+		{"SlowRequests", "histogram_quantile(0.99, http_request_duration_seconds_bucket) > 2", "warning"},
+	}
+	rules := yaml.Sequence()
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		a := alerts[r.Intn(len(alerts))]
+		rule := yaml.Mapping().
+			Set("alert", yaml.Scalar(a.name)).
+			Set("expr", yaml.Scalar(a.expr)).
+			Set("for", yaml.Scalar(fmt.Sprintf("%dm", 1+r.Intn(15)))).
+			Set("labels", yaml.Mapping().Set("severity", yaml.Scalar(a.severity)))
+		if v.chance(0.5) {
+			rule.Set("annotations", yaml.Mapping().
+				Set("summary", yaml.Scalar(a.name+" on {{ $labels.instance }}")))
+		}
+		rules.Items = append(rules.Items, rule)
+	}
+	group := yaml.Mapping().
+		Set("name", yaml.Scalar(v.pick(appNames)+".rules")).
+		Set("rules", rules)
+	doc := yaml.Mapping().Set("groups", yaml.Sequence(group))
+	return yaml.Marshal(doc)
+}
+
+// helmValues generates a Helm-chart-style values file.
+func helmValues(r *rand.Rand) string {
+	v := &vocab{r: r}
+	doc := yaml.Mapping()
+	doc.Set("replicaCount", yaml.IntScalar(1+r.Intn(5)))
+	img := v.pick(containerImages)
+	var repo, tag string
+	if i := strings.IndexByte(img, ':'); i >= 0 {
+		repo, tag = img[:i], img[i+1:]
+	} else {
+		repo, tag = img, "latest"
+	}
+	doc.Set("image", yaml.Mapping().
+		Set("repository", yaml.Scalar(repo)).
+		Set("tag", yaml.Scalar(tag)).
+		Set("pullPolicy", yaml.Scalar(v.pick([]string{"IfNotPresent", "Always"}))))
+	if v.chance(0.6) {
+		doc.Set("service", yaml.Mapping().
+			Set("type", yaml.Scalar(v.pick([]string{"ClusterIP", "NodePort", "LoadBalancer"}))).
+			Set("port", yaml.IntScalar(8000+r.Intn(1000))))
+	}
+	if v.chance(0.5) {
+		doc.Set("resources", yaml.Mapping().
+			Set("requests", yaml.Mapping().
+				Set("cpu", yaml.Scalar(fmt.Sprintf("%dm", 100*(1+r.Intn(5))))).
+				Set("memory", yaml.Scalar(fmt.Sprintf("%dMi", 64*(1+r.Intn(8)))))))
+	}
+	if v.chance(0.4) {
+		doc.Set("ingress", yaml.Mapping().
+			Set("enabled", yaml.BoolScalar(v.chance(0.7))).
+			Set("host", yaml.Scalar(v.pick(domains))))
+	}
+	doc.Set("nodeSelector", yaml.Mapping())
+	return yaml.Marshal(doc)
+}
+
+func appConfig(r *rand.Rand) string {
+	v := &vocab{r: r}
+	doc := yaml.Mapping()
+	doc.Set("server", yaml.Mapping().
+		Set("host", yaml.Scalar("0.0.0.0")).
+		Set("port", yaml.IntScalar(8000+r.Intn(1000))).
+		Set("workers", yaml.IntScalar(1+r.Intn(8))))
+	doc.Set("logging", yaml.Mapping().
+		Set("level", yaml.Scalar(v.pick([]string{"info", "debug", "warning"}))).
+		Set("file", yaml.Scalar("/var/log/app/app.log")))
+	if v.chance(0.5) {
+		doc.Set("database", yaml.Mapping().
+			Set("host", yaml.Scalar(v.pick(domains))).
+			Set("name", yaml.Scalar(v.pick(dbNames))).
+			Set("pool_size", yaml.IntScalar(5+r.Intn(20))))
+	}
+	if v.chance(0.3) {
+		doc.Set("features", seqOf("metrics", "tracing"))
+	}
+	return yaml.MarshalDocument(doc)
+}

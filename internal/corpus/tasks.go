@@ -1,0 +1,483 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"wisdom/internal/yaml"
+)
+
+// taskDraft is a generated task before style rendering.
+type taskDraft struct {
+	name string
+	fqcn string
+	args *yaml.Node
+	// handler marks drafts that make sense as handlers (service restarts).
+	handler bool
+}
+
+// recipe generates one kind of task.
+type recipe struct {
+	weight int
+	gen    func(v *vocab) taskDraft
+}
+
+func m(pairs ...any) *yaml.Node {
+	n := yaml.Mapping()
+	for i := 0; i+1 < len(pairs); i += 2 {
+		key := pairs[i].(string)
+		switch val := pairs[i+1].(type) {
+		case string:
+			n.Set(key, yaml.ScalarTyped(val, yaml.StrTag, yaml.Plain))
+		case int:
+			n.Set(key, yaml.IntScalar(val))
+		case bool:
+			n.Set(key, yaml.BoolScalar(val))
+		case *yaml.Node:
+			n.Set(key, val)
+		}
+	}
+	return n
+}
+
+func seqOf(items ...string) *yaml.Node {
+	s := yaml.Sequence()
+	for _, it := range items {
+		s.Items = append(s.Items, yaml.ScalarTyped(it, yaml.StrTag, yaml.Plain))
+	}
+	return s
+}
+
+// recipes is the weighted catalogue of task generators. Weights roughly
+// follow the module frequencies of public Ansible content: package
+// management, files, services and commands dominate.
+var recipes = []recipe{
+	{8, func(v *vocab) taskDraft { // apt
+		pkg := v.pick(packages)
+		state := v.pick([]string{"present", "present", "latest", "absent"})
+		args := m("name", pkg, "state", state)
+		if v.chance(0.5) {
+			args.Set("update_cache", yaml.BoolScalar(true))
+		}
+		return taskDraft{name: pkgName(v, pkg, state), fqcn: "ansible.builtin.apt", args: args}
+	}},
+	{6, func(v *vocab) taskDraft { // yum
+		pkg := v.pick(packages)
+		state := v.pick([]string{"present", "latest", "absent"})
+		return taskDraft{name: pkgName(v, pkg, state), fqcn: "ansible.builtin.yum",
+			args: m("name", pkg, "state", state)}
+	}},
+	{4, func(v *vocab) taskDraft { // dnf
+		pkg := v.pick(packages)
+		state := v.pick([]string{"present", "latest"})
+		return taskDraft{name: pkgName(v, pkg, state), fqcn: "ansible.builtin.dnf",
+			args: m("name", pkg, "state", state)}
+	}},
+	{4, func(v *vocab) taskDraft { // package (generic)
+		pkg := v.pick(packages)
+		state := v.pick([]string{"present", "latest"})
+		return taskDraft{name: pkgName(v, pkg, state), fqcn: "ansible.builtin.package",
+			args: m("name", pkg, "state", state)}
+	}},
+	{3, func(v *vocab) taskDraft { // pip
+		pkg := v.pick(pipPackages)
+		return taskDraft{name: fmt.Sprintf("Install %s python package", pkg), fqcn: "ansible.builtin.pip",
+			args: m("name", pkg, "state", "present")}
+	}},
+	{8, func(v *vocab) taskDraft { // service
+		svc := v.pick(services)
+		state := v.pick([]string{"started", "started", "restarted", "stopped", "reloaded"})
+		args := m("name", svc, "state", state)
+		if state == "started" && v.chance(0.7) {
+			args.Set("enabled", yaml.BoolScalar(true))
+		}
+		return taskDraft{name: svcName(v, svc, state), fqcn: "ansible.builtin.service",
+			args: args, handler: state == "restarted" || state == "reloaded"}
+	}},
+	{5, func(v *vocab) taskDraft { // systemd
+		svc := v.pick(services)
+		state := v.pick([]string{"started", "restarted"})
+		args := m("name", svc, "state", state)
+		if v.chance(0.5) {
+			args.Set("daemon_reload", yaml.BoolScalar(true))
+		}
+		if v.chance(0.5) {
+			args.Set("enabled", yaml.BoolScalar(true))
+		}
+		return taskDraft{name: svcName(v, svc, state), fqcn: "ansible.builtin.systemd",
+			args: args, handler: state == "restarted"}
+	}},
+	{7, func(v *vocab) taskDraft { // copy
+		dest := v.pick(configPaths)
+		args := m("src", strings.TrimSuffix(v.pick(templateSrcs), ".j2"), "dest", dest,
+			"owner", "root", "group", "root", "mode", v.pick(fileModes))
+		return taskDraft{name: fmt.Sprintf("Copy %s", shortPath(dest)), fqcn: "ansible.builtin.copy", args: args}
+	}},
+	{7, func(v *vocab) taskDraft { // template
+		src := v.pick(templateSrcs)
+		dest := v.pick(configPaths)
+		args := m("src", src, "dest", dest, "mode", v.pick(fileModes))
+		if v.chance(0.3) {
+			args.Set("backup", yaml.BoolScalar(true))
+		}
+		return taskDraft{name: fmt.Sprintf("Deploy %s from template", shortPath(dest)),
+			fqcn: "ansible.builtin.template", args: args}
+	}},
+	{7, func(v *vocab) taskDraft { // file
+		path := v.pick(directories)
+		state := v.pick([]string{"directory", "directory", "absent", "touch"})
+		args := m("path", path, "state", state)
+		if state == "directory" {
+			args.Set("owner", yaml.Scalar(v.pick(users)))
+			args.Set("mode", yaml.ScalarTyped(v.pick(fileModes), yaml.StrTag, yaml.SingleQuoted))
+		}
+		var name string
+		switch state {
+		case "directory":
+			name = fmt.Sprintf("Create %s directory", path)
+		case "absent":
+			name = fmt.Sprintf("Remove %s", path)
+		default:
+			name = fmt.Sprintf("Touch %s", path)
+		}
+		return taskDraft{name: name, fqcn: "ansible.builtin.file", args: args}
+	}},
+	{5, func(v *vocab) taskDraft { // lineinfile
+		path := v.pick(configPaths)
+		key := v.pick([]string{"PermitRootLogin no", "MaxClients 256", "listen_addresses = '*'", "maxmemory 512mb"})
+		args := m("path", path, "line", key, "regexp", "^"+strings.SplitN(key, " ", 2)[0])
+		return taskDraft{name: fmt.Sprintf("Set %s in %s", strings.SplitN(key, " ", 2)[0], shortPath(path)),
+			fqcn: "ansible.builtin.lineinfile", args: args}
+	}},
+	{6, func(v *vocab) taskDraft { // command / shell
+		cmd := v.pick(shellCommands)
+		fqcn := "ansible.builtin.command"
+		if strings.ContainsAny(cmd, "|>&") {
+			fqcn = "ansible.builtin.shell"
+		} else if v.chance(0.4) {
+			fqcn = "ansible.builtin.shell"
+		}
+		return taskDraft{name: fmt.Sprintf("Run %s", strings.Fields(cmd)[0]), fqcn: fqcn,
+			args: yaml.ScalarTyped(cmd, yaml.StrTag, yaml.Plain)}
+	}},
+	{4, func(v *vocab) taskDraft { // user
+		u := v.pick(users)
+		args := m("name", u, "state", "present", "shell", "/bin/bash")
+		if v.chance(0.5) {
+			args.Set("groups", seqOf(v.pick(groups)))
+			args.Set("append", yaml.BoolScalar(true))
+		}
+		return taskDraft{name: fmt.Sprintf("Create %s user", u), fqcn: "ansible.builtin.user", args: args}
+	}},
+	{2, func(v *vocab) taskDraft { // group
+		g := v.pick(groups)
+		return taskDraft{name: fmt.Sprintf("Ensure %s group exists", g), fqcn: "ansible.builtin.group",
+			args: m("name", g, "state", "present")}
+	}},
+	{4, func(v *vocab) taskDraft { // git
+		repo := v.pick(repos)
+		dest := v.pick(directories)
+		args := m("repo", repo, "dest", dest, "version", v.pick([]string{"main", "master", "v1.2.0", "stable"}))
+		return taskDraft{name: fmt.Sprintf("Clone %s", repoName(repo)), fqcn: "ansible.builtin.git", args: args}
+	}},
+	{4, func(v *vocab) taskDraft { // get_url
+		url := v.pick(urls)
+		dest := v.pick(directories)
+		args := m("url", url, "dest", dest, "mode", v.pick(fileModes))
+		return taskDraft{name: fmt.Sprintf("Download %s", urlName(url)), fqcn: "ansible.builtin.get_url", args: args}
+	}},
+	{2, func(v *vocab) taskDraft { // unarchive
+		url := v.pick(urls)
+		dest := v.pick(directories)
+		args := m("src", url, "dest", dest, "remote_src", true)
+		return taskDraft{name: fmt.Sprintf("Extract %s to %s", urlName(url), dest),
+			fqcn: "ansible.builtin.unarchive", args: args}
+	}},
+	{3, func(v *vocab) taskDraft { // cron
+		job := v.pick(cronJobs)
+		args := m("name", fmt.Sprintf("run %s", shortPath(job)), "job", job,
+			"minute", fmt.Sprint(v.r.Intn(60)), "hour", fmt.Sprint(v.r.Intn(24)), "user", "root")
+		return taskDraft{name: fmt.Sprintf("Schedule %s cron job", shortPath(job)),
+			fqcn: "ansible.builtin.cron", args: args}
+	}},
+	{3, func(v *vocab) taskDraft { // sysctl
+		key := v.pick(sysctlKeys)
+		val := fmt.Sprint(v.r.Intn(3))
+		args := m("name", key, "value", val, "sysctl_set", true)
+		return taskDraft{name: fmt.Sprintf("Set %s kernel parameter", key), fqcn: "ansible.posix.sysctl", args: args}
+	}},
+	{3, func(v *vocab) taskDraft { // firewalld
+		svc := v.pick(firewallServices)
+		args := m("service", svc, "permanent", true, "state", "enabled", "immediate", true)
+		return taskDraft{name: fmt.Sprintf("Allow %s through the firewall", svc),
+			fqcn: "ansible.posix.firewalld", args: args}
+	}},
+	{2, func(v *vocab) taskDraft { // ufw
+		port := v.pick(ports)
+		args := m("rule", "allow", "port", port, "proto", "tcp")
+		return taskDraft{name: fmt.Sprintf("Open port %s with ufw", port), fqcn: "community.general.ufw", args: args}
+	}},
+	{2, func(v *vocab) taskDraft { // timezone
+		tz := v.pick(timezones)
+		return taskDraft{name: fmt.Sprintf("Set timezone to %s", tz), fqcn: "community.general.timezone",
+			args: m("name", tz)}
+	}},
+	{2, func(v *vocab) taskDraft { // hostname
+		h := v.pick(domains)
+		return taskDraft{name: fmt.Sprintf("Set hostname to %s", h), fqcn: "ansible.builtin.hostname",
+			args: m("name", h)}
+	}},
+	{3, func(v *vocab) taskDraft { // debug
+		msg := v.pick([]string{"Deployment complete", "Starting configuration", "Database ready",
+			"Service healthy", "Backup finished"})
+		return taskDraft{name: fmt.Sprintf("Print status message"), fqcn: "ansible.builtin.debug",
+			args: m("msg", msg)}
+	}},
+	{3, func(v *vocab) taskDraft { // set_fact
+		vn := v.pick(varNames)
+		args := yaml.Mapping()
+		args.Set(vn, yaml.IntScalar(v.r.Intn(100)))
+		return taskDraft{name: fmt.Sprintf("Set %s fact", vn), fqcn: "ansible.builtin.set_fact", args: args}
+	}},
+	{2, func(v *vocab) taskDraft { // wait_for
+		port := v.pick(ports)
+		args := m("port", atoiNode(port), "delay", 5, "timeout", 300)
+		return taskDraft{name: fmt.Sprintf("Wait for port %s to open", port),
+			fqcn: "ansible.builtin.wait_for", args: args}
+	}},
+	{2, func(v *vocab) taskDraft { // stat
+		path := v.pick(configPaths)
+		return taskDraft{name: fmt.Sprintf("Check whether %s exists", shortPath(path)),
+			fqcn: "ansible.builtin.stat", args: m("path", path)}
+	}},
+	{2, func(v *vocab) taskDraft { // uri
+		url := "https://" + v.pick(domains) + "/health"
+		args := m("url", url, "method", "GET", "status_code", atoiListNode("200"))
+		return taskDraft{name: "Check application health endpoint", fqcn: "ansible.builtin.uri", args: args}
+	}},
+	{2, func(v *vocab) taskDraft { // mysql_db
+		db := v.pick(dbNames)
+		return taskDraft{name: fmt.Sprintf("Create %s mysql database", db), fqcn: "community.mysql.mysql_db",
+			args: m("name", db, "state", "present")}
+	}},
+	{2, func(v *vocab) taskDraft { // postgresql_db
+		db := v.pick(dbNames)
+		return taskDraft{name: fmt.Sprintf("Create %s postgresql database", db),
+			fqcn: "community.postgresql.postgresql_db", args: m("name", db, "state", "present", "owner", v.pick(users))}
+	}},
+	{2, func(v *vocab) taskDraft { // docker_container
+		img := v.pick(containerImages)
+		cname := strings.SplitN(strings.SplitN(img, ":", 2)[0], "/", 2)[0]
+		args := m("name", cname, "image", img, "state", "started", "restart_policy", "always")
+		return taskDraft{name: fmt.Sprintf("Start %s container", cname),
+			fqcn: "community.docker.docker_container", args: args}
+	}},
+	{2, func(v *vocab) taskDraft { // apt_repository
+		repo := v.pick([]string{"ppa:deadsnakes/ppa", "deb https://download.docker.com/linux/ubuntu focal stable",
+			"deb https://packages.grafana.com/oss/deb stable main"})
+		return taskDraft{name: "Add package repository", fqcn: "ansible.builtin.apt_repository",
+			args: m("repo", repo, "state", "present")}
+	}},
+	{2, func(v *vocab) taskDraft { // authorized_key
+		u := v.pick(users)
+		args := m("user", u, "key", "{{ lookup('file', 'files/id_rsa.pub') }}", "state", "present")
+		return taskDraft{name: fmt.Sprintf("Install ssh key for %s", u),
+			fqcn: "ansible.posix.authorized_key", args: args}
+	}},
+	{1, func(v *vocab) taskDraft { // vyos_facts (network corner of Galaxy)
+		return taskDraft{name: "Get config for VyOS devices", fqcn: "vyos.vyos.vyos_facts",
+			args: m("gather_subset", "all")}
+	}},
+	{1, func(v *vocab) taskDraft { // vyos_config
+		h := v.pick(vyosHostnames)
+		args := m("backup", true, "lines", seqOf("set system host-name "+h))
+		return taskDraft{name: "Update the hostname", fqcn: "vyos.vyos.vyos_config", args: args}
+	}},
+	{1, func(v *vocab) taskDraft { // reboot
+		return taskDraft{name: "Reboot the machine", fqcn: "ansible.builtin.reboot",
+			args: m("reboot_timeout", 600)}
+	}},
+	{2, func(v *vocab) taskDraft { // Fig. 1 of the paper: install sshd
+		return taskDraft{name: "Install SSH server", fqcn: "ansible.builtin.apt",
+			args: m("name", "openssh-server", "state", "present")}
+	}},
+	{2, func(v *vocab) taskDraft { // Fig. 1 of the paper: start sshd
+		return taskDraft{name: "Start SSH server", fqcn: "ansible.builtin.service",
+			args: m("name", "ssh", "state", "started")}
+	}},
+	{1, func(v *vocab) taskDraft { // modprobe
+		mod := v.pick([]string{"br_netfilter", "overlay", "ip_vs", "nf_conntrack"})
+		return taskDraft{name: fmt.Sprintf("Load %s kernel module", mod),
+			fqcn: "community.general.modprobe", args: m("name", mod, "state", "present")}
+	}},
+}
+
+var recipeTotalWeight = func() int {
+	t := 0
+	for _, r := range recipes {
+		t += r.weight
+	}
+	return t
+}()
+
+func atoiNode(s string) *yaml.Node {
+	return &yaml.Node{Kind: yaml.ScalarNode, Value: s, Tag: yaml.IntTag}
+}
+
+func atoiListNode(s string) *yaml.Node {
+	return yaml.Sequence(atoiNode(s))
+}
+
+func pkgName(v *vocab, pkg, state string) string {
+	switch state {
+	case "absent":
+		return fmt.Sprintf("Remove %s package", pkg)
+	case "latest":
+		return v.pick([]string{
+			fmt.Sprintf("Ensure %s is at the latest version", pkg),
+			fmt.Sprintf("Upgrade %s to the latest version", pkg),
+		})
+	default:
+		return v.pick([]string{
+			fmt.Sprintf("Install %s", pkg),
+			fmt.Sprintf("Install %s package", pkg),
+			fmt.Sprintf("Ensure %s is installed", pkg),
+		})
+	}
+}
+
+func svcName(v *vocab, svc, state string) string {
+	switch state {
+	case "restarted":
+		return fmt.Sprintf("Restart %s", svc)
+	case "stopped":
+		return fmt.Sprintf("Stop %s service", svc)
+	case "reloaded":
+		return fmt.Sprintf("Reload %s", svc)
+	default:
+		return v.pick([]string{
+			fmt.Sprintf("Start %s", svc),
+			fmt.Sprintf("Start and enable %s", svc),
+			fmt.Sprintf("Ensure %s is running", svc),
+		})
+	}
+}
+
+func shortPath(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i < 0 || i+1 >= len(p) {
+		return p
+	}
+	return p[i+1:]
+}
+
+func repoName(repo string) string {
+	s := strings.TrimSuffix(repo, ".git")
+	return shortPath(s) + " repository"
+}
+
+func urlName(u string) string { return shortPath(u) }
+
+// drawTask generates one random task draft.
+func drawTask(r *rand.Rand) taskDraft {
+	v := &vocab{r: r}
+	w := r.Intn(recipeTotalWeight)
+	for _, rec := range recipes {
+		if w < rec.weight {
+			return rec.gen(v)
+		}
+		w -= rec.weight
+	}
+	return recipes[0].gen(v)
+}
+
+// Style controls the surface form of generated Ansible YAML.
+type Style struct {
+	// FQCN uses fully qualified module names (the Galaxy standard form);
+	// otherwise short names are used where possible.
+	FQCN bool
+	// LegacyKV renders some module arguments in the historical
+	// "k1=v1 k2=v2" string form (pre-training crawl noise).
+	LegacyKV float64
+	// KeywordRate is the chance a task carries extra execution keywords.
+	KeywordRate float64
+}
+
+// GalaxyStyle is the vetted, standardised form of fine-tuning data.
+var GalaxyStyle = Style{FQCN: true, LegacyKV: 0, KeywordRate: 0.35}
+
+// CrawlStyle is the noisier pre-training form.
+var CrawlStyle = Style{FQCN: false, LegacyKV: 0.15, KeywordRate: 0.35}
+
+// renderTask converts a draft into a task mapping node in the given style.
+func renderTask(r *rand.Rand, d taskDraft, st Style) *yaml.Node {
+	v := &vocab{r: r}
+	task := yaml.Mapping()
+	task.Set("name", yaml.ScalarTyped(d.name, yaml.StrTag, yaml.Plain))
+	key := d.fqcn
+	if !st.FQCN && strings.HasPrefix(key, "ansible.builtin.") && v.chance(0.7) {
+		key = strings.TrimPrefix(key, "ansible.builtin.")
+	}
+	args := d.args
+	if st.LegacyKV > 0 && v.chance(st.LegacyKV) && args != nil && args.Kind == yaml.MappingNode && flatScalarArgs(args) {
+		args = yaml.ScalarTyped(kvString(args), yaml.StrTag, yaml.Plain)
+	}
+	task.Set(key, args)
+
+	if v.chance(st.KeywordRate) {
+		decorateTask(v, task, d)
+	}
+	return task
+}
+
+// flatScalarArgs reports whether every argument value is a scalar, the
+// precondition for legacy k=v rendering.
+func flatScalarArgs(args *yaml.Node) bool {
+	for _, val := range args.Values {
+		if val.Kind != yaml.ScalarNode {
+			return false
+		}
+	}
+	return true
+}
+
+func kvString(args *yaml.Node) string {
+	var parts []string
+	for i, k := range args.Keys {
+		val := args.Values[i].Value
+		if strings.ContainsRune(val, ' ') {
+			val = "'" + val + "'"
+		}
+		parts = append(parts, k.Value+"="+val)
+	}
+	return strings.Join(parts, " ")
+}
+
+// decorateTask adds 1-2 execution keywords appropriate for the draft.
+func decorateTask(v *vocab, task *yaml.Node, d taskDraft) {
+	n := 1
+	if v.chance(0.3) {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		switch v.r.Intn(6) {
+		case 0:
+			task.Set("become", yaml.BoolScalar(true))
+		case 1:
+			task.Set("when", yaml.ScalarTyped(v.pick(whenConditions), yaml.StrTag, yaml.Plain))
+		case 2:
+			task.Set("tags", seqOf(v.pick(tagValues)))
+		case 3:
+			task.Set("register", yaml.Scalar(v.pick(registerNames)))
+		case 4:
+			if d.fqcn != "ansible.builtin.service" && d.fqcn != "ansible.builtin.systemd" {
+				task.Set("notify", yaml.ScalarTyped(v.pick(notifyHandlers), yaml.StrTag, yaml.Plain))
+			} else {
+				task.Set("become", yaml.BoolScalar(true))
+			}
+		case 5:
+			task.Set("ignore_errors", yaml.BoolScalar(true))
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package corpus generates the synthetic training corpora that substitute
+// the paper's crawled datasets (GitHub, GitLab, Google BigQuery, Ansible
+// Galaxy): Ansible-YAML playbooks and role task files, generic YAML
+// (Kubernetes-, CI- and compose-style), natural-language text ("Pile-sim")
+// and multi-language source code ("BigQuery-sim" / "BigPython-sim").
+//
+// All generators are deterministic given a seed. The Ansible generator
+// builds tasks from the module catalogue with realistic parameter values and
+// natural-language "name" fields whose wording correlates with the task body
+// — the property the fine-tuning task (NL -> Ansible) depends on.
+package corpus
+
+import "math/rand"
+
+// vocab holds the shared value pools that parameter generators draw from.
+type vocab struct {
+	r *rand.Rand
+}
+
+func (v *vocab) pick(items []string) string { return items[v.r.Intn(len(items))] }
+
+func (v *vocab) chance(p float64) bool { return v.r.Float64() < p }
+
+var packages = []string{
+	"nginx", "httpd", "apache2", "postgresql", "mariadb-server", "redis",
+	"docker-ce", "git", "curl", "wget", "vim", "htop", "unzip", "jq",
+	"python3", "python3-pip", "nodejs", "openjdk-11-jdk", "golang",
+	"openssh-server", "fail2ban", "ufw", "firewalld", "chrony", "rsync",
+	"haproxy", "keepalived", "memcached", "rabbitmq-server", "prometheus",
+	"grafana", "zabbix-agent", "telegraf", "collectd", "logrotate",
+}
+
+var services = []string{
+	"nginx", "httpd", "postgresql", "mariadb", "redis", "docker", "sshd",
+	"firewalld", "chronyd", "haproxy", "memcached", "rabbitmq-server",
+	"prometheus", "grafana-server", "crond", "rsyslog", "NetworkManager",
+}
+
+var pipPackages = []string{
+	"requests", "flask", "django", "ansible", "boto3", "pyyaml", "jinja2",
+	"numpy", "pandas", "psycopg2-binary", "gunicorn", "celery",
+}
+
+var npmPackages = []string{
+	"express", "pm2", "typescript", "webpack", "eslint", "yarn", "lodash",
+}
+
+var users = []string{
+	"deploy", "app", "www-data", "postgres", "redis", "jenkins", "ansible",
+	"backup", "monitor", "devops", "admin", "ci",
+}
+
+var groups = []string{
+	"wheel", "docker", "sudo", "www-data", "app", "deploy", "adm",
+}
+
+var configPaths = []string{
+	"/etc/nginx/nginx.conf", "/etc/nginx/conf.d/default.conf",
+	"/etc/httpd/conf/httpd.conf", "/etc/postgresql/postgresql.conf",
+	"/etc/redis/redis.conf", "/etc/ssh/sshd_config", "/etc/hosts",
+	"/etc/fstab", "/etc/sysctl.conf", "/etc/logrotate.d/app",
+	"/etc/haproxy/haproxy.cfg", "/etc/prometheus/prometheus.yml",
+	"/etc/default/app", "/etc/systemd/system/app.service",
+}
+
+var templateSrcs = []string{
+	"nginx.conf.j2", "app.conf.j2", "httpd.conf.j2", "redis.conf.j2",
+	"haproxy.cfg.j2", "prometheus.yml.j2", "env.j2", "motd.j2",
+	"sshd_config.j2", "app.service.j2",
+}
+
+var directories = []string{
+	"/opt/app", "/var/www/html", "/var/log/app", "/srv/data",
+	"/etc/app/conf.d", "/home/deploy/releases", "/var/backups/db",
+	"/usr/local/bin", "/var/run/app", "/opt/scripts",
+}
+
+var fileModes = []string{"0644", "0640", "0600", "0755", "0750", "0700"}
+
+var repos = []string{
+	"https://github.com/example/app.git",
+	"https://github.com/example/infra.git",
+	"https://git.example.com/ops/deploy.git",
+	"https://github.com/acme/webapp.git",
+	"https://gitlab.com/example/service.git",
+}
+
+var urls = []string{
+	"https://releases.example.com/app/latest.tar.gz",
+	"https://dl.example.org/tools/cli-linux-amd64",
+	"https://artifacts.example.com/pkg/agent.rpm",
+	"https://download.example.net/archive/bundle.zip",
+	"https://get.example.io/install.sh",
+}
+
+var hostPatterns = []string{
+	"all", "webservers", "dbservers", "localhost", "app", "workers",
+	"loadbalancers", "monitoring", "staging", "production",
+}
+
+var domains = []string{
+	"example.com", "internal.example.com", "app.example.org",
+	"api.example.net", "db01.example.com",
+}
+
+var shellCommands = []string{
+	"systemctl daemon-reload",
+	"update-ca-certificates",
+	"ldconfig",
+	"sysctl --system",
+	"nginx -t",
+	"apachectl configtest",
+	"certbot renew --quiet",
+	"pg_ctl reload",
+	"redis-cli ping",
+	"/usr/local/bin/backup.sh",
+	"make install",
+	"pip install --upgrade pip",
+	"curl -fsSL https://get.example.io/install.sh | sh",
+	"echo never > /sys/kernel/mm/transparent_hugepage/enabled",
+}
+
+var cronJobs = []string{
+	"/usr/local/bin/backup.sh", "/opt/scripts/cleanup.sh",
+	"/usr/bin/certbot renew --quiet", "/opt/scripts/rotate-logs.sh",
+	"/usr/local/bin/healthcheck.sh",
+}
+
+var sysctlKeys = []string{
+	"net.ipv4.ip_forward", "vm.swappiness", "fs.file-max",
+	"net.core.somaxconn", "net.ipv4.tcp_tw_reuse", "vm.max_map_count",
+}
+
+var firewallServices = []string{"http", "https", "ssh", "postgresql", "redis", "nfs"}
+
+var ports = []string{"80", "443", "22", "5432", "6379", "8080", "9090", "3000", "8443"}
+
+var timezones = []string{"UTC", "Europe/Berlin", "America/New_York", "Asia/Tokyo"}
+
+var dbNames = []string{"appdb", "users", "inventory", "metrics", "orders", "sessions"}
+
+var containerImages = []string{
+	"nginx:stable", "redis:7", "postgres:15", "grafana/grafana:latest",
+	"prom/prometheus:latest", "registry.example.com/app:v2",
+}
+
+var varNames = []string{
+	"app_version", "deploy_env", "http_port", "max_connections",
+	"enable_tls", "db_host", "cache_size_mb", "worker_count",
+	"backup_retention_days", "app_user",
+}
+
+var vyosHostnames = []string{"vyos-core", "vyos-edge", "vyos-lab", "vyos-changed"}
+
+var whenConditions = []string{
+	"ansible_os_family == 'Debian'",
+	"ansible_os_family == 'RedHat'",
+	"ansible_distribution == 'Ubuntu'",
+	"app_enabled | bool",
+	"inventory_hostname in groups['webservers']",
+	"result is changed",
+	"not skip_install | default(false)",
+	"ansible_memtotal_mb > 2048",
+}
+
+var tagValues = []string{
+	"install", "config", "deploy", "security", "monitoring", "backup",
+	"web", "db", "network", "bootstrap",
+}
+
+var notifyHandlers = []string{
+	"restart nginx", "restart httpd", "reload systemd", "restart app",
+	"restart postgresql", "reload firewall", "restart redis",
+}
+
+var registerNames = []string{
+	"result", "install_result", "cmd_output", "stat_result", "check",
+	"service_status", "download_result",
+}

@@ -1,0 +1,417 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"wisdom/internal/ansible"
+	"wisdom/internal/corpus"
+	"wisdom/internal/tokenizer"
+	"wisdom/internal/yaml"
+)
+
+const roleFile = `---
+- name: Ensure apache is at the latest version
+  ansible.builtin.yum:
+    name: httpd
+    state: latest
+- name: Write the apache config file
+  ansible.builtin.template:
+    src: /srv/httpd.j2
+    dest: /etc/httpd.conf
+- name: Start apache
+  ansible.builtin.service:
+    name: httpd
+    state: started
+`
+
+const smallPlaybook = `---
+- name: Network Setup Playbook
+  hosts: all
+  gather_facts: false
+  tasks:
+    - name: Get config for VyOS devices
+      vyos.vyos.vyos_facts:
+        gather_subset: all
+    - name: Update the hostname
+      vyos.vyos.vyos_config:
+        backup: true
+        lines:
+          - set system host-name vyos-changed
+`
+
+const bigPlaybook = `---
+- name: Web stack
+  hosts: webservers
+  tasks:
+    - name: Install nginx
+      ansible.builtin.apt:
+        name: nginx
+        state: present
+    - name: Deploy config
+      ansible.builtin.template:
+        src: nginx.conf.j2
+        dest: /etc/nginx/nginx.conf
+    - name: Start nginx
+      ansible.builtin.service:
+        name: nginx
+        state: started
+`
+
+func file(kind corpus.Kind, text string) corpus.File {
+	return corpus.File{Source: "test", Path: "x.yml", Kind: kind, Text: text}
+}
+
+func TestExtractRoleFile(t *testing.T) {
+	samples := ExtractSamples(file(corpus.AnsibleTasks, roleFile))
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+	if samples[0].Type != NLtoT {
+		t.Errorf("first sample type = %v", samples[0].Type)
+	}
+	if samples[0].Prompt != "Ensure apache is at the latest version" {
+		t.Errorf("prompt = %q", samples[0].Prompt)
+	}
+	if samples[0].Context != "" {
+		t.Errorf("NL->T context = %q, want empty", samples[0].Context)
+	}
+	if !strings.Contains(samples[0].Target, "ansible.builtin.yum") {
+		t.Errorf("target = %q", samples[0].Target)
+	}
+	for _, s := range samples[1:] {
+		if s.Type != TNLtoT {
+			t.Errorf("later sample type = %v", s.Type)
+		}
+	}
+	// The T+NL->T context holds all earlier tasks.
+	if !strings.Contains(samples[2].Context, "yum") || !strings.Contains(samples[2].Context, "template") {
+		t.Errorf("context = %q", samples[2].Context)
+	}
+	// Input+Target reassembles into parseable YAML.
+	for _, s := range samples {
+		if _, err := yaml.Parse(s.Full()); err != nil {
+			t.Errorf("sample does not reassemble: %v\n%s", err, s.Full())
+		}
+	}
+}
+
+func TestExtractSmallPlaybook(t *testing.T) {
+	samples := ExtractSamples(file(corpus.AnsiblePlaybook, smallPlaybook))
+	if len(samples) != 1 || samples[0].Type != NLtoPB {
+		t.Fatalf("samples = %+v", samples)
+	}
+	s := samples[0]
+	// Prompt combines playbook and task names.
+	for _, part := range []string{"Network Setup Playbook", "Get config for VyOS devices", "Update the hostname"} {
+		if !strings.Contains(s.Prompt, part) {
+			t.Errorf("prompt %q missing %q", s.Prompt, part)
+		}
+	}
+	if s.Context != "---\n" {
+		t.Errorf("context = %q", s.Context)
+	}
+	if !strings.Contains(s.Target, "hosts: all") {
+		t.Errorf("target = %q", s.Target)
+	}
+	if _, err := yaml.Parse(s.Full()); err != nil {
+		t.Errorf("reassembled playbook invalid: %v", err)
+	}
+}
+
+func TestExtractBigPlaybook(t *testing.T) {
+	samples := ExtractSamples(file(corpus.AnsiblePlaybook, bigPlaybook))
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples, want 2 (tasks after the first)", len(samples))
+	}
+	for _, s := range samples {
+		if s.Type != PBNLtoT {
+			t.Errorf("type = %v", s.Type)
+		}
+		if !strings.Contains(s.Context, "hosts: webservers") {
+			t.Errorf("context lacks play header: %q", s.Context)
+		}
+		if _, err := yaml.Parse(s.Full()); err != nil {
+			t.Errorf("reassembly failed: %v\n%s", err, s.Full())
+		}
+	}
+	if samples[0].Prompt != "Deploy config" || samples[1].Prompt != "Start nginx" {
+		t.Errorf("prompts = %q, %q", samples[0].Prompt, samples[1].Prompt)
+	}
+	// Targets must contain exactly one task body.
+	if strings.Contains(samples[0].Target, "- name:") {
+		t.Errorf("target spans multiple tasks: %q", samples[0].Target)
+	}
+}
+
+func TestExtractedTargetsValidate(t *testing.T) {
+	// Reassembled task samples from generated corpus must satisfy the
+	// schema (Galaxy style is vetted).
+	files := corpus.Galaxy(21, 40)
+	v := ansible.NewValidator()
+	n := 0
+	for _, f := range files {
+		for _, s := range ExtractSamples(f) {
+			if s.Type == NLtoPB {
+				continue
+			}
+			text := StripIndent(ReassembleTask(s, s.Target), NameLineIndent(s.NameLine))
+			node, err := yaml.Parse(text)
+			if err != nil {
+				t.Fatalf("task does not parse: %v\n%s", err, text)
+			}
+			if errs := v.ValidateTaskList(node); len(errs) != 0 {
+				t.Fatalf("task fails schema: %v\n%s", errs, text)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no task samples extracted")
+	}
+}
+
+func TestTypeDistributionMatchesPaper(t *testing.T) {
+	// Table 5: T+NL->T dominates, then NL->T, then PB+NL->T, NL->PB rare.
+	files := corpus.Galaxy(22, 800)
+	counts := CountByType(ExtractAll(files))
+	if counts[TNLtoT] <= counts[NLtoT] {
+		t.Errorf("T+NL->T (%d) should dominate NL->T (%d)", counts[TNLtoT], counts[NLtoT])
+	}
+	if counts[NLtoPB] == 0 || counts[PBNLtoT] == 0 {
+		t.Errorf("missing playbook samples: %v", counts)
+	}
+	if counts[NLtoPB] >= counts[TNLtoT] {
+		t.Errorf("NL->PB (%d) should be rare vs T+NL->T (%d)", counts[NLtoPB], counts[TNLtoT])
+	}
+}
+
+func TestDedupFiles(t *testing.T) {
+	files := []corpus.File{
+		{Path: "a", Text: "x: 1\n"},
+		{Path: "b", Text: "x: 2\n"},
+		{Path: "c", Text: "x: 1\n"}, // dup of a
+	}
+	out := DedupFiles(files)
+	if len(out) != 2 || out[0].Path != "a" || out[1].Path != "b" {
+		t.Errorf("dedup = %+v", out)
+	}
+	// Idempotent.
+	if len(DedupFiles(out)) != 2 {
+		t.Error("dedup not idempotent")
+	}
+}
+
+func TestSplitProportionsAndDisjoint(t *testing.T) {
+	files := corpus.Galaxy(23, 200)
+	files = DedupFiles(files)
+	s := SplitFiles(files, 7)
+	total := len(s.Train) + len(s.Valid) + len(s.Test)
+	if total != len(files) {
+		t.Fatalf("split lost files: %d != %d", total, len(files))
+	}
+	if len(s.Train) != len(files)*8/10 {
+		t.Errorf("train = %d, want %d", len(s.Train), len(files)*8/10)
+	}
+	paths := map[string]int{}
+	for _, f := range s.Train {
+		paths[f.Path+f.Text]++
+	}
+	for _, f := range append(append([]corpus.File{}, s.Valid...), s.Test...) {
+		if paths[f.Path+f.Text] > 0 {
+			t.Fatalf("file %s appears in two splits", f.Path)
+		}
+	}
+	// Deterministic.
+	s2 := SplitFiles(files, 7)
+	if len(s2.Train) != len(s.Train) || s2.Train[0].Path != s.Train[0].Path {
+		t.Error("split not deterministic")
+	}
+}
+
+func TestCrossSplitDedup(t *testing.T) {
+	a := Sample{Prompt: "p1", NameLine: "- name: p1", Target: "x: 1\n"}
+	b := Sample{Prompt: "p2", NameLine: "- name: p2", Target: "x: 2\n"}
+	c := Sample{Prompt: "p3", NameLine: "- name: p3", Target: "x: 3\n"}
+	tr, va, te := CrossSplitDedup(
+		[]Sample{a, a, b},
+		[]Sample{a, c},
+		[]Sample{b, c, c},
+	)
+	if len(tr) != 2 {
+		t.Errorf("train = %d, want 2", len(tr))
+	}
+	if len(va) != 1 || va[0].Prompt != "p3" {
+		t.Errorf("valid = %+v", va)
+	}
+	if len(te) != 0 {
+		t.Errorf("test = %+v (b in train, c in valid)", te)
+	}
+}
+
+func TestBuildPipeline(t *testing.T) {
+	raw := corpus.Galaxy(24, 150)
+	p := BuildPipeline(raw, 3)
+	if len(p.Files) >= len(raw) {
+		t.Error("pipeline deduplicated nothing (corpus contains dups by construction)")
+	}
+	if len(p.Train) == 0 || len(p.Valid) == 0 || len(p.Test) == 0 {
+		t.Fatalf("empty split: %d/%d/%d", len(p.Train), len(p.Valid), len(p.Test))
+	}
+	if len(p.Train) < len(p.Test) {
+		t.Errorf("train (%d) smaller than test (%d)", len(p.Train), len(p.Test))
+	}
+}
+
+func TestPromptStyles(t *testing.T) {
+	s := Sample{
+		Type:     TNLtoT,
+		Context:  "- name: earlier\n  ansible.builtin.debug:\n    msg: hi\n",
+		Prompt:   "install nginx",
+		NameLine: "- name: install nginx",
+		Target:   "  ansible.builtin.apt:\n    name: nginx\n    state: present\n",
+	}
+	nameIn := RenderInput(s, NameCompletion)
+	if !strings.HasSuffix(nameIn, "- name: install nginx\n") {
+		t.Errorf("name-completion input = %q", nameIn)
+	}
+	if !strings.HasPrefix(nameIn, s.Context) {
+		t.Error("context missing from input")
+	}
+	prefIn := RenderInput(s, PrefixPrompt)
+	if !strings.HasPrefix(prefIn, "context code\n") || !strings.Contains(prefIn, "prompt\ninstall nginx\n") {
+		t.Errorf("prefix input = %q", prefIn)
+	}
+	if RenderFull(s, NameCompletion) != s.Full() {
+		t.Error("RenderFull name-completion mismatch")
+	}
+}
+
+func TestPackFiles(t *testing.T) {
+	tok, err := tokenizer.Train([]string{"aaa bbb ccc ddd eee fff"}, 260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{"aaa bbb", "ccc ddd", "eee fff", "aaa ccc eee"}
+	window := 8
+	packed := PackFiles(tok, texts, window)
+	if len(packed) == 0 {
+		t.Fatal("nothing packed")
+	}
+	total := 0
+	seps := 0
+	for i, w := range packed {
+		if len(w) > window {
+			t.Fatalf("window %d has %d tokens > %d", i, len(w), window)
+		}
+		if i < len(packed)-1 && len(w) != window {
+			t.Errorf("non-final window %d not full: %d", i, len(w))
+		}
+		total += len(w)
+		for _, id := range w {
+			if id == tok.Sep() {
+				seps++
+			}
+		}
+	}
+	if seps != len(texts) {
+		t.Errorf("separators = %d, want %d", seps, len(texts))
+	}
+	// Round trip: decoded concatenation contains all inputs in order.
+	var all []int
+	for _, w := range packed {
+		all = append(all, w...)
+	}
+	joined := tok.Decode(all)
+	at := 0
+	for _, text := range texts {
+		i := strings.Index(joined[at:], text)
+		if i < 0 {
+			t.Fatalf("packed stream lost %q", text)
+		}
+		at += i + len(text)
+	}
+	if total != len(all) {
+		t.Error("token count mismatch")
+	}
+}
+
+func TestLeftTruncate(t *testing.T) {
+	ids := []int{1, 2, 3, 4, 5}
+	if got := LeftTruncate(ids, 3); len(got) != 3 || got[0] != 3 {
+		t.Errorf("LeftTruncate = %v", got)
+	}
+	if got := LeftTruncate(ids, 10); len(got) != 5 {
+		t.Errorf("no-op truncate = %v", got)
+	}
+}
+
+func TestTruncateFirstTask(t *testing.T) {
+	completion := `  ansible.builtin.apt:
+    name: nginx
+    state: present
+- name: second task
+  ansible.builtin.service:
+    name: nginx
+`
+	got := TruncateFirstTask(completion, 0)
+	if strings.Contains(got, "second task") {
+		t.Errorf("second task not truncated: %q", got)
+	}
+	if !strings.Contains(got, "state: present") {
+		t.Errorf("first task truncated too early: %q", got)
+	}
+	// Nested (playbook) indent.
+	nested := "      vyos.vyos.vyos_facts:\n        gather_subset: all\n    - name: next\n      m:\n"
+	got = TruncateFirstTask(nested, 4)
+	if strings.Contains(got, "next") || !strings.Contains(got, "gather_subset") {
+		t.Errorf("nested truncation = %q", got)
+	}
+	if TruncateFirstTask("", 0) != "" {
+		t.Error("empty completion not empty")
+	}
+}
+
+func TestNameLineIndent(t *testing.T) {
+	if NameLineIndent("- name: x") != 0 || NameLineIndent("    - name: x") != 4 {
+		t.Error("NameLineIndent wrong")
+	}
+}
+
+func TestFewShotPrefix(t *testing.T) {
+	if FewShotPrefix != "Ansible\n" {
+		t.Errorf("FewShotPrefix = %q", FewShotPrefix)
+	}
+}
+
+// trainTok builds a small tokenizer over the given texts for tests.
+func trainTok(t *testing.T, texts []string) *tokenizer.Tokenizer {
+	t.Helper()
+	tok, err := tokenizer.Train(texts, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tok
+}
+
+func TestRoleFilesFilteredByExtraction(t *testing.T) {
+	// Extraction yields samples only from task-bearing files — the
+	// paper's "we extracted only playbooks containing tasks, and lists of
+	// tasks from roles". Meta and defaults files contribute nothing.
+	files := corpus.GalaxyRoles(18, 15)
+	var fromTasks, fromOther int
+	for _, f := range files {
+		n := len(ExtractSamples(f))
+		if strings.Contains(f.Path, "/tasks/") || strings.Contains(f.Path, "/handlers/") {
+			fromTasks += n
+		} else {
+			fromOther += n
+		}
+	}
+	if fromTasks == 0 {
+		t.Error("no samples from task files")
+	}
+	if fromOther != 0 {
+		t.Errorf("%d samples extracted from meta/defaults files", fromOther)
+	}
+}

@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"strings"
+
+	"wisdom/internal/tokenizer"
+)
+
+// PromptStyle renders a sample into the text the model sees.
+type PromptStyle int
+
+const (
+	// NameCompletion is the paper's formulation (Eq. 2): the NL prompt is
+	// embedded as the task's "name" field and the model completes the
+	// body. This is the style all Wisdom results use.
+	NameCompletion PromptStyle = iota
+	// PrefixPrompt is the ablation baseline ("CodeGen-prefix" in Table 4):
+	// explicit "context code" / "prompt" prefix sections followed by the
+	// expected output.
+	PrefixPrompt
+)
+
+// RenderInput produces the model input text for a sample under a style.
+func RenderInput(s Sample, style PromptStyle) string {
+	switch style {
+	case PrefixPrompt:
+		var sb strings.Builder
+		sb.WriteString("context code\n")
+		sb.WriteString(s.Context)
+		sb.WriteString("prompt\n")
+		sb.WriteString(s.Prompt)
+		sb.WriteString("\n")
+		return sb.String()
+	default:
+		return s.Input()
+	}
+}
+
+// RenderFull produces input plus target, the fine-tuning text.
+func RenderFull(s Sample, style PromptStyle) string {
+	return RenderInput(s, style) + s.Target
+}
+
+// FewShotPrefix is the hint string that improves zero-context generations
+// of code models not pre-trained on Ansible (§Experiment Settings: adding
+// "Ansible\n" before the prompt improves CodeGen and Codex).
+const FewShotPrefix = "Ansible\n"
+
+// PackFiles concatenates tokenised file texts into fixed-size pre-training
+// windows, separated by the tokenizer's separator token, exactly as the
+// paper packs YAML files into 1024-token windows.
+func PackFiles(tok *tokenizer.Tokenizer, texts []string, window int) [][]int {
+	if window < 2 {
+		return nil
+	}
+	var packed [][]int
+	cur := make([]int, 0, window)
+	flush := func() {
+		if len(cur) >= 2 {
+			packed = append(packed, cur)
+		}
+		cur = make([]int, 0, window)
+	}
+	for _, text := range texts {
+		ids := tok.Encode(text)
+		ids = append(ids, tok.Sep())
+		for len(ids) > 0 {
+			space := window - len(cur)
+			if space == 0 {
+				flush()
+				space = window
+			}
+			n := len(ids)
+			if n > space {
+				n = space
+			}
+			cur = append(cur, ids[:n]...)
+			ids = ids[n:]
+		}
+	}
+	flush()
+	return packed
+}
+
+// LeftTruncate keeps the last window tokens, the paper's policy when the
+// input {Y_NL, C} exceeds the inference context window.
+func LeftTruncate(ids []int, window int) []int {
+	if len(ids) <= window {
+		return ids
+	}
+	return ids[len(ids)-window:]
+}
+
+// TruncateFirstTask cuts a generated completion down to its first task, the
+// paper's output post-processing for task-generation evaluations. The body
+// of the first task consists of the lines more indented than the task dash;
+// a new "- " at the original indent (or a dedent) ends it. indent is the
+// byte column of the task's dash in the prompt's name line.
+func TruncateFirstTask(completion string, indent int) string {
+	lines := strings.Split(completion, "\n")
+	prefix := strings.Repeat(" ", indent)
+	var kept []string
+	for _, l := range lines {
+		trimmed := strings.TrimRight(l, " \t")
+		if trimmed == "" {
+			// Blank line: keep only if more content of this task follows;
+			// simplest faithful policy is to stop (tasks are contiguous).
+			break
+		}
+		ind := len(l) - len(strings.TrimLeft(l, " "))
+		if ind <= indent {
+			// A sibling "- ..." starts a new task; any dedent leaves the
+			// task body.
+			break
+		}
+		_ = prefix
+		kept = append(kept, trimmed)
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return strings.Join(kept, "\n") + "\n"
+}
+
+// NameLineIndent returns the column of the dash in a rendered name line
+// ("    - name: x" -> 4).
+func NameLineIndent(nameLine string) int {
+	return len(nameLine) - len(strings.TrimLeft(nameLine, " "))
+}
+
+// ReassembleTask prepends the sample's name line to a generated body so the
+// result parses as a complete task (or playbook) for metric computation.
+func ReassembleTask(s Sample, body string) string {
+	return s.NameLine + "\n" + body
+}
+
+// StripIndent removes n leading spaces from every line, used to compare
+// playbook-nested tasks against role-style references.
+func StripIndent(text string, n int) string {
+	prefix := strings.Repeat(" ", n)
+	lines := strings.Split(text, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimPrefix(l, prefix)
+	}
+	return strings.Join(lines, "\n")
+}
+
+// ShiftIndent re-indents text from one base column to another: a task body
+// written at indent `from` (e.g. a role task at column 0) is moved to indent
+// `to` (e.g. nested under a play's tasks section). Blank lines stay empty.
+func ShiftIndent(text string, from, to int) string {
+	if from == to {
+		return text
+	}
+	lines := strings.Split(text, "\n")
+	for i, l := range lines {
+		if strings.TrimSpace(l) == "" {
+			continue
+		}
+		if to > from {
+			lines[i] = strings.Repeat(" ", to-from) + l
+			continue
+		}
+		lines[i] = strings.TrimPrefix(l, strings.Repeat(" ", from-to))
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wisdom/internal/corpus"
+)
+
+func TestShiftIndentInverse(t *testing.T) {
+	f := func(lines []string, fromRaw, toRaw uint8) bool {
+		from, to := int(fromRaw%8), int(toRaw%8)
+		// Build a text whose every non-empty line is indented >= from, so
+		// the shift is well-defined (task bodies always satisfy this).
+		var sb strings.Builder
+		for _, l := range lines {
+			l = strings.Map(func(r rune) rune {
+				if r == '\n' || r == '\r' {
+					return ' '
+				}
+				return r
+			}, l)
+			l = strings.TrimLeft(l, " ")
+			if l != "" {
+				sb.WriteString(strings.Repeat(" ", from))
+				sb.WriteString(l)
+			}
+			sb.WriteByte('\n')
+		}
+		text := sb.String()
+		shifted := ShiftIndent(text, from, to)
+		back := ShiftIndent(shifted, to, from)
+		return back == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftIndentBlankLinesUntouched(t *testing.T) {
+	text := "  a: 1\n\n  b: 2\n"
+	shifted := ShiftIndent(text, 2, 6)
+	if !strings.Contains(shifted, "\n\n") {
+		t.Errorf("blank line gained indentation: %q", shifted)
+	}
+}
+
+func TestTruncateFirstTaskIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 100; i++ {
+		file := corpus.RoleTaskFile(r, corpus.GalaxyStyle)
+		samples := ExtractSamples(corpus.File{Kind: corpus.AnsibleTasks, Text: file})
+		for _, s := range samples {
+			once := TruncateFirstTask(s.Target, NameLineIndent(s.NameLine))
+			twice := TruncateFirstTask(once, NameLineIndent(s.NameLine))
+			if once != twice {
+				t.Fatalf("truncation not idempotent:\n%q\n%q", once, twice)
+			}
+		}
+	}
+}
+
+func TestExtractionSplitsAreLossless(t *testing.T) {
+	// Role-file extraction must cover the whole file: contexts + name
+	// lines + targets reassemble the original text.
+	r := rand.New(rand.NewSource(32))
+	for i := 0; i < 50; i++ {
+		file := corpus.RoleTaskFile(r, corpus.GalaxyStyle)
+		samples := ExtractSamples(corpus.File{Kind: corpus.AnsibleTasks, Text: file})
+		if len(samples) == 0 {
+			t.Fatal("no samples")
+		}
+		last := samples[len(samples)-1]
+		full := last.Context + last.NameLine + "\n" + last.Target
+		want := file
+		// The file begins with the document marker, which the first
+		// sample's (empty) context omits.
+		want = strings.TrimPrefix(want, "---\n")
+		got := strings.TrimPrefix(full, "---\n")
+		if got != want {
+			t.Fatalf("reassembly mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+		}
+	}
+}
+
+func TestPackFilesQuickInvariants(t *testing.T) {
+	// Regardless of window size, packing preserves token order and puts
+	// exactly one separator per file.
+	r := rand.New(rand.NewSource(33))
+	var texts []string
+	for i := 0; i < 10; i++ {
+		texts = append(texts, corpus.RoleTaskFile(r, corpus.GalaxyStyle))
+	}
+	tok := trainTok(t, texts)
+	for _, window := range []int{4, 16, 64, 257, 1024} {
+		packed := PackFiles(tok, texts, window)
+		seps, total := 0, 0
+		for _, w := range packed {
+			if len(w) > window {
+				t.Fatalf("window %d: overlong pack %d", window, len(w))
+			}
+			total += len(w)
+			for _, id := range w {
+				if id == tok.Sep() {
+					seps++
+				}
+			}
+		}
+		if seps != len(texts) {
+			t.Fatalf("window %d: %d separators for %d files", window, seps, len(texts))
+		}
+	}
+	if PackFiles(tok, texts, 1) != nil {
+		t.Error("window 1 should pack nothing")
+	}
+}

@@ -1,0 +1,258 @@
+// Package dataset implements the fine-tuning data pipeline of the paper:
+// extraction of the four generation types (NL→PB, PB+NL→T, NL→T, T+NL→T)
+// from playbooks and role task files, exact-match deduplication at file and
+// sample level, the 80/10/10 split, the code-completion prompt formulation
+// (plus the prefix-style ablation baseline), pre-training context packing
+// with a separator token, and left truncation to a context window.
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"wisdom/internal/corpus"
+	"wisdom/internal/yaml"
+)
+
+// GenType is one of the paper's four generation problem types.
+type GenType int
+
+const (
+	// NLtoPB generates a full playbook from a natural-language prompt.
+	NLtoPB GenType = iota
+	// PBNLtoT generates the next task of a playbook.
+	PBNLtoT
+	// NLtoT generates the first task of a role from the prompt alone.
+	NLtoT
+	// TNLtoT generates the next task of a role given previous tasks.
+	TNLtoT
+)
+
+// String returns the paper's notation for the generation type.
+func (g GenType) String() string {
+	switch g {
+	case NLtoPB:
+		return "NL->PB"
+	case PBNLtoT:
+		return "PB+NL->T"
+	case NLtoT:
+		return "NL->T"
+	case TNLtoT:
+		return "T+NL->T"
+	}
+	return fmt.Sprintf("gentype(%d)", int(g))
+}
+
+// Sample is one fine-tuning / evaluation example.
+type Sample struct {
+	// Type is the generation problem type.
+	Type GenType
+	// Context is the Ansible-YAML context C (empty for NL→PB and NL→T).
+	Context string
+	// Prompt is the natural-language intent X.
+	Prompt string
+	// NameLine is the rendered "- name: X" line, with its indentation,
+	// that turns the problem into code completion (Eq. 2 of the paper).
+	NameLine string
+	// Target is the expected completion Y: the body following NameLine.
+	Target string
+}
+
+// Input renders the model input under the paper's prompt formulation:
+// context followed by the name line (the model completes the rest).
+func (s Sample) Input() string {
+	return s.Context + s.NameLine + "\n"
+}
+
+// Full renders input plus target, the fine-tuning text.
+func (s Sample) Full() string {
+	return s.Input() + s.Target
+}
+
+// taskIndent is the indentation of tasks inside a playbook's tasks section
+// in the canonical Ansible style.
+const taskIndent = "    "
+
+// ExtractSamples derives generation samples from one Ansible file. Role
+// task files yield one NL→T (first task) plus T+NL→T for each later task;
+// playbooks with at most two tasks yield one NL→PB; larger playbooks yield
+// PB+NL→T for each task after the first. Files that fail to parse yield
+// nothing.
+func ExtractSamples(f corpus.File) []Sample {
+	root, err := yaml.Parse(f.Text)
+	if err != nil {
+		return nil
+	}
+	switch {
+	case f.Kind == corpus.AnsiblePlaybook && root.Kind == yaml.SequenceNode:
+		return playbookSamples(f.Text, root)
+	case root.Kind == yaml.SequenceNode:
+		return taskFileSamples(f.Text)
+	default:
+		return nil
+	}
+}
+
+// taskFileSamples splits a role task file's text at every top-level
+// "- name:" line.
+func taskFileSamples(text string) []Sample {
+	starts, lines := nameLineOffsets(text, "- name: ")
+	if len(starts) == 0 {
+		return nil
+	}
+	var samples []Sample
+	for i, ln := range starts {
+		end := len(lines)
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		nameLine := lines[ln]
+		prompt := strings.TrimPrefix(nameLine, "- name: ")
+		target := strings.Join(lines[ln+1:end], "\n")
+		if strings.TrimSpace(target) == "" {
+			continue
+		}
+		target += "\n"
+		if i == 0 {
+			samples = append(samples, Sample{
+				Type: NLtoT, Prompt: prompt, NameLine: nameLine, Target: target,
+			})
+			continue
+		}
+		context := strings.Join(lines[:ln], "\n") + "\n"
+		samples = append(samples, Sample{
+			Type: TNLtoT, Context: context, Prompt: prompt, NameLine: nameLine, Target: target,
+		})
+	}
+	return samples
+}
+
+// playbookSamples extracts either one NL→PB sample (small playbooks) or
+// PB+NL→T samples for every task after the first (larger playbooks).
+func playbookSamples(text string, root *yaml.Node) []Sample {
+	nTasks := 0
+	var names []string
+	for _, play := range root.Items {
+		if n := play.Get("name"); n != nil && n.Value != "" {
+			names = append(names, n.Value)
+		}
+		if tasks := play.Get("tasks"); tasks != nil {
+			nTasks += len(tasks.Items)
+			for _, t := range tasks.Items {
+				if n := t.Get("name"); n != nil && n.Value != "" {
+					names = append(names, n.Value)
+				}
+			}
+		}
+	}
+	if nTasks == 0 {
+		return nil
+	}
+	if nTasks <= 2 {
+		return nlToPBSample(text, names)
+	}
+	return pbTaskSamples(text)
+}
+
+// nlToPBSample builds the NL→PB sample: the prompt combines the name fields
+// of the playbook and its tasks (per §Input Prompt Formulation); the model
+// input is the document marker plus the play's name line.
+func nlToPBSample(text string, names []string) []Sample {
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	// Find the first "- name:" line (the play's own name). Playbooks whose
+	// play lacks a name cannot form a name-completion prompt; skip them, as
+	// the paper skips unusable Galaxy files.
+	ln := -1
+	for i, l := range lines {
+		if strings.HasPrefix(l, "- name: ") {
+			ln = i
+			break
+		}
+		if i > 1 && strings.HasPrefix(l, "- ") {
+			break // first play starts without a name
+		}
+	}
+	if ln < 0 || len(names) == 0 {
+		return nil
+	}
+	target := strings.Join(lines[ln+1:], "\n")
+	if strings.TrimSpace(target) == "" {
+		return nil
+	}
+	return []Sample{{
+		Type:     NLtoPB,
+		Context:  strings.Join(lines[:ln], "\n") + "\n", // "---" header
+		Prompt:   strings.Join(names, " and "),
+		NameLine: lines[ln],
+		Target:   target + "\n",
+	}}
+}
+
+// pbTaskSamples builds PB+NL→T samples: for every task after the first, the
+// context is the playbook up to that task's name line.
+func pbTaskSamples(text string) []Sample {
+	starts, lines := nameLineOffsets(text, taskIndent+"- name: ")
+	if len(starts) < 2 {
+		return nil
+	}
+	var samples []Sample
+	for i := 1; i < len(starts); i++ {
+		ln := starts[i]
+		// The task body ends at the next task's name line or at the first
+		// dedent out of the task body (a handlers section or the next
+		// play), whichever comes first.
+		end := len(lines)
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		for j := ln + 1; j < end; j++ {
+			if !strings.HasPrefix(lines[j], taskIndent+"  ") {
+				end = j
+				break
+			}
+		}
+		nameLine := lines[ln]
+		target := strings.Join(lines[ln+1:end], "\n")
+		if strings.TrimSpace(target) == "" {
+			continue
+		}
+		samples = append(samples, Sample{
+			Type:     PBNLtoT,
+			Context:  strings.Join(lines[:ln], "\n") + "\n",
+			Prompt:   strings.TrimPrefix(nameLine, taskIndent+"- name: "),
+			NameLine: nameLine,
+			Target:   target + "\n",
+		})
+	}
+	return samples
+}
+
+// nameLineOffsets returns the indices of lines starting with the given task
+// prefix, along with all lines of the text.
+func nameLineOffsets(text, prefix string) (starts []int, lines []string) {
+	lines = strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, prefix) {
+			starts = append(starts, i)
+		}
+	}
+	return starts, lines
+}
+
+// ExtractAll extracts samples from every file.
+func ExtractAll(files []corpus.File) []Sample {
+	var out []Sample
+	for _, f := range files {
+		out = append(out, ExtractSamples(f)...)
+	}
+	return out
+}
+
+// CountByType tallies samples per generation type.
+func CountByType(samples []Sample) map[GenType]int {
+	m := make(map[GenType]int, 4)
+	for _, s := range samples {
+		m[s.Type]++
+	}
+	return m
+}

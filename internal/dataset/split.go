@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"wisdom/internal/corpus"
+)
+
+// DedupFiles removes files whose text exactly matches an earlier file, the
+// paper's simple exact-match criterion. Order is preserved.
+func DedupFiles(files []corpus.File) []corpus.File {
+	seen := make(map[string]bool, len(files))
+	out := files[:0:0]
+	for _, f := range files {
+		if seen[f.Text] {
+			continue
+		}
+		seen[f.Text] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// DedupSamples removes samples whose full rendered text exactly matches an
+// earlier sample ("Exact match deduplication is performed ... at the sample
+// level across all splits"). Order is preserved.
+func DedupSamples(samples []Sample) []Sample {
+	seen := make(map[string]bool, len(samples))
+	out := samples[:0:0]
+	for _, s := range samples {
+		key := s.Full()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// Split holds the three partitions of the fine-tuning corpus.
+type Split struct {
+	Train []corpus.File
+	Valid []corpus.File
+	Test  []corpus.File
+}
+
+// SplitFiles randomly partitions files 80/10/10 (train/valid/test), the
+// paper's split, deterministically for a given seed.
+func SplitFiles(files []corpus.File, seed int64) Split {
+	idx := make([]int, len(files))
+	for i := range idx {
+		idx[i] = i
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	nTrain := len(files) * 8 / 10
+	nValid := len(files) / 10
+	var s Split
+	for p, i := range idx {
+		switch {
+		case p < nTrain:
+			s.Train = append(s.Train, files[i])
+		case p < nTrain+nValid:
+			s.Valid = append(s.Valid, files[i])
+		default:
+			s.Test = append(s.Test, files[i])
+		}
+	}
+	return s
+}
+
+// CrossSplitDedup removes from valid and test any sample whose rendered
+// text also occurs in train (and from test any sample also in valid),
+// enforcing the paper's "across all splits" sample-level deduplication.
+func CrossSplitDedup(train, valid, test []Sample) (tr, va, te []Sample) {
+	seen := make(map[string]bool, len(train))
+	tr = DedupSamples(train)
+	for _, s := range tr {
+		seen[s.Full()] = true
+	}
+	for _, s := range DedupSamples(valid) {
+		if !seen[s.Full()] {
+			va = append(va, s)
+			seen[s.Full()] = true
+		}
+	}
+	for _, s := range DedupSamples(test) {
+		if !seen[s.Full()] {
+			te = append(te, s)
+		}
+	}
+	return tr, va, te
+}
+
+// Pipeline runs the complete fine-tuning data pipeline on a raw crawl:
+// file-level dedup, 80/10/10 split, sample extraction per split, and
+// cross-split sample-level dedup.
+type Pipeline struct {
+	// Files after dedup.
+	Files []corpus.File
+	// FileSplit is the file-level partition.
+	FileSplit Split
+	// Train, Valid, Test are the extracted, deduplicated samples.
+	Train, Valid, Test []Sample
+}
+
+// BuildPipeline constructs the pipeline from raw files.
+func BuildPipeline(raw []corpus.File, seed int64) *Pipeline {
+	p := &Pipeline{}
+	p.Files = DedupFiles(raw)
+	p.FileSplit = SplitFiles(p.Files, seed)
+	p.Train, p.Valid, p.Test = CrossSplitDedup(
+		ExtractAll(p.FileSplit.Train),
+		ExtractAll(p.FileSplit.Valid),
+		ExtractAll(p.FileSplit.Test),
+	)
+	return p
+}

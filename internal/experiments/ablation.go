@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"wisdom/internal/dataset"
+	"wisdom/internal/metrics"
+	"wisdom/internal/wisdom"
+)
+
+// AblationRow is one metric-design ablation result.
+type AblationRow struct {
+	Name   string
+	Report metrics.Report
+}
+
+// InsertionPenaltyAblation evaluates the fine-tuned Table 4 model under the
+// Ansible Aware metric with increasing insertion penalties — the study the
+// paper's metric section defers ("we plan to investigate the impact of
+// including an insertion penalty"). Only the Ansible Aware column responds;
+// the other metrics are penalty-independent and act as controls.
+func (s *Suite) InsertionPenaltyAblation() ([]AblationRow, error) {
+	m, err := s.Finetuned(table4Spec{
+		id: wisdom.CodeGenMulti, size: "350M", window: 1024, style: dataset.NameCompletion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, penalty := range []float64{0, 0.05, 0.1, 0.25} {
+		aware := metrics.NewAnsibleAware()
+		aware.InsertionPenalty = penalty
+		res := wisdom.EvaluateWithAware(m, s.Pipe.Test, s.Cfg.EvalLimit, aware)
+		rows = append(rows, AblationRow{
+			Name:   fmt.Sprintf("penalty %.2f", penalty),
+			Report: res.Overall,
+		})
+	}
+	return rows, nil
+}
+
+// FormatAblation renders the ablation table.
+func FormatAblation(rows []AblationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Insertion-penalty ablation of the Ansible Aware metric (fine-tuned CodeGen-Multi)\n")
+	fmt.Fprintf(&sb, "%-16s %7s %7s %7s %8s\n", "Setting", "Schema", "EM", "BLEU", "Aware")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %7.2f %7.2f %7.2f %8.2f\n", r.Name,
+			r.Report.SchemaCorrect, r.Report.ExactMatch, r.Report.BLEU, r.Report.AnsibleAware)
+	}
+	return sb.String()
+}
+
+// DecodingAblation compares greedy decoding (the paper's evaluation setting)
+// with temperature sampling on the fine-tuned model — the paper notes "we
+// would expect some improvement by using random sampling or beam search
+// decoding"; at this reproduction's scale greedy is usually the stronger
+// setting, and the ablation quantifies the gap.
+func (s *Suite) DecodingAblation() ([]AblationRow, error) {
+	m, err := s.Finetuned(table4Spec{
+		id: wisdom.CodeGenMulti, size: "350M", window: 1024, style: dataset.NameCompletion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := []AblationRow{}
+	greedy := wisdom.Evaluate(m, s.Pipe.Test, s.Cfg.EvalLimit)
+	rows = append(rows, AblationRow{Name: "greedy", Report: greedy.Overall})
+
+	// Sampling applies to the fallback generation path; the retrieval
+	// memory stays deterministic, as it would in a deployed system.
+	for _, temp := range []float64{0.5, 1.0} {
+		sampled, err := s.Finetuned(table4Spec{
+			id: wisdom.CodeGenMulti, size: "350M", window: 1024, style: dataset.NameCompletion,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wisdom.SetSampling(sampled, temp, 8, s.Cfg.Seed)
+		res := wisdom.Evaluate(sampled, s.Pipe.Test, s.Cfg.EvalLimit)
+		rows = append(rows, AblationRow{Name: fmt.Sprintf("sampling T=%.1f", temp), Report: res.Overall})
+	}
+	return rows, nil
+}

@@ -1,0 +1,113 @@
+package lexical
+
+import (
+	"math"
+	"testing"
+)
+
+// build trains a model where prompt token 1 predicts body token 10, and
+// prompt token 2 predicts body token 20; token 5 is a structural token that
+// appears with everything.
+func build() *Model {
+	m := New(32)
+	for i := 0; i < 20; i++ {
+		m.AddPair([]int{1}, []int{5, 10})
+		m.AddPair([]int{2}, []int{5, 20})
+	}
+	return m
+}
+
+func TestProbFavorsAssociated(t *testing.T) {
+	m := build()
+	if p10, p20 := m.Prob([]int{1}, 10), m.Prob([]int{1}, 20); p10 <= p20 {
+		t.Errorf("P(10|1)=%v <= P(20|1)=%v", p10, p20)
+	}
+	if p20, p10 := m.Prob([]int{2}, 20), m.Prob([]int{2}, 10); p20 <= p10 {
+		t.Errorf("P(20|2)=%v <= P(10|2)=%v", p20, p10)
+	}
+}
+
+func TestAffinitySigns(t *testing.T) {
+	m := build()
+	if a := m.Affinity([]int{1}, 10); a <= 0 {
+		t.Errorf("affinity of associated token = %v, want > 0", a)
+	}
+	if a := m.Affinity([]int{1}, 20); a >= 0 {
+		t.Errorf("affinity of disfavoured token = %v, want < 0", a)
+	}
+	// Structural token 5 appears with every prompt: affinity near 0.
+	if a := math.Abs(m.Affinity([]int{1}, 5)); a > 0.3 {
+		t.Errorf("structural-token affinity = %v, want ~0", a)
+	}
+}
+
+func TestUnseenPromptBacksOff(t *testing.T) {
+	m := build()
+	// Prompt token 9 was never seen: probabilities equal the unigram.
+	for _, tok := range []int{5, 10, 20} {
+		got := m.Prob([]int{9}, tok)
+		want := m.uniProb(tok)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(%d|unseen) = %v, want unigram %v", tok, got, want)
+		}
+		if a := m.Affinity([]int{9}, tok); math.Abs(a) > 1e-9 {
+			t.Errorf("affinity under unseen prompt = %v, want 0", a)
+		}
+	}
+}
+
+func TestEmptyPrompt(t *testing.T) {
+	m := build()
+	if m.Prob(nil, 10) != m.uniProb(10) {
+		t.Error("empty prompt should return unigram")
+	}
+}
+
+func TestUntrainedModel(t *testing.T) {
+	m := New(16)
+	if m.Trained() {
+		t.Error("empty model reports trained")
+	}
+	if p := m.Prob([]int{1}, 2); math.Abs(p-1.0/16) > 1e-12 {
+		t.Errorf("untrained prob = %v, want uniform", p)
+	}
+	if a := m.Affinity([]int{1}, 2); a != 0 {
+		t.Errorf("untrained affinity = %v", a)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	m := build()
+	if m.Prob([]int{1}, -1) != 0 || m.Prob([]int{1}, 999) != 0 {
+		t.Error("out-of-range token has probability")
+	}
+	m.AddPair([]int{1}, []int{-7, 999}) // must not panic or corrupt
+	if !m.Trained() {
+		_ = m
+	}
+}
+
+func TestMultiTokenPromptAverages(t *testing.T) {
+	m := build()
+	both := m.Prob([]int{1, 2}, 10)
+	only1 := m.Prob([]int{1}, 10)
+	only2 := m.Prob([]int{2}, 10)
+	if both <= only2 || both >= only1 {
+		t.Errorf("mixture P=%v not between %v and %v", both, only2, only1)
+	}
+}
+
+func TestProbsAreProbabilities(t *testing.T) {
+	m := build()
+	sum := 0.0
+	for tok := 0; tok < 32; tok++ {
+		p := m.Prob([]int{1}, tok)
+		if p < 0 || p > 1 {
+			t.Fatalf("P(%d) = %v", tok, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("sum of P(.|1) = %v, want 1", sum)
+	}
+}

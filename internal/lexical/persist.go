@@ -1,0 +1,50 @@
+package lexical
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the gob wire format of a lexical model.
+type snapshot struct {
+	Vocab   int
+	Counts  map[int]map[int]int
+	Totals  map[int]int
+	Unigram map[int]int
+	UniTot  int
+}
+
+// Save serialises the model with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(snapshot{
+		Vocab:   m.vocab,
+		Counts:  m.counts,
+		Totals:  m.totals,
+		Unigram: m.unigram,
+		UniTot:  m.uniTot,
+	})
+}
+
+// Load restores a model saved by Save.
+func Load(r io.Reader) (*Model, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("lexical: decode: %w", err)
+	}
+	if snap.Vocab < 1 {
+		return nil, fmt.Errorf("lexical: invalid vocabulary size %d", snap.Vocab)
+	}
+	m := New(snap.Vocab)
+	if snap.Counts != nil {
+		m.counts = snap.Counts
+	}
+	if snap.Totals != nil {
+		m.totals = snap.Totals
+	}
+	if snap.Unigram != nil {
+		m.unigram = snap.Unigram
+	}
+	m.uniTot = snap.UniTot
+	return m, nil
+}

@@ -1,0 +1,62 @@
+package lexical
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := build()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Trained() || back.Pairs() != m.Pairs() {
+		t.Fatalf("trained=%v pairs=%d vs %d", back.Trained(), back.Pairs(), m.Pairs())
+	}
+	for _, prompt := range [][]int{{1}, {2}, {1, 2}, {9}} {
+		for tok := 0; tok < 32; tok++ {
+			a, b := m.Prob(prompt, tok), back.Prob(prompt, tok)
+			if math.Abs(a-b) > 1e-15 {
+				t.Fatalf("P(%d|%v): %v != %v", tok, prompt, a, b)
+			}
+			if math.Abs(m.Affinity(prompt, tok)-back.Affinity(prompt, tok)) > 1e-12 {
+				t.Fatalf("affinity differs for %d|%v", tok, prompt)
+			}
+		}
+	}
+	back.AddPair([]int{3}, []int{30}) // remains trainable
+	if back.Pairs() != m.Pairs()+1 {
+		t.Error("reloaded model not trainable")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("x"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	m := New(8)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Trained() {
+		t.Error("empty model reports trained after reload")
+	}
+	back.AddPair([]int{1}, []int{2})
+	if !back.Trained() {
+		t.Error("reloaded empty model not trainable")
+	}
+}

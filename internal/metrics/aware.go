@@ -1,0 +1,341 @@
+package metrics
+
+import (
+	"wisdom/internal/ansible"
+	"wisdom/internal/yaml"
+)
+
+// AnsibleAware computes the paper's Ansible Aware score (0..1) between a
+// predicted and a target (reference) Ansible snippet, both given as parsed
+// YAML nodes of the same shape class (task mapping, task list, or playbook).
+//
+// Per the paper's definition:
+//
+//   - both sides are normalised first: module names to FQCN, legacy "k=v"
+//     strings to parameter dicts;
+//   - a task's score is the average of the scores of the top-level key/value
+//     pairs found in the *target*; keys missing from the prediction score 0,
+//     keys inserted in the prediction are ignored;
+//   - the "name" key is ignored, as it has no effect on execution;
+//   - the score of each key/value pair is the average of its key score and
+//     value score;
+//   - near-equivalent modules (command/shell, copy/template, package
+//     managers) receive a partial key score, averaged with the score of
+//     their arguments;
+//   - list and dict values are scored recursively by averaging entry/item
+//     scores;
+//   - a playbook's score averages its top-level pair scores, where each
+//     element of a tasks section is scored as a task.
+type AnsibleAware struct {
+	reg *ansible.Registry
+	// EquivalentModuleCredit is the partial key score for near-equivalent
+	// module substitutions. The paper gives partial credit without fixing
+	// the constant; 0.5 ("half a match") is used by default.
+	EquivalentModuleCredit float64
+	// InsertionPenalty optionally penalises keys inserted in the
+	// prediction; the paper ignores insertions (penalty 0) and flags the
+	// penalty as future work, which this knob implements as an extension.
+	InsertionPenalty float64
+}
+
+// NewAnsibleAware returns the metric with the paper's behaviour.
+func NewAnsibleAware() *AnsibleAware {
+	return &AnsibleAware{reg: ansible.DefaultRegistry(), EquivalentModuleCredit: 0.5}
+}
+
+// Score compares a predicted snippet against the target snippet, both as
+// YAML source text. Unparsable predictions score 0. The result is in [0,1].
+func (a *AnsibleAware) Score(pred, target string) float64 {
+	tn, err := yaml.Parse(target)
+	if err != nil {
+		return 0
+	}
+	pn, err := yaml.Parse(pred)
+	if err != nil {
+		return 0
+	}
+	return a.ScoreNodes(pn, tn)
+}
+
+// ScoreNodes compares parsed prediction and target nodes.
+func (a *AnsibleAware) ScoreNodes(pred, target *yaml.Node) float64 {
+	if target == nil {
+		return 0
+	}
+	switch {
+	case ansible.LooksLikePlaybook(target):
+		return a.scorePlaybook(pred, target)
+	case target.Kind == yaml.SequenceNode:
+		return a.scoreTaskList(pred, target)
+	case target.Kind == yaml.MappingNode:
+		if pred == nil || pred.Kind != yaml.MappingNode {
+			// Allow a single-item sequence prediction for a task target.
+			if pred != nil && pred.Kind == yaml.SequenceNode && len(pred.Items) == 1 {
+				pred = pred.Items[0]
+			} else {
+				return 0
+			}
+		}
+		return a.scoreTask(pred, target)
+	default:
+		return a.scoreValue(pred, target)
+	}
+}
+
+func (a *AnsibleAware) scorePlaybook(pred, target *yaml.Node) float64 {
+	if pred == nil || pred.Kind != yaml.SequenceNode {
+		return 0
+	}
+	if len(target.Items) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, tplay := range target.Items {
+		var pplay *yaml.Node
+		if i < len(pred.Items) {
+			pplay = pred.Items[i]
+		}
+		sum += a.scorePlay(pplay, tplay)
+	}
+	return sum / float64(len(target.Items))
+}
+
+func (a *AnsibleAware) scorePlay(pred, target *yaml.Node) float64 {
+	if target == nil || target.Kind != yaml.MappingNode {
+		return 0
+	}
+	if pred == nil || pred.Kind != yaml.MappingNode {
+		return 0
+	}
+	var sum float64
+	var count int
+	for i, k := range target.Keys {
+		key := k.Value
+		if key == "name" {
+			continue
+		}
+		count++
+		pv := pred.Get(key)
+		if pv == nil {
+			continue // key missing from prediction: 0
+		}
+		tv := target.Values[i]
+		var valScore float64
+		if isTaskSectionKey(key) && tv != nil && tv.Kind == yaml.SequenceNode {
+			valScore = a.scoreTaskList(pv, tv)
+		} else {
+			valScore = a.scoreValue(pv, tv)
+		}
+		sum += (1 + valScore) / 2 // key matched exactly + value score
+	}
+	if count == 0 {
+		return 1
+	}
+	return sum / float64(count)
+}
+
+func (a *AnsibleAware) scoreTaskList(pred, target *yaml.Node) float64 {
+	if pred == nil {
+		return 0
+	}
+	if pred.Kind == yaml.MappingNode && len(target.Items) == 1 {
+		// Mapping prediction for single-task target.
+		return a.scoreTask(pred, target.Items[0])
+	}
+	if pred.Kind != yaml.SequenceNode || len(target.Items) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, tt := range target.Items {
+		var pt *yaml.Node
+		if i < len(pred.Items) {
+			pt = pred.Items[i]
+		}
+		if pt == nil || pt.Kind != yaml.MappingNode || tt == nil || tt.Kind != yaml.MappingNode {
+			continue
+		}
+		sum += a.scoreTask(pt, tt)
+	}
+	return sum / float64(len(target.Items))
+}
+
+// scoreTask scores a predicted task mapping against a target task mapping.
+func (a *AnsibleAware) scoreTask(pred, target *yaml.Node) float64 {
+	pred = ansible.NormalizeTask(pred, a.reg)
+	target = ansible.NormalizeTask(target, a.reg)
+
+	tTask, tErr := ansible.AnalyzeTask(target, a.reg)
+	pTask, pErr := ansible.AnalyzeTask(pred, a.reg)
+
+	var sum float64
+	var count int
+	for i, k := range target.Keys {
+		key := k.Value
+		if key == "name" {
+			continue
+		}
+		count++
+		tv := target.Values[i]
+
+		// Module key: allow equivalent-module partial credit.
+		if tErr == nil && key == tTask.FQCN {
+			sum += a.scoreModulePair(pTask, pErr, pred, key, tv)
+			continue
+		}
+		pv := pred.Get(key)
+		if pv == nil {
+			continue
+		}
+		keyScore := 1.0
+		var valScore float64
+		if ansible.IsBlockKeyword(key) && tv != nil && tv.Kind == yaml.SequenceNode {
+			valScore = a.scoreTaskList(pv, tv)
+		} else {
+			valScore = a.scoreValue(pv, tv)
+		}
+		sum += (keyScore + valScore) / 2
+	}
+	if count == 0 {
+		return 1
+	}
+	score := sum / float64(count)
+	if a.InsertionPenalty > 0 {
+		score -= a.InsertionPenalty * float64(a.insertedKeys(pred, target))
+		if score < 0 {
+			score = 0
+		}
+	}
+	return score
+}
+
+// scoreModulePair scores the target's module key/args pair against the
+// prediction's module.
+func (a *AnsibleAware) scoreModulePair(pTask *ansible.Task, pErr error, pred *yaml.Node, targetFQCN string, targetArgs *yaml.Node) float64 {
+	// Exact module key present in prediction.
+	if pv := pred.Get(targetFQCN); pv != nil {
+		return (1 + a.scoreValue(pv, targetArgs)) / 2
+	}
+	// Equivalent module: partial key credit averaged with argument score.
+	if pErr == nil && pTask.ModuleKey != "" && a.reg.Equivalent(pTask.FQCN, targetFQCN) {
+		argScore := a.scoreValue(pTask.Args, targetArgs)
+		return (a.EquivalentModuleCredit + argScore) / 2
+	}
+	return 0
+}
+
+// insertedKeys counts prediction top-level keys absent from the target
+// (excluding name), for the optional insertion penalty extension.
+func (a *AnsibleAware) insertedKeys(pred, target *yaml.Node) int {
+	n := 0
+	for _, k := range pred.Keys {
+		if k.Value == "name" {
+			continue
+		}
+		if !target.Has(k.Value) {
+			n++
+		}
+	}
+	return n
+}
+
+// scoreValue recursively scores two value nodes.
+func (a *AnsibleAware) scoreValue(pred, target *yaml.Node) float64 {
+	if target == nil || target.IsNull() {
+		if pred == nil || pred.IsNull() {
+			return 1
+		}
+		return 0
+	}
+	if pred == nil {
+		return 0
+	}
+	switch target.Kind {
+	case yaml.ScalarNode:
+		if pred.Kind != yaml.ScalarNode {
+			return 0
+		}
+		if scalarEqual(pred, target) {
+			return 1
+		}
+		return 0
+	case yaml.SequenceNode:
+		if pred.Kind != yaml.SequenceNode {
+			// A scalar is promoted to a single-item list by Ansible.
+			if pred.Kind == yaml.ScalarNode && len(target.Items) == 1 {
+				return a.scoreValue(pred, target.Items[0])
+			}
+			return 0
+		}
+		if len(target.Items) == 0 {
+			if len(pred.Items) == 0 {
+				return 1
+			}
+			return 0
+		}
+		sum := 0.0
+		for i, tv := range target.Items {
+			if i < len(pred.Items) {
+				sum += a.scoreValue(pred.Items[i], tv)
+			}
+		}
+		return sum / float64(len(target.Items))
+	case yaml.MappingNode:
+		if pred.Kind != yaml.MappingNode {
+			return 0
+		}
+		if len(target.Keys) == 0 {
+			if len(pred.Keys) == 0 {
+				return 1
+			}
+			return 0
+		}
+		sum := 0.0
+		count := 0
+		for i, k := range target.Keys {
+			count++
+			pv := pred.Get(k.Value)
+			if pv == nil {
+				continue
+			}
+			sum += (1 + a.scoreValue(pv, target.Values[i])) / 2
+		}
+		return sum / float64(count)
+	}
+	return 0
+}
+
+// scalarEqual compares scalars by resolved value: booleans compare by truth
+// value (yes == true), numbers by numeric value, strings by text.
+func scalarEqual(a, b *yaml.Node) bool {
+	if a.Tag == b.Tag {
+		switch a.Tag {
+		case yaml.BoolTag:
+			av, _ := a.Bool()
+			bv, _ := b.Bool()
+			return av == bv
+		case yaml.IntTag:
+			av, aok := a.Int()
+			bv, bok := b.Int()
+			return aok && bok && av == bv
+		case yaml.FloatTag:
+			av, aok := a.Float()
+			bv, bok := b.Float()
+			return aok && bok && av == bv
+		case yaml.NullTag:
+			return true
+		default:
+			return a.Value == b.Value
+		}
+	}
+	// Cross-tag: compare by raw text (e.g. '0644' string vs 0644 int is
+	// still a meaningful match in Ansible usage like file modes).
+	return a.Value == b.Value
+}
+
+func isTaskSectionKey(key string) bool {
+	switch key {
+	case "tasks", "pre_tasks", "post_tasks", "handlers":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,413 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"wisdom/internal/yaml"
+)
+
+func aware() *AnsibleAware { return NewAnsibleAware() }
+
+const refTask = `name: Install nginx
+ansible.builtin.apt:
+  name: nginx
+  state: present
+become: true
+`
+
+func TestAwareIdentity(t *testing.T) {
+	if got := aware().Score(refTask, refTask); got != 1 {
+		t.Errorf("Score(x,x) = %v, want 1", got)
+	}
+}
+
+func TestAwareNameIgnored(t *testing.T) {
+	pred := `name: totally different description
+ansible.builtin.apt:
+  name: nginx
+  state: present
+become: true
+`
+	if got := aware().Score(pred, refTask); got != 1 {
+		t.Errorf("different name field scored %v, want 1 (name must be ignored)", got)
+	}
+}
+
+func TestAwareShortNameNormalized(t *testing.T) {
+	pred := `name: Install nginx
+apt:
+  name: nginx
+  state: present
+become: true
+`
+	if got := aware().Score(pred, refTask); got != 1 {
+		t.Errorf("short module name scored %v, want 1 (FQCN normalisation)", got)
+	}
+}
+
+func TestAwareKVNormalized(t *testing.T) {
+	pred := "name: x\napt: name=nginx state=present\nbecome: true\n"
+	if got := aware().Score(pred, refTask); got != 1 {
+		t.Errorf("k=v form scored %v, want 1", got)
+	}
+}
+
+func TestAwareMissingKeyScoresZero(t *testing.T) {
+	pred := `name: Install nginx
+ansible.builtin.apt:
+  name: nginx
+  state: present
+`
+	// Target has 2 scorable keys (module, become); become missing -> 0.
+	// Module pair perfect -> 1. Average = 0.5.
+	got := aware().Score(pred, refTask)
+	if got != 0.5 {
+		t.Errorf("missing become scored %v, want 0.5", got)
+	}
+}
+
+func TestAwareInsertionsIgnored(t *testing.T) {
+	pred := `name: Install nginx
+ansible.builtin.apt:
+  name: nginx
+  state: present
+become: true
+register: result
+when: install_nginx
+tags: web
+`
+	if got := aware().Score(pred, refTask); got != 1 {
+		t.Errorf("inserted keys scored %v, want 1 (insertions ignored)", got)
+	}
+}
+
+func TestAwareInsertionPenaltyExtension(t *testing.T) {
+	a := aware()
+	a.InsertionPenalty = 0.1
+	pred := `ansible.builtin.apt:
+  name: nginx
+  state: present
+become: true
+register: result
+`
+	got := a.Score(pred, refTask)
+	if got >= 1 {
+		t.Errorf("insertion penalty not applied: %v", got)
+	}
+	if got < 0.85 {
+		t.Errorf("penalty too harsh: %v", got)
+	}
+}
+
+func TestAwareWrongParamValue(t *testing.T) {
+	pred := `ansible.builtin.apt:
+  name: nginx
+  state: absent
+become: true
+`
+	got := aware().Score(pred, refTask)
+	// Module key exact (1); args: name pair=(1+1)/2=1, state pair=(1+0)/2=0.5
+	// -> args=(1+0.5)/2=0.75; module pair=(1+0.75)/2=0.875; become=1.
+	want := (0.875 + 1) / 2
+	if !close(got, want) {
+		t.Errorf("wrong state scored %v, want %v", got, want)
+	}
+}
+
+func TestAwareEquivalentModulePartialCredit(t *testing.T) {
+	pred := `ansible.builtin.yum:
+  name: nginx
+  state: present
+become: true
+`
+	got := aware().Score(pred, refTask)
+	// Module pair: (0.5 + args 1)/2 = 0.75; become 1 -> 0.875.
+	if !close(got, 0.875) {
+		t.Errorf("yum-for-apt scored %v, want 0.875", got)
+	}
+	// An unrelated module must score 0 on the module pair.
+	pred2 := `ansible.builtin.service:
+  name: nginx
+  state: present
+become: true
+`
+	got2 := aware().Score(pred2, refTask)
+	if !close(got2, 0.5) {
+		t.Errorf("service-for-apt scored %v, want 0.5", got2)
+	}
+	if got <= got2 {
+		t.Error("equivalent module should beat unrelated module")
+	}
+}
+
+func TestAwareCommandShellEquivalence(t *testing.T) {
+	target := "name: run\nansible.builtin.command: /bin/cleanup\n"
+	pred := "name: run\nansible.builtin.shell: /bin/cleanup\n"
+	got := aware().Score(pred, target)
+	// One scorable pair: (0.5 + 1)/2 = 0.75.
+	if !close(got, 0.75) {
+		t.Errorf("shell-for-command scored %v, want 0.75", got)
+	}
+}
+
+func TestAwareListValues(t *testing.T) {
+	target := `ansible.builtin.user:
+  name: bob
+  groups:
+    - wheel
+    - docker
+`
+	predHalf := `ansible.builtin.user:
+  name: bob
+  groups:
+    - wheel
+    - audio
+`
+	full := aware().Score(target, target)
+	half := aware().Score(predHalf, target)
+	if full != 1 {
+		t.Errorf("identity = %v", full)
+	}
+	// groups value = (1+0)/2 = 0.5; groups pair = (1+0.5)/2 = 0.75;
+	// name pair = 1; args = 0.875; module pair = (1+0.875)/2 = 0.9375.
+	if !close(half, 0.9375) {
+		t.Errorf("half-list scored %v, want 0.9375", half)
+	}
+}
+
+func TestAwareScalarListPromotion(t *testing.T) {
+	target := "ansible.builtin.apt:\n  name:\n    - nginx\n  state: present\n"
+	pred := "ansible.builtin.apt:\n  name: nginx\n  state: present\n"
+	if got := aware().Score(pred, target); got != 1 {
+		t.Errorf("scalar-for-single-item-list scored %v, want 1", got)
+	}
+}
+
+func TestAwareBoolAliases(t *testing.T) {
+	target := "ansible.builtin.apt:\n  name: x\n  update_cache: true\n"
+	pred := "ansible.builtin.apt:\n  name: x\n  update_cache: yes\n"
+	if got := aware().Score(pred, target); got != 1 {
+		t.Errorf("yes-for-true scored %v, want 1", got)
+	}
+}
+
+func TestAwareTaskList(t *testing.T) {
+	target := `- name: a
+  ansible.builtin.yum:
+    name: httpd
+    state: latest
+- name: b
+  ansible.builtin.template:
+    src: /srv/httpd.j2
+    dest: /etc/httpd.conf
+`
+	if got := aware().Score(target, target); got != 1 {
+		t.Errorf("task list identity = %v", got)
+	}
+	// Only the first task predicted: second contributes 0.
+	predOne := `- name: a
+  ansible.builtin.yum:
+    name: httpd
+    state: latest
+`
+	if got := aware().Score(predOne, target); !close(got, 0.5) {
+		t.Errorf("half task list = %v, want 0.5", got)
+	}
+}
+
+func TestAwarePlaybook(t *testing.T) {
+	target := `- hosts: all
+  gather_facts: false
+  tasks:
+    - name: get facts
+      vyos.vyos.vyos_facts:
+        gather_subset: all
+`
+	if got := aware().Score(target, target); got != 1 {
+		t.Errorf("playbook identity = %v", got)
+	}
+	predWrongHosts := `- hosts: servers
+  gather_facts: false
+  tasks:
+    - name: get facts
+      vyos.vyos.vyos_facts:
+        gather_subset: all
+`
+	got := aware().Score(predWrongHosts, target)
+	// hosts pair = (1+0)/2 = 0.5, others 1 -> (0.5+1+1)/3.
+	if !close(got, (0.5+2)/3) {
+		t.Errorf("wrong hosts = %v, want %v", got, (0.5+2)/3)
+	}
+}
+
+func TestAwareUnparsablePrediction(t *testing.T) {
+	if got := aware().Score("a: 'unterminated\n", refTask); got != 0 {
+		t.Errorf("unparsable prediction scored %v", got)
+	}
+}
+
+func TestAwareBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	snippets := []string{
+		refTask,
+		"- a\n- b\n",
+		"ansible.builtin.debug:\n  msg: hi\n",
+		"x: 1\n",
+		"- hosts: all\n  tasks:\n    - ansible.builtin.setup:\n",
+		"[]\n",
+		"just text\n",
+	}
+	for i := 0; i < 200; i++ {
+		p := snippets[r.Intn(len(snippets))]
+		q := snippets[r.Intn(len(snippets))]
+		got := aware().Score(p, q)
+		if got < 0 || got > 1 {
+			t.Fatalf("Score(%q,%q) = %v out of [0,1]", p, q, got)
+		}
+	}
+}
+
+func TestAwareReflexiveOnGenerated(t *testing.T) {
+	// Any structurally valid task must score 1 against itself.
+	srcs := []string{
+		"name: x\nansible.builtin.file:\n  path: /tmp/a\n  state: touch\nwhen: cond\n",
+		"block:\n  - ansible.builtin.debug:\n      msg: in block\nrescue:\n  - ansible.builtin.debug:\n      msg: rescued\n",
+		"ansible.builtin.set_fact:\n  my_var: 42\n",
+	}
+	for _, s := range srcs {
+		if got := aware().Score(s, s); got != 1 {
+			t.Errorf("Score(x,x) = %v for %q", got, s)
+		}
+	}
+}
+
+func TestEvaluatorAggregate(t *testing.T) {
+	e := NewEvaluator()
+	refs := []string{
+		"- name: a\n  ansible.builtin.yum:\n    name: httpd\n    state: latest\n",
+		"- name: b\n  ansible.builtin.service:\n    name: httpd\n    state: started\n",
+	}
+	preds := []string{
+		refs[0],                     // perfect
+		"not: valid ansible task\n", // mapping but not a task
+	}
+	r := e.Evaluate(preds, refs)
+	if r.Count != 2 {
+		t.Fatalf("count = %d", r.Count)
+	}
+	if r.ExactMatch != 50 {
+		t.Errorf("EM = %v, want 50", r.ExactMatch)
+	}
+	if r.SchemaCorrect != 50 {
+		t.Errorf("SchemaCorrect = %v, want 50", r.SchemaCorrect)
+	}
+	if r.AnsibleAware <= 40 || r.AnsibleAware > 60 {
+		t.Errorf("AnsibleAware = %v, want ~50", r.AnsibleAware)
+	}
+	if r.BLEU <= 0 || r.BLEU >= 100 {
+		t.Errorf("BLEU = %v", r.BLEU)
+	}
+}
+
+func TestEvaluatorSchemaCorrectIndependentOfRef(t *testing.T) {
+	e := NewEvaluator()
+	// Valid schema but nothing like the (irrelevant) reference.
+	pred := "- name: z\n  ansible.builtin.reboot:\n    msg: bye\n"
+	if !e.SchemaCorrect(pred) {
+		t.Error("valid prediction rejected")
+	}
+	if e.SchemaCorrect("*bogus\n") {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestScoreNodesDirect(t *testing.T) {
+	tn, err := yaml.Parse(refTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := aware().ScoreNodes(tn, tn); got != 1 {
+		t.Errorf("ScoreNodes identity = %v", got)
+	}
+	if got := aware().ScoreNodes(nil, tn); got != 0 {
+		t.Errorf("nil pred = %v", got)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestEvaluatorScoreSingle(t *testing.T) {
+	e := NewEvaluator()
+	schemaOK, exact, bleu, awareScore := e.Score(refTask, refTask)
+	if !schemaOK || !exact || bleu < 99.9 || awareScore != 1 {
+		t.Errorf("identity Score = %v %v %v %v", schemaOK, exact, bleu, awareScore)
+	}
+	schemaOK, exact, _, _ = e.Score("*garbage\n", refTask)
+	if schemaOK || exact {
+		t.Errorf("garbage Score = %v %v", schemaOK, exact)
+	}
+}
+
+func TestAwareScalarCrossTag(t *testing.T) {
+	// Numeric values vs quoted-string spellings: same text matches across
+	// tags (file modes are the canonical case).
+	target := "ansible.builtin.file:\n  path: /tmp/x\n  mode: '0755'\n"
+	pred := "ansible.builtin.file:\n  path: /tmp/x\n  mode: 0755\n"
+	if got := aware().Score(pred, target); got != 1 {
+		t.Errorf("mode 0755 vs '0755' = %v, want 1", got)
+	}
+	// Float equality across spellings.
+	tgt := "ansible.builtin.set_fact:\n  ratio: 0.5\n"
+	prd := "ansible.builtin.set_fact:\n  ratio: 0.50\n"
+	if got := aware().Score(prd, tgt); got != 1 {
+		t.Errorf("0.5 vs 0.50 = %v, want 1", got)
+	}
+}
+
+func TestAwareValueKindMismatches(t *testing.T) {
+	// Mapping predicted where scalar expected, and vice versa: 0 value
+	// score but structure survives.
+	target := "ansible.builtin.set_fact:\n  key: scalar\n"
+	pred := "ansible.builtin.set_fact:\n  key:\n    nested: yes\n"
+	got := aware().Score(pred, target)
+	if got <= 0 || got >= 1 {
+		t.Errorf("kind mismatch score = %v, want strictly between 0 and 1", got)
+	}
+	// Empty list target vs empty list prediction.
+	tgt := "ansible.builtin.set_fact:\n  xs: []\n"
+	if got := aware().Score(tgt, tgt); got != 1 {
+		t.Errorf("empty-list identity = %v", got)
+	}
+	// Null target matched by null prediction.
+	tn := "ansible.builtin.setup:\n"
+	if got := aware().Score(tn, tn); got != 1 {
+		t.Errorf("null-args identity = %v", got)
+	}
+}
+
+func TestAwareNestedDictScoring(t *testing.T) {
+	target := `community.docker.docker_container:
+  name: web
+  env:
+    A: x
+    B: y
+`
+	predHalf := `community.docker.docker_container:
+  name: web
+  env:
+    A: x
+    B: wrong
+`
+	full := aware().Score(target, target)
+	half := aware().Score(predHalf, target)
+	if full != 1 || half >= full || half <= 0.5 {
+		t.Errorf("nested dict: full=%v half=%v", full, half)
+	}
+}

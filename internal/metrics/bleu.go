@@ -1,0 +1,155 @@
+// Package metrics implements the four evaluation metrics of the paper:
+// Exact Match, BLEU, and the two novel Ansible-specific metrics — Ansible
+// Aware (a YAML-structure-aware similarity) and Schema Correct (strict
+// schema validity of the prediction alone).
+package metrics
+
+import (
+	"math"
+	"strings"
+)
+
+// maxOrder is the n-gram order of BLEU (standard BLEU-4).
+const maxOrder = 4
+
+// BLEU computes the corpus-level BLEU-4 score (0..100) over prediction/
+// reference pairs, with the brevity penalty computed on corpus totals and
+// add-one ("ORANGE") smoothing applied to zero higher-order matches, the
+// smoothing the paper cites (Lin & Och, 2004).
+func BLEU(preds, refs []string) float64 {
+	if len(preds) != len(refs) || len(preds) == 0 {
+		return 0
+	}
+	matches := make([]float64, maxOrder)
+	totals := make([]float64, maxOrder)
+	var predLen, refLen int
+	for i := range preds {
+		p := bleuTokens(preds[i])
+		r := bleuTokens(refs[i])
+		predLen += len(p)
+		refLen += len(r)
+		for n := 1; n <= maxOrder; n++ {
+			m, t := ngramOverlap(p, r, n)
+			matches[n-1] += float64(m)
+			totals[n-1] += float64(t)
+		}
+	}
+	return bleuFromCounts(matches, totals, predLen, refLen)
+}
+
+// SentenceBLEU computes smoothed BLEU-4 for one prediction/reference pair.
+func SentenceBLEU(pred, ref string) float64 {
+	return BLEU([]string{pred}, []string{ref})
+}
+
+func bleuFromCounts(matches, totals []float64, predLen, refLen int) float64 {
+	if predLen == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for n := 0; n < maxOrder; n++ {
+		m, t := matches[n], totals[n]
+		if t == 0 {
+			// Prediction shorter than n tokens: skip the order entirely
+			// by treating it as a perfect 1/1 (contributes log 1 = 0).
+			continue
+		}
+		if m == 0 {
+			if n == 0 {
+				// No unigram overlap at all: BLEU is 0 (smoothing
+				// applies only to the higher orders).
+				return 0
+			}
+			// Add-one smoothing for zero matches at higher orders.
+			m, t = 1, t+1
+		}
+		logSum += math.Log(m / t)
+	}
+	precision := math.Exp(logSum / maxOrder)
+	bp := 1.0
+	if predLen < refLen {
+		bp = math.Exp(1 - float64(refLen)/float64(predLen))
+	}
+	return 100 * bp * precision
+}
+
+// ngramOverlap returns (clipped matches, total prediction n-grams) for one
+// order.
+func ngramOverlap(pred, ref []string, n int) (match, total int) {
+	if len(pred) < n {
+		return 0, 0
+	}
+	refCounts := make(map[string]int)
+	for i := 0; i+n <= len(ref); i++ {
+		refCounts[strings.Join(ref[i:i+n], "\x00")]++
+	}
+	total = len(pred) - n + 1
+	for i := 0; i+n <= len(pred); i++ {
+		g := strings.Join(pred[i:i+n], "\x00")
+		if refCounts[g] > 0 {
+			refCounts[g]--
+			match++
+		}
+	}
+	return match, total
+}
+
+// bleuTokens tokenises code for BLEU: identifier/number runs are one token;
+// every other non-space byte is its own token. Indentation is significant in
+// YAML, so each run of leading spaces also forms a token.
+func bleuTokens(s string) []string {
+	var toks []string
+	i := 0
+	atLineStart := true
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == '\n':
+			toks = append(toks, "\\n")
+			i++
+			atLineStart = true
+		case c == ' ' || c == '\t':
+			j := i
+			for j < len(s) && (s[j] == ' ' || s[j] == '\t') {
+				j++
+			}
+			if atLineStart {
+				toks = append(toks, s[i:j])
+			}
+			i = j
+			atLineStart = false
+		case isWordChar(c):
+			j := i
+			for j < len(s) && isWordChar(s[j]) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+			atLineStart = false
+		default:
+			toks = append(toks, string(c))
+			i++
+			atLineStart = false
+		}
+	}
+	return toks
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c >= 0x80
+}
+
+// ExactMatch reports whether prediction and reference are identical after
+// insignificant-whitespace normalisation (trailing spaces and trailing
+// newlines are ignored, as both sides are standardised YAML).
+func ExactMatch(pred, ref string) bool {
+	return normalizeText(pred) == normalizeText(ref)
+}
+
+func normalizeText(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " \t")
+	}
+	return strings.Join(lines, "\n")
+}

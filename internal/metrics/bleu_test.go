@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBLEUIdentity(t *testing.T) {
+	refs := []string{
+		"- name: install nginx\n  apt:\n    name: nginx\n",
+		"state: present",
+	}
+	if got := BLEU(refs, refs); got < 99.999 {
+		t.Errorf("BLEU(x,x) = %v, want 100", got)
+	}
+}
+
+func TestBLEUDisjoint(t *testing.T) {
+	got := BLEU([]string{"aaa bbb ccc ddd"}, []string{"www xxx yyy zzz"})
+	if got > 5 {
+		t.Errorf("BLEU of disjoint texts = %v, want near 0", got)
+	}
+}
+
+func TestBLEUBounds(t *testing.T) {
+	cases := [][2]string{
+		{"", "reference text"},
+		{"some text", ""},
+		{"partial match here", "partial match there"},
+		{"a", "a b c d e f g"},
+	}
+	for _, c := range cases {
+		got := SentenceBLEU(c[0], c[1])
+		if got < 0 || got > 100 {
+			t.Errorf("SentenceBLEU(%q,%q) = %v out of range", c[0], c[1], got)
+		}
+	}
+}
+
+func TestBLEUQuickBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		v := SentenceBLEU(a, b)
+		return v >= 0 && v <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBLEUOrderingByOverlap(t *testing.T) {
+	ref := "- name: install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n"
+	near := "- name: install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: latest\n"
+	far := "- name: reboot host\n  ansible.builtin.reboot:\n    msg: go\n"
+	bNear, bFar := SentenceBLEU(near, ref), SentenceBLEU(far, ref)
+	if bNear <= bFar {
+		t.Errorf("BLEU(near)=%v <= BLEU(far)=%v", bNear, bFar)
+	}
+	if bNear < 50 {
+		t.Errorf("BLEU(near) = %v, suspiciously low", bNear)
+	}
+}
+
+func TestBLEUBrevityPenalty(t *testing.T) {
+	ref := "a b c d e f g h i j"
+	full := "a b c d e f g h i j"
+	short := "a b c d e"
+	if BLEU([]string{short}, []string{ref}) >= BLEU([]string{full}, []string{ref}) {
+		t.Error("brevity penalty not applied")
+	}
+}
+
+func TestBLEUCorpusVsSentence(t *testing.T) {
+	preds := []string{"a b c d", "x y z w"}
+	refs := []string{"a b c d", "x y q w"}
+	corpus := BLEU(preds, refs)
+	if corpus <= 0 || corpus >= 100 {
+		t.Errorf("corpus BLEU = %v", corpus)
+	}
+}
+
+func TestBleuTokens(t *testing.T) {
+	toks := bleuTokens("  - name: install nginx\n")
+	want := []string{"  ", "-", "name", ":", "install", "nginx", "\\n"}
+	if strings.Join(toks, "|") != strings.Join(want, "|") {
+		t.Errorf("tokens = %v, want %v", toks, want)
+	}
+}
+
+func TestBleuTokensIndentSignificant(t *testing.T) {
+	a := bleuTokens("  key: v\n")
+	b := bleuTokens("    key: v\n")
+	if strings.Join(a, "|") == strings.Join(b, "|") {
+		t.Error("different indentation produced identical token streams")
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	if !ExactMatch("a: 1\n", "a: 1") {
+		t.Error("trailing newline should not break EM")
+	}
+	if !ExactMatch("a: 1  \nb: 2\n", "a: 1\nb: 2\n") {
+		t.Error("trailing spaces should not break EM")
+	}
+	if ExactMatch("a: 1\n", "a: 2\n") {
+		t.Error("different content matched")
+	}
+	if ExactMatch("  a: 1\n", "a: 1\n") {
+		t.Error("leading indentation must be significant")
+	}
+}
+
+func TestBLEUMonotoneUnderCorruption(t *testing.T) {
+	// Progressively corrupting tokens should not increase BLEU.
+	r := rand.New(rand.NewSource(3))
+	ref := "- name: configure firewall\n  ansible.posix.firewalld:\n    service: https\n    permanent: true\n    state: enabled\n"
+	words := strings.Fields(ref)
+	prev := 101.0
+	for corrupt := 0; corrupt <= len(words); corrupt += 3 {
+		w := append([]string(nil), words...)
+		for i := 0; i < corrupt && i < len(w); i++ {
+			w[r.Intn(len(w))] = "ZZZ"
+		}
+		score := SentenceBLEU(strings.Join(w, " "), strings.Join(words, " "))
+		if score > prev+1e-9 {
+			t.Errorf("BLEU increased from %v to %v at corruption %d", prev, score, corrupt)
+		}
+		prev = score
+	}
+}

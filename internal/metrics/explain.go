@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wisdom/internal/ansible"
+	"wisdom/internal/yaml"
+)
+
+// EditKind classifies one correction a user would have to make.
+type EditKind int
+
+const (
+	// EditMissing marks a key the prediction lacks.
+	EditMissing EditKind = iota
+	// EditWrongValue marks a key whose value differs from the target.
+	EditWrongValue
+	// EditWrongModule marks a module substitution (equivalent or not).
+	EditWrongModule
+	// EditInserted marks a key the prediction added (not scored by the
+	// paper's metric, but part of the user's view).
+	EditInserted
+)
+
+// String returns the edit-kind label.
+func (k EditKind) String() string {
+	switch k {
+	case EditMissing:
+		return "missing"
+	case EditWrongValue:
+		return "wrong-value"
+	case EditWrongModule:
+		return "wrong-module"
+	case EditInserted:
+		return "inserted"
+	}
+	return fmt.Sprintf("edit(%d)", int(k))
+}
+
+// Edit is one correction: where, what kind, and the two sides.
+type Edit struct {
+	Path string
+	Kind EditKind
+	// Got is the predicted fragment (empty for missing keys).
+	Got string
+	// Want is the target fragment (empty for insertions).
+	Want string
+}
+
+// Explanation carries the Ansible Aware score together with the edits that
+// explain it — the "how many changes must be made to correct it" view the
+// paper motivates the metric with.
+type Explanation struct {
+	Score float64
+	Edits []Edit
+}
+
+// String renders the explanation as a short report.
+func (e Explanation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ansible aware %.2f, %d edits\n", 100*e.Score, len(e.Edits))
+	for _, ed := range e.Edits {
+		switch ed.Kind {
+		case EditMissing:
+			fmt.Fprintf(&sb, "  %-12s %s (want %s)\n", ed.Kind, ed.Path, ed.Want)
+		case EditInserted:
+			fmt.Fprintf(&sb, "  %-12s %s (got %s)\n", ed.Kind, ed.Path, ed.Got)
+		default:
+			fmt.Fprintf(&sb, "  %-12s %s (got %s, want %s)\n", ed.Kind, ed.Path, ed.Got, ed.Want)
+		}
+	}
+	return sb.String()
+}
+
+// Explain scores a predicted task against a target task (both single task
+// mappings as YAML text) and returns the corrections behind the score.
+// Unparsable predictions yield score 0 with a single whole-task edit.
+func (a *AnsibleAware) Explain(pred, target string) Explanation {
+	tn, err := yaml.Parse(target)
+	if err != nil {
+		return Explanation{}
+	}
+	pn, err := yaml.Parse(pred)
+	if err != nil {
+		return Explanation{Edits: []Edit{{Path: "$", Kind: EditWrongValue, Got: "(unparsable)", Want: "(valid YAML)"}}}
+	}
+	if tn.Kind == yaml.SequenceNode && len(tn.Items) == 1 {
+		tn = tn.Items[0]
+	}
+	if pn.Kind == yaml.SequenceNode && len(pn.Items) == 1 {
+		pn = pn.Items[0]
+	}
+	score := a.ScoreNodes(pn, tn)
+	edits := a.taskEdits(pn, tn)
+	return Explanation{Score: score, Edits: edits}
+}
+
+// taskEdits diffs two (normalised) task mappings into user-facing edits.
+func (a *AnsibleAware) taskEdits(pred, target *yaml.Node) []Edit {
+	if target == nil || target.Kind != yaml.MappingNode {
+		return nil
+	}
+	if pred == nil || pred.Kind != yaml.MappingNode {
+		return []Edit{{Path: "$", Kind: EditWrongValue, Got: "(not a task)", Want: "(task mapping)"}}
+	}
+	pred = ansible.NormalizeTask(pred, a.reg)
+	target = ansible.NormalizeTask(target, a.reg)
+	tTask, tErr := ansible.AnalyzeTask(target, a.reg)
+	pTask, pErr := ansible.AnalyzeTask(pred, a.reg)
+
+	var edits []Edit
+	for i, k := range target.Keys {
+		key := k.Value
+		if key == "name" {
+			continue
+		}
+		tv := target.Values[i]
+		// Module key comparison with substitution awareness.
+		if tErr == nil && key == tTask.FQCN {
+			switch {
+			case pred.Has(key):
+				edits = append(edits, valueEdits(pred.Get(key), tv, "$."+key)...)
+			case pErr == nil && pTask.ModuleKey != "":
+				edits = append(edits, Edit{Path: "$", Kind: EditWrongModule, Got: pTask.FQCN, Want: tTask.FQCN})
+				edits = append(edits, valueEdits(pTask.Args, tv, "$."+key)...)
+			default:
+				edits = append(edits, Edit{Path: "$." + key, Kind: EditMissing, Want: snippet(tv)})
+			}
+			continue
+		}
+		pv := pred.Get(key)
+		if pv == nil {
+			edits = append(edits, Edit{Path: "$." + key, Kind: EditMissing, Want: snippet(tv)})
+			continue
+		}
+		edits = append(edits, valueEdits(pv, tv, "$."+key)...)
+	}
+	// Insertions (reported, though unscored by the paper's default).
+	moduleKey := ""
+	if pErr == nil {
+		moduleKey = pTask.FQCN
+	}
+	targetModule := ""
+	if tErr == nil {
+		targetModule = tTask.FQCN
+	}
+	for _, k := range pred.Keys {
+		key := k.Value
+		if key == "name" || target.Has(key) {
+			continue
+		}
+		if key == moduleKey && targetModule != "" {
+			continue // already reported as a module substitution
+		}
+		edits = append(edits, Edit{Path: "$." + key, Kind: EditInserted, Got: snippet(pred.Get(key))})
+	}
+	sort.SliceStable(edits, func(i, j int) bool { return edits[i].Path < edits[j].Path })
+	return edits
+}
+
+// valueEdits recursively diffs two value nodes.
+func valueEdits(pred, target *yaml.Node, path string) []Edit {
+	if target.IsNull() && pred.IsNull() {
+		return nil
+	}
+	if pred == nil || pred.Kind != target.Kind {
+		if pred != nil && pred.Kind == yaml.ScalarNode && target.Kind == yaml.SequenceNode && len(target.Items) == 1 {
+			return valueEdits(pred, target.Items[0], path+"[0]")
+		}
+		return []Edit{{Path: path, Kind: EditWrongValue, Got: snippet(pred), Want: snippet(target)}}
+	}
+	switch target.Kind {
+	case yaml.ScalarNode:
+		if scalarEqual(pred, target) {
+			return nil
+		}
+		return []Edit{{Path: path, Kind: EditWrongValue, Got: pred.Value, Want: target.Value}}
+	case yaml.SequenceNode:
+		var edits []Edit
+		for i, tv := range target.Items {
+			p := fmt.Sprintf("%s[%d]", path, i)
+			if i >= len(pred.Items) {
+				edits = append(edits, Edit{Path: p, Kind: EditMissing, Want: snippet(tv)})
+				continue
+			}
+			edits = append(edits, valueEdits(pred.Items[i], tv, p)...)
+		}
+		for i := len(target.Items); i < len(pred.Items); i++ {
+			edits = append(edits, Edit{Path: fmt.Sprintf("%s[%d]", path, i), Kind: EditInserted, Got: snippet(pred.Items[i])})
+		}
+		return edits
+	case yaml.MappingNode:
+		var edits []Edit
+		for i, k := range target.Keys {
+			p := path + "." + k.Value
+			pv := pred.Get(k.Value)
+			if pv == nil {
+				edits = append(edits, Edit{Path: p, Kind: EditMissing, Want: snippet(target.Values[i])})
+				continue
+			}
+			edits = append(edits, valueEdits(pv, target.Values[i], p)...)
+		}
+		for _, k := range pred.Keys {
+			if !target.Has(k.Value) {
+				edits = append(edits, Edit{Path: path + "." + k.Value, Kind: EditInserted, Got: snippet(pred.Get(k.Value))})
+			}
+		}
+		return edits
+	}
+	return nil
+}
+
+// snippet renders a node compactly for edit messages.
+func snippet(n *yaml.Node) string {
+	if n == nil {
+		return "null"
+	}
+	s := strings.TrimSpace(yaml.Marshal(n))
+	s = strings.ReplaceAll(s, "\n", "; ")
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}

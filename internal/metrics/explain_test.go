@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func findEdit(e Explanation, kind EditKind, pathSub string) *Edit {
+	for i := range e.Edits {
+		if e.Edits[i].Kind == kind && strings.Contains(e.Edits[i].Path, pathSub) {
+			return &e.Edits[i]
+		}
+	}
+	return nil
+}
+
+func TestExplainIdentity(t *testing.T) {
+	e := aware().Explain(refTask, refTask)
+	if e.Score != 1 || len(e.Edits) != 0 {
+		t.Errorf("identity explanation = %+v", e)
+	}
+}
+
+func TestExplainMissingKeyword(t *testing.T) {
+	pred := "ansible.builtin.apt:\n  name: nginx\n  state: present\n"
+	e := aware().Explain(pred, refTask)
+	if e.Score >= 1 {
+		t.Errorf("score = %v", e.Score)
+	}
+	ed := findEdit(e, EditMissing, "become")
+	if ed == nil {
+		t.Fatalf("no missing-become edit: %+v", e.Edits)
+	}
+	if !strings.Contains(ed.Want, "true") {
+		t.Errorf("want = %q", ed.Want)
+	}
+}
+
+func TestExplainWrongValue(t *testing.T) {
+	pred := "ansible.builtin.apt:\n  name: nginx\n  state: absent\nbecome: true\n"
+	e := aware().Explain(pred, refTask)
+	ed := findEdit(e, EditWrongValue, "state")
+	if ed == nil {
+		t.Fatalf("no wrong-value edit: %+v", e.Edits)
+	}
+	if ed.Got != "absent" || ed.Want != "present" {
+		t.Errorf("edit = %+v", ed)
+	}
+}
+
+func TestExplainModuleSubstitution(t *testing.T) {
+	pred := "ansible.builtin.yum:\n  name: nginx\n  state: present\nbecome: true\n"
+	e := aware().Explain(pred, refTask)
+	ed := findEdit(e, EditWrongModule, "$")
+	if ed == nil {
+		t.Fatalf("no module edit: %+v", e.Edits)
+	}
+	if ed.Got != "ansible.builtin.yum" || ed.Want != "ansible.builtin.apt" {
+		t.Errorf("module edit = %+v", ed)
+	}
+	// Arguments still compared: no spurious arg edits for identical args.
+	if findEdit(e, EditWrongValue, "name") != nil {
+		t.Error("identical arguments flagged")
+	}
+}
+
+func TestExplainInsertion(t *testing.T) {
+	pred := `ansible.builtin.apt:
+  name: nginx
+  state: present
+become: true
+register: out
+`
+	e := aware().Explain(pred, refTask)
+	if e.Score != 1 {
+		t.Errorf("insertions must not change the default score: %v", e.Score)
+	}
+	if findEdit(e, EditInserted, "register") == nil {
+		t.Errorf("insertion not reported: %+v", e.Edits)
+	}
+}
+
+func TestExplainListEdits(t *testing.T) {
+	target := "ansible.builtin.user:\n  name: bob\n  groups:\n    - wheel\n    - docker\n"
+	pred := "ansible.builtin.user:\n  name: bob\n  groups:\n    - wheel\n"
+	e := aware().Explain(pred, target)
+	if findEdit(e, EditMissing, "groups[1]") == nil {
+		t.Errorf("missing list item not reported: %+v", e.Edits)
+	}
+}
+
+func TestExplainUnparsable(t *testing.T) {
+	e := aware().Explain("a: 'broken\n", refTask)
+	if e.Score != 0 || len(e.Edits) == 0 {
+		t.Errorf("unparsable explanation = %+v", e)
+	}
+}
+
+func TestExplainStringRendering(t *testing.T) {
+	pred := "ansible.builtin.apt:\n  name: httpd\n  state: present\n"
+	e := aware().Explain(pred, refTask)
+	out := e.String()
+	for _, want := range []string{"ansible aware", "edits", "missing", "wrong-value"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEditKindStrings(t *testing.T) {
+	if EditMissing.String() != "missing" || EditInserted.String() != "inserted" ||
+		EditWrongValue.String() != "wrong-value" || EditWrongModule.String() != "wrong-module" {
+		t.Error("edit kind labels wrong")
+	}
+	if EditKind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"wisdom/internal/ansible"
+	"wisdom/internal/yaml"
+)
+
+// Report aggregates the four paper metrics over an evaluation set, each
+// scaled to 0..100 as reported in the paper's tables.
+type Report struct {
+	// SchemaCorrect is the percentage of predictions that satisfy the
+	// strict Ansible schema (computed on predictions alone).
+	SchemaCorrect float64
+	// ExactMatch is the percentage of predictions textually identical to
+	// the reference.
+	ExactMatch float64
+	// BLEU is corpus-level smoothed BLEU-4.
+	BLEU float64
+	// AnsibleAware is the mean Ansible Aware score.
+	AnsibleAware float64
+	// Count is the number of evaluated pairs.
+	Count int
+}
+
+// Evaluator scores prediction/reference pairs with all four metrics.
+type Evaluator struct {
+	aware     *AnsibleAware
+	validator *ansible.Validator
+}
+
+// NewEvaluator returns an evaluator with the paper's metric settings.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{aware: NewAnsibleAware(), validator: ansible.NewValidator()}
+}
+
+// SchemaCorrect reports whether one prediction parses and satisfies the
+// strict schema, the per-sample basis of the Schema Correct metric.
+func (e *Evaluator) SchemaCorrect(pred string) bool {
+	n, err := yaml.Parse(pred)
+	if err != nil {
+		return false
+	}
+	return e.validator.Valid(n)
+}
+
+// Score computes all per-sample metrics for one pair.
+func (e *Evaluator) Score(pred, ref string) (schemaOK, exact bool, bleu, aware float64) {
+	schemaOK = e.SchemaCorrect(pred)
+	exact = ExactMatch(pred, ref)
+	bleu = SentenceBLEU(pred, ref)
+	aware = e.aware.Score(pred, ref)
+	return
+}
+
+// Evaluate aggregates the corpus-level report over parallel prediction and
+// reference slices, mirroring the paper's table rows.
+func (e *Evaluator) Evaluate(preds, refs []string) Report {
+	if len(preds) != len(refs) || len(preds) == 0 {
+		return Report{}
+	}
+	var r Report
+	r.Count = len(preds)
+	var awareSum float64
+	for i := range preds {
+		if e.SchemaCorrect(preds[i]) {
+			r.SchemaCorrect++
+		}
+		if ExactMatch(preds[i], refs[i]) {
+			r.ExactMatch++
+		}
+		awareSum += e.aware.Score(preds[i], refs[i])
+	}
+	n := float64(r.Count)
+	r.SchemaCorrect = 100 * r.SchemaCorrect / n
+	r.ExactMatch = 100 * r.ExactMatch / n
+	r.AnsibleAware = 100 * awareSum / n
+	r.BLEU = BLEU(preds, refs)
+	return r
+}

@@ -1,0 +1,175 @@
+package neural
+
+import "math"
+
+// genState is an incremental decoding state: the per-layer key/value caches
+// that let each new token attend over all previous positions without
+// recomputing them — the KV cache every production transformer server uses.
+type genState struct {
+	m *Model
+	// k[l], v[l] hold the cached keys/values of layer l, pos*Dim flat.
+	k, v [][]float64
+	pos  int
+}
+
+// newGenState allocates an empty state.
+func (m *Model) newGenState() *genState {
+	return &genState{
+		m: m,
+		k: make([][]float64, m.cfg.Layers),
+		v: make([][]float64, m.cfg.Layers),
+	}
+}
+
+// lnRow layer-normalises a single row.
+func lnRow(x, g, b []float64) []float64 {
+	const eps = 1e-5
+	d := len(x)
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(d)
+	varr := 0.0
+	for _, v := range x {
+		dv := v - mean
+		varr += dv * dv
+	}
+	varr /= float64(d)
+	rstd := 1 / math.Sqrt(varr+eps)
+	out := make([]float64, d)
+	for i, v := range x {
+		out[i] = (v-mean)*rstd*g[i] + b[i]
+	}
+	return out
+}
+
+// vecMat computes y = x @ w for one row (w: in x out).
+func vecMat(x, w []float64, out int) []float64 {
+	y := make([]float64, out)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		wr := w[i*out : (i+1)*out]
+		for j, wv := range wr {
+			y[j] += xv * wv
+		}
+	}
+	return y
+}
+
+// step feeds one token through the model, appending to the caches, and
+// returns the logits for the next-token distribution. It must be fed tokens
+// in order; pos must stay below the context length.
+func (s *genState) step(tok int) []float64 {
+	m := s.m
+	cfg := m.cfg
+	d := cfg.Dim
+	heads, dh := cfg.Heads, d/cfg.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+
+	x := make([]float64, d)
+	te := m.tokEmb.W[tok*d : (tok+1)*d]
+	pe := m.posEmb.W[s.pos*d : (s.pos+1)*d]
+	for i := 0; i < d; i++ {
+		x[i] = te[i] + pe[i]
+	}
+
+	T := s.pos + 1
+	for l, b := range m.blocks {
+		a := lnRow(x, b.ln1g.W, b.ln1b.W)
+		q := vecMat(a, b.wq.W, d)
+		k := vecMat(a, b.wk.W, d)
+		v := vecMat(a, b.wv.W, d)
+		s.k[l] = append(s.k[l], k...)
+		s.v[l] = append(s.v[l], v...)
+
+		att := make([]float64, d)
+		for h := 0; h < heads; h++ {
+			off := h * dh
+			scores := make([]float64, T)
+			maxs := math.Inf(-1)
+			for u := 0; u < T; u++ {
+				dot := 0.0
+				for i := 0; i < dh; i++ {
+					dot += q[off+i] * s.k[l][u*d+off+i]
+				}
+				dot *= scale
+				scores[u] = dot
+				if dot > maxs {
+					maxs = dot
+				}
+			}
+			sum := 0.0
+			for u := 0; u < T; u++ {
+				scores[u] = math.Exp(scores[u] - maxs)
+				sum += scores[u]
+			}
+			for u := 0; u < T; u++ {
+				p := scores[u] / sum
+				for i := 0; i < dh; i++ {
+					att[off+i] += p * s.v[l][u*d+off+i]
+				}
+			}
+		}
+		ao := vecMat(att, b.wo.W, d)
+		for i := 0; i < d; i++ {
+			x[i] += ao[i]
+		}
+
+		bIn := lnRow(x, b.ln2g.W, b.ln2b.W)
+		h1 := vecMat(bIn, b.w1.W, cfg.MLPHidden)
+		for j := range h1 {
+			h1[j] = gelu(h1[j] + b.b1.W[j])
+		}
+		mo := vecMat(h1, b.w2.W, d)
+		for i := 0; i < d; i++ {
+			x[i] += mo[i] + b.b2.W[i]
+		}
+	}
+	s.pos++
+
+	hf := lnRow(x, m.lnfg.W, m.lnfb.W)
+	logits := make([]float64, cfg.Vocab)
+	for tokID := 0; tokID < cfg.Vocab; tokID++ {
+		e := m.tokEmb.W[tokID*d : (tokID+1)*d]
+		dot := 0.0
+		for i := 0; i < d; i++ {
+			dot += hf[i] * e[i]
+		}
+		logits[tokID] = dot
+	}
+	return logits
+}
+
+// GenerateCached extends prefix by up to maxNew tokens using the KV cache:
+// each token costs O(sequence) instead of O(sequence^2). Outputs are
+// identical to Generate as long as prefix+maxNew fits the context window;
+// longer requests fall back to the windowed full forward.
+func (m *Model) GenerateCached(prefix []int, maxNew int, opts GenOptions) []int {
+	if len(prefix) == 0 || len(prefix)+maxNew > m.cfg.Ctx {
+		return m.Generate(prefix, maxNew, opts)
+	}
+	st := m.newGenState()
+	var logits []float64
+	for _, tok := range prefix {
+		logits = st.step(tok)
+	}
+	var out []int
+	for len(out) < maxNew {
+		tok := pickToken(logits, opts)
+		out = append(out, tok)
+		if opts.StopToken > 0 && tok == opts.StopToken {
+			break
+		}
+		if opts.Stop != nil && opts.Stop(out) {
+			break
+		}
+		if len(out) == maxNew {
+			break
+		}
+		logits = st.step(tok)
+	}
+	return out
+}

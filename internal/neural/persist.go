@@ -1,0 +1,48 @@
+package neural
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the gob wire format of a model: its architecture plus every
+// parameter tensor in registration order.
+type snapshot struct {
+	Cfg     Config
+	Weights [][]float64
+}
+
+// Save serialises the model (architecture + weights) with encoding/gob.
+// Optimizer state is not saved; training can resume with a fresh Adam.
+func (m *Model) Save(w io.Writer) error {
+	snap := snapshot{Cfg: m.cfg}
+	for _, p := range m.params {
+		snap.Weights = append(snap.Weights, p.W)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load restores a model saved by Save.
+func Load(r io.Reader) (*Model, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("neural: decode: %w", err)
+	}
+	m, err := NewModel(snap.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.Weights) != len(m.params) {
+		return nil, fmt.Errorf("neural: snapshot has %d tensors, model needs %d",
+			len(snap.Weights), len(m.params))
+	}
+	for i, w := range snap.Weights {
+		if len(w) != len(m.params[i].W) {
+			return nil, fmt.Errorf("neural: tensor %s has %d weights, want %d",
+				m.params[i].Name, len(w), len(m.params[i].W))
+		}
+		copy(m.params[i].W, w)
+	}
+	return m, nil
+}

@@ -1,0 +1,316 @@
+// Package ngram implements an interpolated backoff n-gram language model
+// with Witten-Bell smoothing over token ids.
+//
+// In this reproduction the n-gram model is the fast, CPU-trainable stand-in
+// for the paper's 350M-parameter decoder models whenever seven model
+// variants must be pre-trained and fine-tuned inside a single benchmark run:
+// like the transformer it models next-token distributions learned from a
+// corpus, so its output quality responds to the composition of the training
+// data in the same direction the paper measures. The pure-Go transformer in
+// internal/neural is the architecture-faithful counterpart.
+package ngram
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Model is a Witten-Bell interpolated n-gram LM. Create with New, feed with
+// Add (or Train), then Generate/Prob/Perplexity. Training mutates; inference
+// methods are safe for concurrent use once training is done.
+type Model struct {
+	order     int
+	vocabSize int
+	// ctx[k] maps a packed context of length k to its continuation counts.
+	ctx []map[string]*continuations
+	// capacity knob for Generate candidate sets.
+	unigram *continuations
+}
+
+// continuations holds the observed next-token counts after one context.
+type continuations struct {
+	counts map[int]int
+	total  int
+}
+
+func (c *continuations) add(tok int) {
+	c.counts[tok]++
+	c.total++
+}
+
+// New creates an empty model of the given order (n-gram length, >= 1) over a
+// vocabulary of vocabSize ids.
+func New(order, vocabSize int) (*Model, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("ngram: order %d < 1", order)
+	}
+	if vocabSize < 1 {
+		return nil, fmt.Errorf("ngram: vocabSize %d < 1", vocabSize)
+	}
+	m := &Model{order: order, vocabSize: vocabSize, ctx: make([]map[string]*continuations, order)}
+	for k := 0; k < order; k++ {
+		m.ctx[k] = make(map[string]*continuations)
+	}
+	m.unigram = &continuations{counts: make(map[int]int)}
+	m.ctx[0][""] = m.unigram
+	return m, nil
+}
+
+// Train builds a model from token sequences (one per document).
+func Train(seqs [][]int, order, vocabSize int) (*Model, error) {
+	m, err := New(order, vocabSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range seqs {
+		m.Add(s)
+	}
+	return m, nil
+}
+
+// Order returns the n-gram order.
+func (m *Model) Order() int { return m.order }
+
+// VocabSize returns the vocabulary size.
+func (m *Model) VocabSize() int { return m.vocabSize }
+
+// Contexts returns the total number of stored contexts (a size measure: the
+// n-gram analogue of parameter count).
+func (m *Model) Contexts() int {
+	n := 0
+	for _, c := range m.ctx {
+		n += len(c)
+	}
+	return n
+}
+
+// Add accumulates counts from one token sequence.
+func (m *Model) Add(seq []int) {
+	for i, tok := range seq {
+		if tok < 0 || tok >= m.vocabSize {
+			continue
+		}
+		for k := 0; k < m.order; k++ {
+			if i-k < 0 {
+				break
+			}
+			key := packContext(seq[i-k : i])
+			c := m.ctx[k][key]
+			if c == nil {
+				c = &continuations{counts: make(map[int]int)}
+				m.ctx[k][key] = c
+			}
+			c.add(tok)
+		}
+	}
+}
+
+// packContext encodes a context id slice as a compact string key.
+func packContext(ids []int) string {
+	buf := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16))
+	}
+	return string(buf)
+}
+
+// Prob returns P(tok | context) under Witten-Bell interpolation, backing off
+// from the longest usable context suffix down to the uniform distribution.
+func (m *Model) Prob(context []int, tok int) float64 {
+	if tok < 0 || tok >= m.vocabSize {
+		return 0
+	}
+	return m.probAt(context, tok, m.maxUsableOrder(context))
+}
+
+// maxUsableOrder returns the longest context length to start from.
+func (m *Model) maxUsableOrder(context []int) int {
+	k := m.order - 1
+	if len(context) < k {
+		k = len(context)
+	}
+	return k
+}
+
+// probAt computes the interpolated probability using context suffix length k.
+func (m *Model) probAt(context []int, tok, k int) float64 {
+	if k < 0 {
+		return 1 / float64(m.vocabSize) // uniform base distribution
+	}
+	c := m.ctx[k][packContext(context[len(context)-k:])]
+	lower := m.probAt(context, tok, k-1)
+	if c == nil || c.total == 0 {
+		return lower
+	}
+	types := float64(len(c.counts))
+	total := float64(c.total)
+	// Witten-Bell: lambda mass proportional to the number of distinct
+	// continuation types.
+	return (float64(c.counts[tok]) + types*lower) / (total + types)
+}
+
+// LogProb returns the total natural-log probability of a sequence, each
+// token conditioned on all preceding ones.
+func (m *Model) LogProb(seq []int) float64 {
+	sum := 0.0
+	for i, tok := range seq {
+		p := m.Prob(seq[:i], tok)
+		if p <= 0 {
+			p = 1e-12
+		}
+		sum += math.Log(p)
+	}
+	return sum
+}
+
+// Perplexity returns exp(-LogProb/len) for a sequence.
+func (m *Model) Perplexity(seq []int) float64 {
+	if len(seq) == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(-m.LogProb(seq) / float64(len(seq)))
+}
+
+// GenOptions control decoding.
+type GenOptions struct {
+	// Temperature 0 (or TopK 1) means greedy decoding. Higher flattens.
+	Temperature float64
+	// TopK restricts sampling to the k most probable candidates (0 = all).
+	TopK int
+	// Stop halts generation when it returns true for the token emitted so
+	// far; it may be nil.
+	Stop func(generated []int) bool
+	// StopToken halts generation when emitted (set to -1 to disable).
+	StopToken int
+	// Rand supplies randomness for sampling; nil means greedy.
+	Rand *rand.Rand
+}
+
+// Generate extends prefix by up to maxNew tokens, returning only the new
+// tokens. Decoding is greedy unless options request sampling.
+func (m *Model) Generate(prefix []int, maxNew int, opts GenOptions) []int {
+	seq := append([]int(nil), prefix...)
+	var out []int
+	for len(out) < maxNew {
+		tok, ok := m.nextToken(seq, opts)
+		if !ok {
+			break
+		}
+		out = append(out, tok)
+		seq = append(seq, tok)
+		if opts.StopToken != 0 && tok == opts.StopToken {
+			break
+		}
+		if opts.Stop != nil && opts.Stop(out) {
+			break
+		}
+	}
+	return out
+}
+
+// candidate is one possible next token with its interpolated probability.
+type candidate struct {
+	tok int
+	p   float64
+}
+
+// nextToken picks the next token. Candidate tokens are the union of observed
+// continuations along the backoff chain, scored with the full interpolated
+// probability; the uniform floor never wins, so generation stays on corpus
+// vocabulary, which is what greedy decoding over the full softmax would pick
+// anyway.
+func (m *Model) nextToken(seq []int, opts GenOptions) (int, bool) {
+	cands := m.candidates(seq)
+	if len(cands) == 0 {
+		return 0, false
+	}
+	if opts.Rand == nil || opts.Temperature <= 0 {
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if c.p > best.p || (c.p == best.p && c.tok < best.tok) {
+				best = c
+			}
+		}
+		return best.tok, true
+	}
+	// Temperature sampling over (optionally top-k) candidates.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].p != cands[j].p {
+			return cands[i].p > cands[j].p
+		}
+		return cands[i].tok < cands[j].tok
+	})
+	if opts.TopK > 0 && len(cands) > opts.TopK {
+		cands = cands[:opts.TopK]
+	}
+	sum := 0.0
+	weights := make([]float64, len(cands))
+	for i, c := range cands {
+		w := math.Pow(c.p, 1/opts.Temperature)
+		weights[i] = w
+		sum += w
+	}
+	r := opts.Rand.Float64() * sum
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return cands[i].tok, true
+		}
+	}
+	return cands[len(cands)-1].tok, true
+}
+
+// LongestContext returns the length of the longest context suffix of seq
+// with observed continuations, along with those continuation counts and
+// their total. k is -1 when nothing matches at any level (empty model).
+// The returned map is the model's internal count table; callers must not
+// modify it.
+func (m *Model) LongestContext(seq []int) (k int, counts map[int]int, total int) {
+	for k = m.maxUsableOrder(seq); k >= 0; k-- {
+		c := m.ctx[k][packContext(seq[len(seq)-k:])]
+		if c != nil && c.total > 0 {
+			return k, c.counts, c.total
+		}
+	}
+	return -1, nil, 0
+}
+
+// Candidates returns the distinct observed continuation tokens along the
+// backoff chain for the given sequence, the natural candidate set for
+// greedy decoding or for interpolating two models.
+func (m *Model) Candidates(seq []int) []int {
+	cands := m.candidates(seq)
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.tok
+	}
+	return out
+}
+
+// candidates gathers observed continuations along the backoff chain and
+// scores each with the fully interpolated probability.
+func (m *Model) candidates(seq []int) []candidate {
+	seen := make(map[int]bool)
+	var cands []candidate
+	for k := m.maxUsableOrder(seq); k >= 0; k-- {
+		c := m.ctx[k][packContext(seq[len(seq)-k:])]
+		if c == nil {
+			continue
+		}
+		for tok := range c.counts {
+			if seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			cands = append(cands, candidate{tok: tok, p: m.Prob(seq, tok)})
+		}
+		// The longest two matched levels provide plenty of candidates;
+		// going all the way to unigram adds the whole vocabulary.
+		if len(cands) >= 64 && k <= m.maxUsableOrder(seq)-1 {
+			break
+		}
+	}
+	return cands
+}

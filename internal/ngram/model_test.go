@@ -1,0 +1,193 @@
+package ngram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// toy corpus over a tiny vocabulary (ids 0..9).
+func toySeqs() [][]int {
+	return [][]int{
+		{1, 2, 3, 4, 5},
+		{1, 2, 3, 4, 6},
+		{1, 2, 3, 4, 5},
+		{7, 8, 9, 1, 2},
+		{1, 2, 3, 4, 5, 1, 2, 3},
+	}
+}
+
+func trainToy(t *testing.T, order int) *Model {
+	t.Helper()
+	m, err := Train(toySeqs(), order, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, err := New(3, 0); err == nil {
+		t.Error("vocab 0 accepted")
+	}
+}
+
+func TestProbDistributionSumsToOne(t *testing.T) {
+	m := trainToy(t, 3)
+	contexts := [][]int{
+		{},
+		{1},
+		{1, 2},
+		{2, 3},
+		{9, 9}, // unseen context
+		{7, 8},
+	}
+	for _, ctx := range contexts {
+		sum := 0.0
+		for tok := 0; tok < m.VocabSize(); tok++ {
+			p := m.Prob(ctx, tok)
+			if p < 0 || p > 1 {
+				t.Fatalf("P(%d|%v) = %v out of range", tok, ctx, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("sum P(.|%v) = %v, want 1", ctx, sum)
+		}
+	}
+}
+
+func TestProbFavorsObserved(t *testing.T) {
+	m := trainToy(t, 3)
+	// After (2,3), token 4 always follows in the corpus.
+	if p4, p9 := m.Prob([]int{2, 3}, 4), m.Prob([]int{2, 3}, 9); p4 <= p9 {
+		t.Errorf("P(4|2,3)=%v <= P(9|2,3)=%v", p4, p9)
+	}
+	// Unseen context backs off to unigram-ish behaviour: frequent token 1
+	// should beat rare token 6.
+	if p1, p6 := m.Prob([]int{9, 9}, 1), m.Prob([]int{9, 9}, 6); p1 <= p6 {
+		t.Errorf("backoff: P(1)=%v <= P(6)=%v", p1, p6)
+	}
+}
+
+func TestGreedyGenerationFollowsCorpus(t *testing.T) {
+	m := trainToy(t, 3)
+	out := m.Generate([]int{1, 2}, 3, GenOptions{StopToken: -1})
+	if len(out) != 3 {
+		t.Fatalf("generated %d tokens, want 3", len(out))
+	}
+	if out[0] != 3 || out[1] != 4 || out[2] != 5 {
+		t.Errorf("greedy continuation of [1 2] = %v, want [3 4 5]", out)
+	}
+}
+
+func TestGenerateStopToken(t *testing.T) {
+	m := trainToy(t, 3)
+	out := m.Generate([]int{1, 2}, 10, GenOptions{StopToken: 4})
+	if len(out) == 0 || out[len(out)-1] != 4 {
+		t.Errorf("generation did not stop at token 4: %v", out)
+	}
+}
+
+func TestGenerateStopFunc(t *testing.T) {
+	m := trainToy(t, 3)
+	out := m.Generate([]int{1, 2}, 10, GenOptions{
+		StopToken: -1,
+		Stop:      func(g []int) bool { return len(g) >= 2 },
+	})
+	if len(out) != 2 {
+		t.Errorf("stop func ignored: %v", out)
+	}
+}
+
+func TestGenerateEmptyModel(t *testing.T) {
+	m, err := New(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Generate([]int{1, 2}, 5, GenOptions{}); len(out) != 0 {
+		t.Errorf("empty model generated %v", out)
+	}
+}
+
+func TestSamplingDeterministicWithSeed(t *testing.T) {
+	m := trainToy(t, 3)
+	gen := func() []int {
+		return m.Generate([]int{1}, 5, GenOptions{
+			Temperature: 0.8, TopK: 3, StopToken: -1,
+			Rand: rand.New(rand.NewSource(42)),
+		})
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different samples: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestPerplexityLowerOnTrainingData(t *testing.T) {
+	m := trainToy(t, 3)
+	train := []int{1, 2, 3, 4, 5}
+	shuffled := []int{5, 3, 1, 4, 2}
+	if pt, ps := m.Perplexity(train), m.Perplexity(shuffled); pt >= ps {
+		t.Errorf("perplexity(train)=%v >= perplexity(shuffled)=%v", pt, ps)
+	}
+}
+
+func TestMoreDataImprovesModel(t *testing.T) {
+	// The core effect the paper measures: domain data improves the model.
+	test := []int{1, 2, 3, 4, 5}
+	small, err := Train(toySeqs()[:1], 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := trainToy(t, 3)
+	if pb, psm := big.Perplexity(test), small.Perplexity(test); pb >= psm {
+		t.Errorf("more in-domain data did not help: big=%v small=%v", pb, psm)
+	}
+}
+
+func TestHigherOrderCapturesLongerPatterns(t *testing.T) {
+	seqs := [][]int{{1, 2, 3, 4}, {5, 2, 3, 6}, {1, 2, 3, 4}, {5, 2, 3, 6}}
+	uni, _ := Train(seqs, 1, 8)
+	tri, _ := Train(seqs, 4, 8)
+	test := []int{1, 2, 3, 4}
+	if pu, pt := uni.Perplexity(test), tri.Perplexity(test); pt >= pu {
+		t.Errorf("higher order not better: order4=%v order1=%v", pt, pu)
+	}
+}
+
+func TestOutOfRangeTokens(t *testing.T) {
+	m := trainToy(t, 2)
+	if m.Prob([]int{1}, -1) != 0 || m.Prob([]int{1}, 99) != 0 {
+		t.Error("out-of-range token has nonzero probability")
+	}
+	// Add must ignore out-of-range tokens without panicking.
+	m.Add([]int{-5, 3, 500})
+}
+
+func TestContextsGrowsWithOrder(t *testing.T) {
+	m1 := trainToy(t, 1)
+	m3 := trainToy(t, 3)
+	if m3.Contexts() <= m1.Contexts() {
+		t.Errorf("contexts: order3=%d <= order1=%d", m3.Contexts(), m1.Contexts())
+	}
+}
+
+func TestLogProbFinite(t *testing.T) {
+	m := trainToy(t, 3)
+	lp := m.LogProb([]int{9, 9, 9, 0, 0})
+	if math.IsInf(lp, 0) || math.IsNaN(lp) {
+		t.Errorf("LogProb = %v", lp)
+	}
+	if lp >= 0 {
+		t.Errorf("LogProb = %v, want negative", lp)
+	}
+}

@@ -1,0 +1,67 @@
+package ngram
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the gob wire format: order, vocabulary and the per-level
+// context tables flattened to exported types.
+type snapshot struct {
+	Order     int
+	VocabSize int
+	// Levels[k] maps packed contexts of length k to continuation counts.
+	Levels []map[string]map[int]int
+}
+
+// Save serialises the model with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	snap := snapshot{Order: m.order, VocabSize: m.vocabSize}
+	for _, level := range m.ctx {
+		flat := make(map[string]map[int]int, len(level))
+		for key, c := range level {
+			counts := make(map[int]int, len(c.counts))
+			for tok, n := range c.counts {
+				counts[tok] = n
+			}
+			flat[key] = counts
+		}
+		snap.Levels = append(snap.Levels, flat)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load restores a model saved by Save.
+func Load(r io.Reader) (*Model, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("ngram: decode: %w", err)
+	}
+	m, err := New(snap.Order, snap.VocabSize)
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.Levels) != snap.Order {
+		return nil, fmt.Errorf("ngram: snapshot has %d levels, order %d", len(snap.Levels), snap.Order)
+	}
+	for k, flat := range snap.Levels {
+		level := make(map[string]*continuations, len(flat))
+		for key, counts := range flat {
+			c := &continuations{counts: make(map[int]int, len(counts))}
+			for tok, n := range counts {
+				c.counts[tok] = n
+				c.total += n
+			}
+			level[key] = c
+		}
+		m.ctx[k] = level
+	}
+	// Restore the unigram alias.
+	if c, ok := m.ctx[0][""]; ok {
+		m.unigram = c
+	} else {
+		m.ctx[0][""] = m.unigram
+	}
+	return m, nil
+}

@@ -1,0 +1,79 @@
+package ngram
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := trainToy(t, 3)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Order() != m.Order() || back.VocabSize() != m.VocabSize() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", back.Order(), back.VocabSize(), m.Order(), m.VocabSize())
+	}
+	if back.Contexts() != m.Contexts() {
+		t.Errorf("contexts %d != %d", back.Contexts(), m.Contexts())
+	}
+	// Probabilities identical for a spread of contexts/tokens.
+	contexts := [][]int{{}, {1}, {1, 2}, {9, 9}}
+	for _, ctx := range contexts {
+		for tok := 0; tok < 10; tok++ {
+			a, b := m.Prob(ctx, tok), back.Prob(ctx, tok)
+			if math.Abs(a-b) > 1e-15 {
+				t.Fatalf("P(%d|%v): %v != %v", tok, ctx, a, b)
+			}
+		}
+	}
+	// Generation identical.
+	ga := m.Generate([]int{1, 2}, 5, GenOptions{StopToken: -1})
+	gb := back.Generate([]int{1, 2}, 5, GenOptions{StopToken: -1})
+	if len(ga) != len(gb) {
+		t.Fatalf("generation lengths differ: %v vs %v", ga, gb)
+	}
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("generation differs: %v vs %v", ga, gb)
+		}
+	}
+	// The reloaded model remains trainable.
+	back.Add([]int{5, 6, 7})
+	if back.Contexts() <= m.Contexts() {
+		t.Error("reloaded model did not accept new counts")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveLoadEmptyModel(t *testing.T) {
+	m, err := New(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := back.Prob(nil, 1); math.Abs(p-0.2) > 1e-12 {
+		t.Errorf("empty model prob = %v, want uniform 0.2", p)
+	}
+	back.Add([]int{1, 2, 3}) // must not panic (unigram alias restored)
+	if back.Contexts() == 0 {
+		t.Error("reloaded empty model not trainable")
+	}
+}

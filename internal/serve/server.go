@@ -1,0 +1,278 @@
+// Package serve implements the inference service of the paper's Demo/Plugin
+// section: model predictions exposed over a JSON REST API and a compact
+// binary RPC protocol (the stdlib substitute for the paper's GRPC
+// interface), plus the response cache the paper lists as its latency
+// roadmap item. The examples/editor-plugin program drives this service the
+// way the paper's Visual Studio Code plugin drives theirs.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Predictor is the model-side interface the server needs; *wisdom.Model
+// satisfies it.
+type Predictor interface {
+	Predict(context, prompt string) string
+}
+
+// Request is one completion request: the natural-language intent plus the
+// optional Ansible context preceding the cursor.
+type Request struct {
+	// Prompt is the task description the user typed after "- name:".
+	Prompt string `json:"prompt"`
+	// Context is the file content above the prompt (may be empty).
+	Context string `json:"context,omitempty"`
+}
+
+// Response carries the suggestion back to the editor.
+type Response struct {
+	// Suggestion is the completed task (name line plus body).
+	Suggestion string `json:"suggestion"`
+	// Cached reports whether the suggestion came from the response cache.
+	Cached bool `json:"cached"`
+	// LatencyMS is the server-side handling time in milliseconds.
+	LatencyMS float64 `json:"latency_ms"`
+	// Model names the serving model.
+	Model string `json:"model"`
+}
+
+// Server serves predictions over HTTP and the binary RPC protocol.
+type Server struct {
+	model     Predictor
+	modelName string
+	cache     *Cache
+	mu        sync.Mutex
+	requests  int
+}
+
+// NewServer wraps a predictor. cacheSize <= 0 disables the cache.
+func NewServer(model Predictor, modelName string, cacheSize int) *Server {
+	s := &Server{model: model, modelName: modelName}
+	if cacheSize > 0 {
+		s.cache = NewCache(cacheSize)
+	}
+	return s
+}
+
+// Requests returns the number of predictions served (both protocols).
+func (s *Server) Requests() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// predict answers one request, consulting the cache first.
+func (s *Server) predict(req Request) Response {
+	start := time.Now()
+	s.mu.Lock()
+	s.requests++
+	s.mu.Unlock()
+
+	key := req.Context + "\x00" + req.Prompt
+	if s.cache != nil {
+		if v, ok := s.cache.Get(key); ok {
+			return Response{Suggestion: v, Cached: true, LatencyMS: ms(start), Model: s.modelName}
+		}
+	}
+	suggestion := s.model.Predict(req.Context, req.Prompt)
+	if s.cache != nil {
+		s.cache.Put(key, suggestion)
+	}
+	return Response{Suggestion: suggestion, LatencyMS: ms(start), Model: s.modelName}
+}
+
+func ms(start time.Time) float64 { return float64(time.Since(start).Microseconds()) / 1000 }
+
+// ---- REST ----
+
+// Handler returns the HTTP handler exposing the REST API:
+//
+//	POST /v1/completions  {"prompt": ..., "context": ...} -> Response
+//	GET  /v1/health       -> {"status": "ok", "model": ...}
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/completions", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, `{"error":"method not allowed"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
+			return
+		}
+		if strings.TrimSpace(req.Prompt) == "" {
+			http.Error(w, `{"error":"prompt is required"}`, http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.predict(req)); err != nil {
+			// Too late for a status change; the connection is gone.
+			return
+		}
+	})
+	mux.HandleFunc("/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","model":%q,"requests":%d}`+"\n", s.modelName, s.Requests())
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.Stats()); err != nil {
+			return
+		}
+	})
+	return mux
+}
+
+// Stats summarises the server's counters for the /v1/stats endpoint.
+type Stats struct {
+	Model        string  `json:"model"`
+	Requests     int     `json:"requests"`
+	CacheEnabled bool    `json:"cache_enabled"`
+	CacheEntries int     `json:"cache_entries"`
+	CacheHits    int     `json:"cache_hits"`
+	CacheMisses  int     `json:"cache_misses"`
+	HitRate      float64 `json:"hit_rate"`
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	st := Stats{Model: s.modelName, Requests: s.Requests()}
+	if s.cache != nil {
+		st.CacheEnabled = true
+		st.CacheEntries = s.cache.Len()
+		st.CacheHits, st.CacheMisses = s.cache.Stats()
+		if total := st.CacheHits + st.CacheMisses; total > 0 {
+			st.HitRate = float64(st.CacheHits) / float64(total)
+		}
+	}
+	return st
+}
+
+// ListenHTTP serves the REST API on addr until the listener fails.
+func (s *Server) ListenHTTP(addr string) error {
+	return http.ListenAndServe(addr, s.Handler())
+}
+
+// ---- binary RPC (the GRPC stand-in) ----
+
+// The wire protocol is length-prefixed JSON frames over TCP: a 4-byte
+// big-endian frame length followed by the JSON payload, in both directions;
+// one request frame yields one response frame. This keeps the transport
+// dependency-free while preserving the GRPC call shape (typed request,
+// typed response, persistent connection, multiplexed calls in sequence).
+
+const maxFrame = 1 << 20 // 1 MiB per frame is far beyond any playbook
+
+// writeFrame writes one length-prefixed JSON frame.
+func writeFrame(conn net.Conn, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("serve: frame of %d bytes exceeds limit", len(payload))
+	}
+	hdr := []byte{byte(len(payload) >> 24), byte(len(payload) >> 16), byte(len(payload) >> 8), byte(len(payload))}
+	if _, err := conn.Write(hdr); err != nil {
+		return err
+	}
+	_, err = conn.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON frame into v.
+func readFrame(conn net.Conn, v any) error {
+	hdr := make([]byte, 4)
+	if _, err := readFull(conn, hdr); err != nil {
+		return err
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n <= 0 || n > maxFrame {
+		return fmt.Errorf("serve: invalid frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := readFull(conn, payload); err != nil {
+		return err
+	}
+	return json.Unmarshal(payload, v)
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ServeRPC accepts RPC connections on the listener until it is closed.
+func (s *Server) ServeRPC(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var req Request
+		if err := readFrame(conn, &req); err != nil {
+			return // client closed or sent garbage; drop the connection
+		}
+		if err := writeFrame(conn, s.predict(req)); err != nil {
+			return
+		}
+	}
+}
+
+// Client is an RPC client holding one persistent connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects an RPC client to addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Predict performs one RPC round trip.
+func (c *Client) Predict(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }

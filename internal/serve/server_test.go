@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// echoModel is a deterministic test predictor.
+type echoModel struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (m *echoModel) Predict(context, prompt string) string {
+	m.mu.Lock()
+	m.calls++
+	m.mu.Unlock()
+	return "- name: " + prompt + "\n  ansible.builtin.debug:\n    msg: from " + strings.TrimSpace(context) + "\n"
+}
+
+func TestRESTCompletion(t *testing.T) {
+	model := &echoModel{}
+	srv := NewServer(model, "test-model", 16)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(Request{Prompt: "install nginx"})
+	resp, err := ts.Client().Post(ts.URL+"/v1/completions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.Suggestion, "- name: install nginx") {
+		t.Errorf("suggestion = %q", out.Suggestion)
+	}
+	if out.Cached || out.Model != "test-model" {
+		t.Errorf("response meta = %+v", out)
+	}
+}
+
+func TestRESTCacheHit(t *testing.T) {
+	model := &echoModel{}
+	srv := NewServer(model, "m", 16)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	send := func() Response {
+		body, _ := json.Marshal(Request{Prompt: "start redis", Context: "x: 1\n"})
+		resp, err := ts.Client().Post(ts.URL+"/v1/completions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out Response
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := send()
+	second := send()
+	if first.Cached {
+		t.Error("first request reported cached")
+	}
+	if !second.Cached {
+		t.Error("second identical request not cached")
+	}
+	if model.calls != 1 {
+		t.Errorf("model called %d times, want 1", model.calls)
+	}
+	if first.Suggestion != second.Suggestion {
+		t.Error("cache changed the suggestion")
+	}
+}
+
+func TestRESTValidation(t *testing.T) {
+	srv := NewServer(&echoModel{}, "m", 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Missing prompt.
+	resp, err := ts.Client().Post(ts.URL+"/v1/completions", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("empty prompt status = %d, want 400", resp.StatusCode)
+	}
+	// Bad JSON.
+	resp, err = ts.Client().Post(ts.URL+"/v1/completions", "application/json", strings.NewReader(`{`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad json status = %d, want 400", resp.StatusCode)
+	}
+	// Wrong method.
+	getResp, err := ts.Client().Get(ts.URL + "/v1/completions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != 405 {
+		t.Errorf("GET status = %d, want 405", getResp.StatusCode)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	srv := NewServer(&echoModel{}, "health-model", 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"status":"ok"`) || !strings.Contains(buf.String(), "health-model") {
+		t.Errorf("health = %s", buf.String())
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	model := &echoModel{}
+	srv := NewServer(model, "rpc-model", 8)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.ServeRPC(ln) }()
+
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	resp, err := client.Predict(Request{Prompt: "create backup dir", Context: "ctx\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Suggestion, "create backup dir") || resp.Model != "rpc-model" {
+		t.Errorf("rpc response = %+v", resp)
+	}
+
+	// Second identical call over the SAME connection: cache hit.
+	resp2, err := client.Predict(Request{Prompt: "create backup dir", Context: "ctx\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Cached {
+		t.Error("second rpc call not cached")
+	}
+	if srv.Requests() != 2 {
+		t.Errorf("requests = %d", srv.Requests())
+	}
+}
+
+func TestRPCMultipleClients(t *testing.T) {
+	srv := NewServer(&echoModel{}, "m", 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.ServeRPC(ln) }()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(ln.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 5; j++ {
+				resp, err := c.Predict(Request{Prompt: fmt.Sprintf("task %d-%d", i, j)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !strings.Contains(resp.Suggestion, fmt.Sprintf("task %d-%d", i, j)) {
+					errs <- fmt.Errorf("cross-talk: %q", resp.Suggestion)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	srv := NewServer(&echoModel{}, "m", 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.ServeRPC(ln) }()
+
+	// A raw connection sending an oversized frame header must be dropped,
+	// not crash the server.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("server answered an invalid frame")
+	}
+	conn.Close()
+
+	// The server must still work afterwards.
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Predict(Request{Prompt: "still alive"}); err != nil {
+		t.Errorf("server broken after bad frame: %v", err)
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", "1")
+	c.Put("b", "2")
+	if v, ok := c.Get("a"); !ok || v != "1" {
+		t.Error("a missing")
+	}
+	c.Put("c", "3") // evicts b (a was just used)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should survive")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d/%d, want 2/1", hits, misses)
+	}
+}
+
+func TestCacheUpdate(t *testing.T) {
+	c := NewCache(2)
+	c.Put("k", "old")
+	c.Put("k", "new")
+	if v, _ := c.Get("k"); v != "new" {
+		t.Errorf("value = %q", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestCacheCapacityClamp(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", "1")
+	c.Put("b", "2")
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1 (clamped capacity)", c.Len())
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := NewServer(&echoModel{}, "stats-model", 8)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Two identical requests: one miss, one hit.
+	for i := 0; i < 2; i++ {
+		body, _ := json.Marshal(Request{Prompt: "x"})
+		resp, err := ts.Client().Post(ts.URL+"/v1/completions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Model != "stats-model" || st.Requests != 2 || !st.CacheEnabled {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.CacheEntries != 1 {
+		t.Errorf("cache stats = %+v", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Errorf("hit rate = %v", st.HitRate)
+	}
+}
+
+func TestStatsWithoutCache(t *testing.T) {
+	srv := NewServer(&echoModel{}, "m", 0)
+	st := srv.Stats()
+	if st.CacheEnabled || st.HitRate != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,315 @@
+// Package tokenizer implements a trainable byte-level byte-pair-encoding
+// (BPE) tokenizer of the kind used by CodeGen, the checkpoint family the
+// Wisdom models extend. The base alphabet is the 256 byte values, so any
+// input round-trips exactly; merges are learned from a corpus; special
+// tokens (the file separator used during pre-training context packing, and
+// padding/end-of-text) live outside the byte alphabet.
+package tokenizer
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Special token names. They are appended after the byte alphabet and any
+// learned merges, and are never produced by Encode on plain text.
+const (
+	// SepToken separates packed files in a pre-training stream.
+	SepToken = "<|sep|>"
+	// EndToken marks end-of-generation.
+	EndToken = "<|endoftext|>"
+	// PadToken pads batches to a fixed length.
+	PadToken = "<|pad|>"
+)
+
+// Tokenizer is a byte-level BPE codec. The zero value is not usable; create
+// one with Train or Load.
+type Tokenizer struct {
+	vocab   []string       // id -> token bytes (as string); specials last
+	index   map[string]int // token bytes -> id
+	ranks   map[[2]int]int // pair of ids -> merge priority (lower = earlier)
+	merged  map[[2]int]int // pair of ids -> resulting id
+	special map[string]int // special token name -> id
+}
+
+// Train learns a BPE vocabulary of the requested size from the corpus.
+// vocabSize counts everything: the 256 byte tokens, the learned merges and
+// the 3 special tokens; it must be at least 259.
+func Train(corpus []string, vocabSize int) (*Tokenizer, error) {
+	const reserved = 256 + 3
+	if vocabSize < reserved {
+		return nil, fmt.Errorf("tokenizer: vocabSize %d < minimum %d", vocabSize, reserved)
+	}
+	t := &Tokenizer{
+		index:   make(map[string]int),
+		ranks:   make(map[[2]int]int),
+		merged:  make(map[[2]int]int),
+		special: make(map[string]int),
+	}
+	for b := 0; b < 256; b++ {
+		tok := string([]byte{byte(b)})
+		t.index[tok] = b
+		t.vocab = append(t.vocab, tok)
+	}
+
+	// Pre-tokenise the corpus into words and count word frequencies; BPE
+	// merges never cross word boundaries, which keeps training fast and
+	// tokens aligned with YAML structure.
+	wordFreq := make(map[string]int)
+	for _, doc := range corpus {
+		for _, w := range splitWords(doc) {
+			wordFreq[w]++
+		}
+	}
+	type word struct {
+		ids  []int
+		freq int
+	}
+	words := make([]word, 0, len(wordFreq))
+	for w, f := range wordFreq {
+		ids := make([]int, len(w))
+		for i := 0; i < len(w); i++ {
+			ids[i] = int(w[i])
+		}
+		words = append(words, word{ids: ids, freq: f})
+	}
+	// Deterministic order so training is reproducible across map iteration.
+	sort.Slice(words, func(i, j int) bool {
+		return lessIDs(words[i].ids, words[j].ids)
+	})
+
+	nMerges := vocabSize - reserved
+	for m := 0; m < nMerges; m++ {
+		// Count adjacent pairs.
+		pairFreq := make(map[[2]int]int)
+		for _, w := range words {
+			for i := 0; i+1 < len(w.ids); i++ {
+				pairFreq[[2]int{w.ids[i], w.ids[i+1]}] += w.freq
+			}
+		}
+		best, bestFreq := [2]int{-1, -1}, 0
+		for pr, f := range pairFreq {
+			if f > bestFreq || (f == bestFreq && lessPair(pr, best)) {
+				best, bestFreq = pr, f
+			}
+		}
+		if bestFreq < 2 {
+			break // nothing worth merging
+		}
+		newTok := t.vocab[best[0]] + t.vocab[best[1]]
+		newID := len(t.vocab)
+		t.vocab = append(t.vocab, newTok)
+		t.index[newTok] = newID
+		t.ranks[best] = m
+		t.merged[best] = newID
+		// Apply the merge to every word.
+		for wi := range words {
+			words[wi].ids = applyMerge(words[wi].ids, best, newID)
+		}
+	}
+
+	for _, name := range []string{SepToken, EndToken, PadToken} {
+		id := len(t.vocab)
+		t.vocab = append(t.vocab, name)
+		t.index[name] = id
+		t.special[name] = id
+	}
+	return t, nil
+}
+
+// lessIDs orders id slices lexicographically.
+func lessIDs(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func lessPair(a, b [2]int) bool {
+	if b[0] < 0 {
+		return true
+	}
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func applyMerge(ids []int, pair [2]int, newID int) []int {
+	out := ids[:0]
+	for i := 0; i < len(ids); i++ {
+		if i+1 < len(ids) && ids[i] == pair[0] && ids[i+1] == pair[1] {
+			out = append(out, newID)
+			i++
+			continue
+		}
+		out = append(out, ids[i])
+	}
+	return out
+}
+
+// splitWords pre-tokenises text GPT-2 style: runs of letters/digits form one
+// word with any single preceding space attached; whitespace and punctuation
+// split into their own words. Newlines are kept as separate words so YAML
+// line structure survives.
+func splitWords(s string) []string {
+	var words []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		start := i
+		switch {
+		case c == '\n':
+			i++
+		case c == ' ':
+			// A space followed by a word-char is attached to that word.
+			j := i
+			for j < len(s) && s[j] == ' ' {
+				j++
+			}
+			if j < len(s) && isWordByte(s[j]) && j == i+1 {
+				i = j
+				for i < len(s) && isWordByte(s[i]) {
+					i++
+				}
+			} else {
+				i = j
+			}
+		case isWordByte(c):
+			for i < len(s) && isWordByte(s[i]) {
+				i++
+			}
+		default:
+			for i < len(s) && !isWordByte(s[i]) && s[i] != ' ' && s[i] != '\n' {
+				i++
+			}
+		}
+		words = append(words, s[start:i])
+	}
+	return words
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c >= 0x80
+}
+
+// Encode tokenises text into ids. Special-token strings in the text are NOT
+// treated specially; use Sep/End/Pad to append control ids.
+func (t *Tokenizer) Encode(s string) []int {
+	var out []int
+	for _, w := range splitWords(s) {
+		out = append(out, t.encodeWord(w)...)
+	}
+	return out
+}
+
+func (t *Tokenizer) encodeWord(w string) []int {
+	ids := make([]int, len(w))
+	for i := 0; i < len(w); i++ {
+		ids[i] = int(w[i])
+	}
+	// Repeatedly apply the lowest-rank applicable merge.
+	for len(ids) > 1 {
+		bestRank, bestAt := int(^uint(0)>>1), -1
+		for i := 0; i+1 < len(ids); i++ {
+			if r, ok := t.ranks[[2]int{ids[i], ids[i+1]}]; ok && r < bestRank {
+				bestRank, bestAt = r, i
+			}
+		}
+		if bestAt < 0 {
+			break
+		}
+		pair := [2]int{ids[bestAt], ids[bestAt+1]}
+		ids = applyMerge(ids, pair, t.merged[pair])
+	}
+	return ids
+}
+
+// Decode reconstructs the exact text for a sequence of ids. Special tokens
+// decode to their printable names.
+func (t *Tokenizer) Decode(ids []int) string {
+	var sb strings.Builder
+	for _, id := range ids {
+		if id >= 0 && id < len(t.vocab) {
+			sb.WriteString(t.vocab[id])
+		}
+	}
+	return sb.String()
+}
+
+// Token returns the byte string for one id.
+func (t *Tokenizer) Token(id int) string {
+	if id < 0 || id >= len(t.vocab) {
+		return ""
+	}
+	return t.vocab[id]
+}
+
+// VocabSize returns the total vocabulary size including specials.
+func (t *Tokenizer) VocabSize() int { return len(t.vocab) }
+
+// Sep returns the id of the file-separator token.
+func (t *Tokenizer) Sep() int { return t.special[SepToken] }
+
+// End returns the id of the end-of-text token.
+func (t *Tokenizer) End() int { return t.special[EndToken] }
+
+// Pad returns the id of the padding token.
+func (t *Tokenizer) Pad() int { return t.special[PadToken] }
+
+// IsSpecial reports whether id is one of the control tokens.
+func (t *Tokenizer) IsSpecial(id int) bool {
+	for _, sid := range t.special {
+		if sid == id {
+			return true
+		}
+	}
+	return false
+}
+
+// persisted is the JSON wire format of a tokenizer.
+type persisted struct {
+	Vocab  []string `json:"vocab"`
+	Merges [][2]int `json:"merges"` // in rank order
+}
+
+// MarshalJSON serialises the tokenizer (vocabulary and ordered merges).
+func (t *Tokenizer) MarshalJSON() ([]byte, error) {
+	merges := make([][2]int, len(t.ranks))
+	for pr, rank := range t.ranks {
+		merges[rank] = pr
+	}
+	return json.Marshal(persisted{Vocab: t.vocab, Merges: merges})
+}
+
+// UnmarshalJSON restores a tokenizer serialised by MarshalJSON.
+func (t *Tokenizer) UnmarshalJSON(data []byte) error {
+	var p persisted
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	if len(p.Vocab) < 259 {
+		return fmt.Errorf("tokenizer: truncated vocabulary (%d entries)", len(p.Vocab))
+	}
+	t.vocab = p.Vocab
+	t.index = make(map[string]int, len(p.Vocab))
+	for i, tok := range p.Vocab {
+		t.index[tok] = i
+	}
+	t.ranks = make(map[[2]int]int, len(p.Merges))
+	t.merged = make(map[[2]int]int, len(p.Merges))
+	for rank, pr := range p.Merges {
+		t.ranks[pr] = rank
+		t.merged[pr] = 256 + rank
+	}
+	t.special = map[string]int{
+		SepToken: len(p.Vocab) - 3,
+		EndToken: len(p.Vocab) - 2,
+		PadToken: len(p.Vocab) - 1,
+	}
+	return nil
+}

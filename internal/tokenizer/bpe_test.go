@@ -1,0 +1,190 @@
+package tokenizer
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var trainCorpus = []string{
+	"- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n",
+	"- name: Start nginx\n  ansible.builtin.service:\n    name: nginx\n    state: started\n",
+	"- name: Copy config\n  ansible.builtin.copy:\n    src: nginx.conf\n    dest: /etc/nginx/nginx.conf\n",
+	"- hosts: all\n  tasks:\n    - name: install package\n      ansible.builtin.package:\n        name: httpd\n        state: latest\n",
+}
+
+func trainSmall(t *testing.T) *Tokenizer {
+	t.Helper()
+	tok, err := Train(trainCorpus, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tok
+}
+
+func TestTrainMinSize(t *testing.T) {
+	if _, err := Train(trainCorpus, 100); err == nil {
+		t.Error("Train accepted vocabSize below the byte alphabet")
+	}
+	tok, err := Train(trainCorpus, 259)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.VocabSize() != 259 {
+		t.Errorf("VocabSize = %d, want 259 (bytes + specials, no merges)", tok.VocabSize())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tok := trainSmall(t)
+	for _, s := range []string{
+		"",
+		"hello world",
+		"- name: Install nginx\n",
+		"ansible.builtin.apt",
+		"unicode: héllo → 世界",
+		"tabs\tand\nnewlines\n\n",
+		"state: present",
+	} {
+		if got := tok.Decode(tok.Encode(s)); got != s {
+			t.Errorf("round trip of %q = %q", s, got)
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	tok := trainSmall(t)
+	f := func(s string) bool {
+		return tok.Decode(tok.Encode(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergesCompress(t *testing.T) {
+	tok := trainSmall(t)
+	text := trainCorpus[0]
+	ids := tok.Encode(text)
+	if len(ids) >= len(text) {
+		t.Errorf("no compression: %d tokens for %d bytes", len(ids), len(text))
+	}
+	// A frequent domain word should be few tokens.
+	nameIDs := tok.Encode("name")
+	if len(nameIDs) > 2 {
+		t.Errorf("'name' takes %d tokens, expected it to be merged", len(nameIDs))
+	}
+}
+
+func TestSpecialTokens(t *testing.T) {
+	tok := trainSmall(t)
+	ids := map[string]int{"sep": tok.Sep(), "end": tok.End(), "pad": tok.Pad()}
+	seen := map[int]bool{}
+	for name, id := range ids {
+		if !tok.IsSpecial(id) {
+			t.Errorf("%s id %d not special", name, id)
+		}
+		if seen[id] {
+			t.Errorf("duplicate special id %d", id)
+		}
+		seen[id] = true
+	}
+	// Specials never come out of Encode on plain text containing their names.
+	for _, id := range tok.Encode(SepToken + EndToken) {
+		if tok.IsSpecial(id) {
+			t.Error("Encode produced a special token from plain text")
+		}
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	a, err := Train(trainCorpus, 350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(trainCorpus, 350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Join(trainCorpus, "")
+	ai, bi := a.Encode(text), b.Encode(text)
+	if len(ai) != len(bi) {
+		t.Fatalf("different encodings: %d vs %d tokens", len(ai), len(bi))
+	}
+	for i := range ai {
+		if ai[i] != bi[i] {
+			t.Fatalf("training not deterministic at token %d", i)
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	tok := trainSmall(t)
+	data, err := json.Marshal(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tokenizer
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.VocabSize() != tok.VocabSize() {
+		t.Fatalf("vocab size %d != %d", back.VocabSize(), tok.VocabSize())
+	}
+	text := trainCorpus[1] + " extra text"
+	a, b := tok.Encode(text), back.Encode(text)
+	if len(a) != len(b) {
+		t.Fatalf("encodings differ after reload: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("token %d differs after reload", i)
+		}
+	}
+	if back.Decode(b) != text {
+		t.Error("decode after reload broken")
+	}
+	if back.Sep() != tok.Sep() || back.End() != tok.End() || back.Pad() != tok.Pad() {
+		t.Error("special ids changed after reload")
+	}
+}
+
+func TestTokenAccessor(t *testing.T) {
+	tok := trainSmall(t)
+	if tok.Token(int('a')) != "a" {
+		t.Errorf("Token('a') = %q", tok.Token(int('a')))
+	}
+	if tok.Token(-1) != "" || tok.Token(tok.VocabSize()) != "" {
+		t.Error("out-of-range Token not empty")
+	}
+}
+
+func TestSplitWords(t *testing.T) {
+	tests := map[string][]string{
+		"a b":         {"a", " b"},
+		"name: value": {"name", ":", " value"},
+		"  indented":  {"  ", "indented"},
+		"x\ny":        {"x", "\n", "y"},
+		"a_b2 c":      {"a_b2", " c"},
+		"{{ var }}":   {"{{", " var", " ", "}}"},
+	}
+	for in, want := range tests {
+		got := splitWords(in)
+		if len(got) != len(want) {
+			t.Errorf("splitWords(%q) = %q, want %q", in, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("splitWords(%q)[%d] = %q, want %q", in, i, got[i], want[i])
+			}
+		}
+	}
+	// Invariant: concatenation reproduces the input.
+	for _, in := range []string{"", "  a  b  ", "::x--y\n\n z", "héllo wörld"} {
+		if got := strings.Join(splitWords(in), ""); got != in {
+			t.Errorf("splitWords(%q) lost content: %q", in, got)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package wisdom
+
+import (
+	"wisdom/internal/dataset"
+	"wisdom/internal/metrics"
+)
+
+// EvalResult aggregates the four paper metrics overall and per generation
+// type (Tables 3-5 rows).
+type EvalResult struct {
+	Overall metrics.Report
+	ByType  map[dataset.GenType]metrics.Report
+}
+
+// evalPair is one scored prediction.
+type evalPair struct {
+	typ      dataset.GenType
+	predBody string // completion text (compared by EM/BLEU)
+	refBody  string
+	predDoc  string // reassembled document (AnsibleAware/SchemaCorrect)
+	refDoc   string
+}
+
+// Evaluate runs the model over up to limit test samples (0 = all) and
+// scores them with the paper's protocol: generated task completions are
+// truncated to the first task; playbook generations are not truncated;
+// Exact Match and BLEU compare the completion against the reference body,
+// while Ansible Aware and Schema Correct operate on the reassembled
+// document.
+func Evaluate(m *Model, test []dataset.Sample, limit int) EvalResult {
+	return EvaluateWithAware(m, test, limit, metrics.NewAnsibleAware())
+}
+
+// EvaluateWithAware is Evaluate with a caller-configured Ansible Aware
+// metric (e.g. with the insertion-penalty extension enabled).
+func EvaluateWithAware(m *Model, test []dataset.Sample, limit int, aware *metrics.AnsibleAware) EvalResult {
+	if limit > 0 && len(test) > limit {
+		test = test[:limit]
+	}
+	pairs := make([]evalPair, 0, len(test))
+	for _, s := range test {
+		completion := m.GenerateSample(s)
+		indent := dataset.NameLineIndent(s.NameLine)
+		if s.Type != dataset.NLtoPB {
+			completion = dataset.TruncateFirstTask(completion, indent)
+		}
+		pairs = append(pairs, evalPair{
+			typ:      s.Type,
+			predBody: completion,
+			refBody:  s.Target,
+			predDoc:  assemble(s, completion, indent),
+			refDoc:   assemble(s, s.Target, indent),
+		})
+	}
+	res := EvalResult{ByType: make(map[dataset.GenType]metrics.Report)}
+	res.Overall = score(pairs, aware)
+	for _, t := range []dataset.GenType{dataset.NLtoPB, dataset.NLtoT, dataset.PBNLtoT, dataset.TNLtoT} {
+		var sub []evalPair
+		for _, p := range pairs {
+			if p.typ == t {
+				sub = append(sub, p)
+			}
+		}
+		if len(sub) > 0 {
+			res.ByType[t] = score(sub, aware)
+		}
+	}
+	return res
+}
+
+// assemble reconstructs the comparable document for structural metrics:
+// for tasks, the de-indented single task (name line + body); for playbooks,
+// the whole document including the context header.
+func assemble(s dataset.Sample, body string, indent int) string {
+	if s.Type == dataset.NLtoPB {
+		return s.Context + s.NameLine + "\n" + body
+	}
+	return dataset.StripIndent(dataset.ReassembleTask(s, body), indent)
+}
+
+// score aggregates the four metrics over a pair set.
+func score(pairs []evalPair, aware *metrics.AnsibleAware) metrics.Report {
+	if len(pairs) == 0 {
+		return metrics.Report{}
+	}
+	e := metrics.NewEvaluator()
+	var r metrics.Report
+	r.Count = len(pairs)
+	predBodies := make([]string, len(pairs))
+	refBodies := make([]string, len(pairs))
+	var awareSum float64
+	for i, p := range pairs {
+		predBodies[i], refBodies[i] = p.predBody, p.refBody
+		if metrics.ExactMatch(p.predBody, p.refBody) {
+			r.ExactMatch++
+		}
+		if e.SchemaCorrect(p.predDoc) {
+			r.SchemaCorrect++
+		}
+		awareSum += aware.Score(p.predDoc, p.refDoc)
+	}
+	n := float64(len(pairs))
+	r.ExactMatch = 100 * r.ExactMatch / n
+	r.SchemaCorrect = 100 * r.SchemaCorrect / n
+	r.AnsibleAware = 100 * awareSum / n
+	r.BLEU = metrics.BLEU(predBodies, refBodies)
+	return r
+}

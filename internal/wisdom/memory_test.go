@@ -1,0 +1,134 @@
+package wisdom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMemoryLookupThreshold(t *testing.T) {
+	mem := NewMemory()
+	mem.Add([]int{1, 2, 3}, nil, []int{10}, 0)
+	mem.Add([]int{4, 5, 6}, nil, []int{20}, 2)
+	mem.Build()
+
+	if _, _, ok := mem.Lookup([]int{1, 2, 3}, nil, 0.99); !ok {
+		t.Error("exact prompt missed")
+	}
+	if _, _, ok := mem.Lookup([]int{1, 9, 9}, nil, 0.99); ok {
+		t.Error("weak match passed a 0.99 threshold")
+	}
+	if _, _, ok := mem.Lookup([]int{7, 8, 9}, nil, 0.1); ok {
+		t.Error("disjoint prompt matched")
+	}
+}
+
+func TestMemoryContextTieBreak(t *testing.T) {
+	mem := NewMemory()
+	// Same prompt, different contexts and values.
+	mem.Add([]int{1, 2}, []int{100, 101}, []int{10}, 0)
+	mem.Add([]int{1, 2}, []int{200, 201}, []int{20}, 0)
+	mem.Build()
+
+	val, _, ok := mem.Lookup([]int{1, 2}, []int{200, 201}, 0.9)
+	if !ok || val[0] != 20 {
+		t.Errorf("context tie-break failed: %v %v", val, ok)
+	}
+	val, _, ok = mem.Lookup([]int{1, 2}, []int{100, 101}, 0.9)
+	if !ok || val[0] != 10 {
+		t.Errorf("context tie-break failed: %v %v", val, ok)
+	}
+}
+
+func TestMemoryReturnsIndent(t *testing.T) {
+	mem := NewMemory()
+	mem.Add([]int{1}, nil, []int{10}, 4)
+	mem.Build()
+	_, indent, ok := mem.Lookup([]int{1}, nil, 0.5)
+	if !ok || indent != 4 {
+		t.Errorf("indent = %d, %v", indent, ok)
+	}
+	if mem.Len() != 1 {
+		t.Errorf("len = %d", mem.Len())
+	}
+}
+
+func TestCutRepeatedLines(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"a: 1\nb: 2\n", "a: 1\nb: 2\n"},
+		{"a: 1\na: 1\nb: 2\n", "a: 1\n"},
+		{"a: 1\nb: 2\na: 1\n", "a: 1\nb: 2\n"},
+		{"", ""},
+		{"x: 1\nincomplete", "x: 1\nincomplete"}, // trailing partial line kept
+	}
+	for _, tt := range tests {
+		if got := CutRepeatedLines(tt.in); got != tt.want {
+			t.Errorf("CutRepeatedLines(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+	// Indented duplicates at different depths are distinct lines.
+	in := "  a: 1\n    a: 1\n"
+	if got := CutRepeatedLines(in); got != in {
+		t.Errorf("different-indent lines wrongly deduped: %q", got)
+	}
+}
+
+func TestPromptTokensCaseUnion(t *testing.T) {
+	r := getRig(t)
+	mixed := promptTokens(r.tok, "Start SSH Server")
+	lower := promptTokens(r.tok, "start ssh server")
+	if len(mixed) <= len(lower) {
+		t.Errorf("mixed-case prompt should include the lowercase union: %d vs %d", len(mixed), len(lower))
+	}
+	// Already-lowercase prompts are not doubled.
+	if len(lower) != len(r.tok.Encode("start ssh server")) {
+		t.Error("lowercase prompt was doubled")
+	}
+}
+
+func TestShapeAffinity(t *testing.T) {
+	cov := newCoverage(0)
+	const vocab = 100
+	// Specials (last 3 ids) always 0.
+	if shapeAffinity(5, cov, nil, vocab-1, vocab) != 0 || shapeAffinity(-5, cov, nil, vocab-3, vocab) != 0 {
+		t.Error("special tokens not exempt")
+	}
+	// Positive affinity dampened by prior emissions.
+	seq := []int{7, 7}
+	if got := shapeAffinity(4, cov, seq, 7, vocab); got != 0 {
+		t.Errorf("twice-emitted token bonus = %v, want 0", got)
+	}
+	if got := shapeAffinity(4, cov, []int{7}, 7, vocab); got != 1 {
+		t.Errorf("once-emitted token bonus = %v, want 1 (0.25*4)", got)
+	}
+	if got := shapeAffinity(4, cov, nil, 7, vocab); got != 4 {
+		t.Errorf("fresh token bonus = %v, want 4", got)
+	}
+	// Negative affinity passes through.
+	if got := shapeAffinity(-2, cov, seq, 7, vocab); got != -2 {
+		t.Errorf("negative affinity = %v, want -2", got)
+	}
+}
+
+func TestGenerateSampleDeterministic(t *testing.T) {
+	r := getRig(t)
+	m := pretrain(t, r, WisdomAnsible)
+	s := r.pipe.Test[0]
+	a, b := m.GenerateSample(s), m.GenerateSample(s)
+	if a != b {
+		t.Errorf("generation not deterministic:\n%q\n%q", a, b)
+	}
+}
+
+func TestPredictWithPlaybookContext(t *testing.T) {
+	r := getRig(t)
+	pre := pretrain(t, r, WisdomAnsibleMulti)
+	ft, err := Finetune(pre, r.pipe.Train, FinetuneConfig{Window: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := "---\n- hosts: all\n  tasks:\n"
+	out := ft.Predict(ctx, "Install nginx")
+	if !strings.HasPrefix(out, "    - name: Install nginx\n") {
+		t.Errorf("playbook-context prediction not nested:\n%s", out)
+	}
+}

@@ -1,0 +1,89 @@
+package wisdom
+
+import (
+	"strings"
+	"testing"
+
+	"wisdom/internal/dataset"
+	"wisdom/internal/neural"
+	"wisdom/internal/tokenizer"
+)
+
+// TestNeuralBackedModel wires the transformer into the wisdom.Model
+// generation pipeline: the architecture-faithful path of the reproduction.
+func TestNeuralBackedModel(t *testing.T) {
+	// A tiny memorisable corpus: one task pattern repeated.
+	task := "- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n"
+	texts := []string{task, task, task, task}
+	tok, err := tokenizer.Train(texts, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ctx = 64
+	nm, err := neural.NewModel(neural.Config{
+		Vocab: tok.VocabSize(), Ctx: ctx, Dim: 32, Heads: 2, Layers: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := dataset.PackFiles(tok, texts, ctx)
+	nm.Train(seqs, neural.TrainConfig{Epochs: 120, LR: 3e-3, BatchSize: 4, Seed: 1})
+
+	m := &Model{
+		Name:      "neural-test",
+		Tok:       tok,
+		LM:        &NeuralLM{Model: nm},
+		CtxWindow: ctx,
+		Style:     dataset.NameCompletion,
+		// Leave room for the completion inside the tiny context.
+		MaxNewTask: 28,
+	}
+	s := dataset.Sample{
+		Type:     dataset.NLtoT,
+		Prompt:   "Install nginx",
+		NameLine: "- name: Install nginx",
+	}
+	out := m.GenerateSample(s)
+	if !strings.Contains(out, "ansible.builtin.apt") {
+		t.Errorf("neural-backed generation did not reproduce the memorised task:\n%q", out)
+	}
+	if !strings.Contains(out, "nginx") {
+		t.Errorf("completion lost the package name:\n%q", out)
+	}
+}
+
+func TestNgramLMSamplingPath(t *testing.T) {
+	// The unconditioned (no-lexical) path with temperature sampling.
+	r := getRig(t)
+	m := pretrain(t, r, CodeGenNL)
+	ng := m.LM.(*NgramLM)
+	sampling := &NgramLM{Model: ng.Model, Temperature: 0.8, TopK: 10, Seed: 3}
+	prefix := r.tok.Encode("- name: Install nginx\n")
+	a := sampling.Complete(prefix, nil, 20, nil, -1)
+	b := sampling.Complete(prefix, nil, 20, nil, -1)
+	if len(a) == 0 {
+		t.Fatal("sampling produced nothing")
+	}
+	// Same seed: reproducible.
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed sampling diverged")
+		}
+	}
+}
+
+func TestDefaultCorporaConfig(t *testing.T) {
+	cfg := DefaultCorporaConfig()
+	if cfg.Generic != 2*cfg.GitHub {
+		t.Errorf("generic:github ratio = %d:%d, want 2:1", cfg.Generic, cfg.GitHub)
+	}
+	if cfg.GitHub <= cfg.GitLab {
+		t.Error("github should dwarf gitlab, as in Table 1")
+	}
+	// Zero config falls back to defaults inside BuildCorpora.
+	c := BuildCorpora(CorporaConfig{})
+	if len(c.Pile) != cfg.Pile || len(c.Generic) != cfg.Generic {
+		t.Errorf("zero-config corpora sized %d/%d, want %d/%d",
+			len(c.Pile), len(c.Generic), cfg.Pile, cfg.Generic)
+	}
+}

@@ -1,0 +1,198 @@
+package wisdom
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wisdom/internal/dataset"
+	"wisdom/internal/lexical"
+	"wisdom/internal/ngram"
+	"wisdom/internal/tokenizer"
+)
+
+// modelSnapshot is the gob wire format of a full Model: the tokenizer (as
+// its JSON form), the language-model component (one or two n-gram tables
+// plus lexical channels), the optional memory, and the policy fields.
+type modelSnapshot struct {
+	Name          string
+	Kind          string // "ngram" or "blend"
+	CtxWindow     int
+	Style         int
+	FewShotHint   bool
+	RetrThreshold float64
+
+	Tokenizer []byte // tokenizer JSON
+
+	Primary    []byte // ngram gob
+	Base       []byte // ngram gob (blend only)
+	LexPrimary []byte // lexical gob (may be empty)
+	LexBase    []byte // lexical gob (blend only, may be empty)
+	Weight     float64
+
+	MemKeys    [][]int
+	MemCtx     [][]int
+	MemValues  [][]int
+	MemIndents []int
+}
+
+// Save serialises the model. Only n-gram-backed models (plain or blended)
+// are supported; neural-backed models persist through neural.Model.Save.
+func (m *Model) Save(w io.Writer) error {
+	snap := modelSnapshot{
+		Name:          m.Name,
+		CtxWindow:     m.CtxWindow,
+		Style:         int(m.Style),
+		FewShotHint:   m.FewShotHint,
+		RetrThreshold: m.RetrThreshold,
+		Weight:        1,
+	}
+	tokJSON, err := json.Marshal(m.Tok)
+	if err != nil {
+		return fmt.Errorf("wisdom: save tokenizer: %w", err)
+	}
+	snap.Tokenizer = tokJSON
+
+	encodeNgram := func(lm *ngram.Model) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := lm.Save(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	encodeLex := func(lx *lexical.Model) ([]byte, error) {
+		if lx == nil {
+			return nil, nil
+		}
+		var buf bytes.Buffer
+		if err := lx.Save(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+
+	switch lm := m.LM.(type) {
+	case *NgramLM:
+		snap.Kind = "ngram"
+		if snap.Primary, err = encodeNgram(lm.Model); err != nil {
+			return err
+		}
+		if snap.LexPrimary, err = encodeLex(lm.Lex); err != nil {
+			return err
+		}
+	case *blendLM:
+		snap.Kind = "blend"
+		snap.Weight = lm.weight
+		if snap.Primary, err = encodeNgram(lm.primary); err != nil {
+			return err
+		}
+		if snap.Base, err = encodeNgram(lm.base); err != nil {
+			return err
+		}
+		if snap.LexPrimary, err = encodeLex(lm.lexPrimary); err != nil {
+			return err
+		}
+		if snap.LexBase, err = encodeLex(lm.lexBase); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("wisdom: cannot save %T-backed model", m.LM)
+	}
+
+	if m.Retr != nil {
+		for i := 0; i < m.Retr.Len(); i++ {
+			e := m.Retr.ix.Entry(i)
+			snap.MemKeys = append(snap.MemKeys, e.Key)
+			snap.MemValues = append(snap.MemValues, e.Value)
+			snap.MemCtx = append(snap.MemCtx, bagToSlice(m.Retr.ctxBags[i]))
+			snap.MemIndents = append(snap.MemIndents, m.Retr.indents[i])
+		}
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+func bagToSlice(bag map[int]bool) []int {
+	out := make([]int, 0, len(bag))
+	for t := range bag {
+		out = append(out, t)
+	}
+	return out
+}
+
+// LoadModel restores a model saved by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("wisdom: decode: %w", err)
+	}
+	var tok tokenizer.Tokenizer
+	if err := json.Unmarshal(snap.Tokenizer, &tok); err != nil {
+		return nil, fmt.Errorf("wisdom: tokenizer: %w", err)
+	}
+
+	decodeNgram := func(data []byte) (*ngram.Model, error) {
+		return ngram.Load(bytes.NewReader(data))
+	}
+	decodeLex := func(data []byte) (*lexical.Model, error) {
+		if len(data) == 0 {
+			return nil, nil
+		}
+		return lexical.Load(bytes.NewReader(data))
+	}
+
+	m := &Model{
+		Name:          snap.Name,
+		Tok:           &tok,
+		CtxWindow:     snap.CtxWindow,
+		Style:         dataset.PromptStyle(snap.Style),
+		FewShotHint:   snap.FewShotHint,
+		RetrThreshold: snap.RetrThreshold,
+	}
+	switch snap.Kind {
+	case "ngram":
+		lm, err := decodeNgram(snap.Primary)
+		if err != nil {
+			return nil, err
+		}
+		lex, err := decodeLex(snap.LexPrimary)
+		if err != nil {
+			return nil, err
+		}
+		m.LM = &NgramLM{Model: lm, Lex: lex}
+	case "blend":
+		primary, err := decodeNgram(snap.Primary)
+		if err != nil {
+			return nil, err
+		}
+		base, err := decodeNgram(snap.Base)
+		if err != nil {
+			return nil, err
+		}
+		lexPrimary, err := decodeLex(snap.LexPrimary)
+		if err != nil {
+			return nil, err
+		}
+		lexBase, err := decodeLex(snap.LexBase)
+		if err != nil {
+			return nil, err
+		}
+		m.LM = &blendLM{
+			primary: primary, base: base, weight: snap.Weight,
+			lexPrimary: lexPrimary, lexBase: lexBase,
+		}
+	default:
+		return nil, fmt.Errorf("wisdom: unknown model kind %q", snap.Kind)
+	}
+
+	if len(snap.MemKeys) > 0 {
+		mem := NewMemory()
+		for i := range snap.MemKeys {
+			mem.Add(snap.MemKeys[i], snap.MemCtx[i], snap.MemValues[i], snap.MemIndents[i])
+		}
+		mem.Build()
+		m.Retr = mem
+	}
+	return m, nil
+}

@@ -1,0 +1,77 @@
+package wisdom
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadPretrained(t *testing.T) {
+	r := getRig(t)
+	m := pretrain(t, r, WisdomAnsible) // plain NgramLM
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != m.Name || back.CtxWindow != m.CtxWindow || back.FewShotHint != m.FewShotHint {
+		t.Errorf("policy fields changed: %+v vs %+v", back.Name, m.Name)
+	}
+	for _, s := range r.pipe.Test[:5] {
+		a, b := m.GenerateSample(s), back.GenerateSample(s)
+		if a != b {
+			t.Fatalf("generation changed after reload:\n%q\n%q", a, b)
+		}
+	}
+}
+
+func TestSaveLoadFinetuned(t *testing.T) {
+	r := getRig(t)
+	pre := pretrain(t, r, WisdomAnsibleMulti) // blend-backed
+	ft, err := Finetune(pre, r.pipe.Train, FinetuneConfig{Window: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ft.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Retr == nil || back.Retr.Len() != ft.Retr.Len() {
+		t.Fatalf("memory lost: %v", back.Retr)
+	}
+	if back.RetrThreshold != ft.RetrThreshold {
+		t.Errorf("threshold changed: %v vs %v", back.RetrThreshold, ft.RetrThreshold)
+	}
+	for _, s := range r.pipe.Test[:5] {
+		a, b := ft.GenerateSample(s), back.GenerateSample(s)
+		if a != b {
+			t.Fatalf("fine-tuned generation changed after reload:\n%q\n%q", a, b)
+		}
+	}
+	// Predict path works end to end on the reloaded model.
+	out := back.Predict("", "Install nginx")
+	if out != ft.Predict("", "Install nginx") {
+		t.Error("Predict changed after reload")
+	}
+}
+
+func TestSaveNeuralBackedFails(t *testing.T) {
+	r := getRig(t)
+	m := &Model{Name: "x", Tok: r.tok, LM: &NeuralLM{}}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Error("neural-backed save should direct callers to neural.Model.Save")
+	}
+}
+
+func TestLoadModelGarbage(t *testing.T) {
+	if _, err := LoadModel(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,525 @@
+package wisdom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wisdom/internal/corpus"
+	"wisdom/internal/dataset"
+	"wisdom/internal/lexical"
+	"wisdom/internal/ngram"
+	"wisdom/internal/tokenizer"
+)
+
+// VariantID names one row of Table 2.
+type VariantID string
+
+// The model zoo of the paper (Table 2): three CodeGen checkpoints, Codex,
+// and the four Wisdom variants introduced by the paper.
+const (
+	CodeGenNL          VariantID = "codegen-nl"
+	CodeGenMulti       VariantID = "codegen-multi"
+	CodeGenMono        VariantID = "codegen-mono"
+	CodexDavinci       VariantID = "codex-davinci-002"
+	WisdomAnsible      VariantID = "wisdom-ansible"
+	WisdomYaml         VariantID = "wisdom-yaml"
+	WisdomAnsibleMulti VariantID = "wisdom-ansible-multi"
+	WisdomYamlMulti    VariantID = "wisdom-yaml-multi"
+)
+
+// Variant describes a zoo member: which pre-training corpora it sees
+// (Table 2 columns) and its capacity class.
+type Variant struct {
+	ID      VariantID
+	Display string
+	// Pre-training corpus mix (Table 2 checkmarks).
+	Pile, BigQuery, BigPython, AnsibleYAML, GenericYAML bool
+	// SizeLabel is the paper's parameter-count label.
+	SizeLabel string
+	// Order is the n-gram order standing in for model capacity.
+	Order int
+	// Retrieval enables the memorisation channel (Codex saw Galaxy).
+	Retrieval bool
+}
+
+// Variants returns the zoo in the paper's Table 2/3 order.
+func Variants() []Variant {
+	return []Variant{
+		{ID: CodeGenNL, Display: "CodeGen-NL", Pile: true, SizeLabel: "350M", Order: 6},
+		{ID: CodeGenMono, Display: "CodeGen-Mono", Pile: true, BigQuery: true, BigPython: true, SizeLabel: "350M", Order: 6},
+		{ID: CodeGenMulti, Display: "CodeGen-Multi", Pile: true, BigQuery: true, SizeLabel: "350M", Order: 6},
+		{ID: CodexDavinci, Display: "Codex-Davinci-002", Pile: true, BigQuery: true, BigPython: true, SizeLabel: "175B", Order: 7, Retrieval: true},
+		{ID: WisdomAnsible, Display: "Wisdom-Ansible", AnsibleYAML: true, SizeLabel: "350M", Order: 6},
+		{ID: WisdomYaml, Display: "Wisdom-Yaml", AnsibleYAML: true, GenericYAML: true, SizeLabel: "350M", Order: 6},
+		{ID: WisdomAnsibleMulti, Display: "Wisdom-Ansible-Multi", Pile: true, BigQuery: true, AnsibleYAML: true, SizeLabel: "350M", Order: 6},
+		{ID: WisdomYamlMulti, Display: "Wisdom-Yaml-Multi", Pile: true, BigQuery: true, AnsibleYAML: true, GenericYAML: true, SizeLabel: "350M", Order: 6},
+	}
+}
+
+// VariantByID returns the zoo entry with the given id.
+func VariantByID(id VariantID) (Variant, bool) {
+	for _, v := range Variants() {
+		if v.ID == id {
+			return v, true
+		}
+	}
+	return Variant{}, false
+}
+
+// Corpora holds the generated pre-training corpora shared by the zoo.
+type Corpora struct {
+	Pile      []corpus.File
+	BigQuery  []corpus.File
+	BigPython []corpus.File
+	// Ansible is the pre-training Ansible slice (GitLab + GitHub + GBQ).
+	Ansible []corpus.File
+	// Generic is the generic-YAML pre-training slice.
+	Generic []corpus.File
+}
+
+// CorporaConfig sizes the generated corpora. The zero value is replaced by
+// DefaultCorporaConfig.
+type CorporaConfig struct {
+	Seed      int64
+	Pile      int
+	BigQuery  int
+	BigPython int
+	GitLab    int
+	GitHub    int
+	Generic   int
+}
+
+// DefaultCorporaConfig returns corpus sizes that train all zoo members in a
+// few seconds while preserving the Table 1 source ratios (GitHub Ansible ≫
+// GitLab; generic ≈ 2× GitHub Ansible).
+func DefaultCorporaConfig() CorporaConfig {
+	return CorporaConfig{
+		Seed:      1,
+		Pile:      1200,
+		BigQuery:  1200,
+		BigPython: 600,
+		GitLab:    120,
+		GitHub:    2000,
+		Generic:   4000,
+	}
+}
+
+// BuildCorpora generates all pre-training corpora.
+func BuildCorpora(cfg CorporaConfig) *Corpora {
+	if cfg.Pile == 0 {
+		cfg = DefaultCorporaConfig()
+	}
+	c := &Corpora{
+		Pile:      corpus.PileSim(cfg.Seed+100, cfg.Pile),
+		BigQuery:  corpus.BigQuerySim(cfg.Seed+200, cfg.BigQuery),
+		BigPython: corpus.BigPythonSim(cfg.Seed+300, cfg.BigPython),
+		Generic:   corpus.GitHubGBQGeneric(cfg.Seed+400, cfg.Generic),
+	}
+	c.Ansible = append(corpus.GitLabAnsible(cfg.Seed+500, cfg.GitLab),
+		corpus.GitHubGBQAnsible(cfg.Seed+600, cfg.GitHub)...)
+	return c
+}
+
+// Mix returns the deduplicated file list a variant pre-trains on.
+func (c *Corpora) Mix(v Variant) []corpus.File {
+	var files []corpus.File
+	if v.Pile {
+		files = append(files, c.Pile...)
+	}
+	if v.BigQuery {
+		files = append(files, c.BigQuery...)
+	}
+	if v.BigPython {
+		files = append(files, c.BigPython...)
+	}
+	if v.AnsibleYAML {
+		files = append(files, c.Ansible...)
+	}
+	if v.GenericYAML {
+		files = append(files, c.Generic...)
+	}
+	return dataset.DedupFiles(files)
+}
+
+// All returns every corpus file, the tokenizer-training mixture.
+func (c *Corpora) All() []corpus.File {
+	var files []corpus.File
+	files = append(files, c.Pile...)
+	files = append(files, c.BigQuery...)
+	files = append(files, c.BigPython...)
+	files = append(files, c.Ansible...)
+	files = append(files, c.Generic...)
+	return files
+}
+
+// TrainTokenizer fits the shared BPE tokenizer on a sample of all corpora.
+func TrainTokenizer(c *Corpora, vocabSize int) (*tokenizer.Tokenizer, error) {
+	files := c.All()
+	texts := make([]string, 0, len(files))
+	for i, f := range files {
+		// A systematic sample keeps tokenizer training fast.
+		if i%3 == 0 {
+			texts = append(texts, f.Text)
+		}
+	}
+	return tokenizer.Train(texts, vocabSize)
+}
+
+// Pretrain builds the pre-trained (few-shot) model for a variant: an n-gram
+// LM over the variant's corpus mix. Variants that combine a CodeGen-style
+// base corpus with YAML ("initialised with the weights of CodeGen-Multi and
+// extended the pre-training") are modelled as continued training: the YAML
+// counts form the dominant recent model, blended with the frozen base —
+// exactly the recency effect checkpoint continuation has, rather than a
+// diluting union. CodeGen/Codex variants get the "Ansible\n" few-shot hint
+// the paper applies; Codex additionally gets the retrieval channel over the
+// Galaxy slice it "likely saw" (leak), which reproduces its outlier Exact
+// Match.
+func Pretrain(v Variant, c *Corpora, tok *tokenizer.Tokenizer, ctxWindow int, leak []dataset.Sample) (*Model, error) {
+	continued := v.AnsibleYAML && (v.Pile || v.BigQuery || v.BigPython)
+
+	var baseFiles, recentFiles []corpus.File
+	if continued {
+		baseVariant := v
+		baseVariant.AnsibleYAML, baseVariant.GenericYAML = false, false
+		baseFiles = c.Mix(baseVariant)
+		recentVariant := Variant{AnsibleYAML: true, GenericYAML: v.GenericYAML}
+		recentFiles = c.Mix(recentVariant)
+	} else {
+		recentFiles = c.Mix(v)
+	}
+
+	train := func(files []corpus.File) (*ngram.Model, *lexical.Model, error) {
+		lm, err := ngram.New(v.Order, tok.VocabSize())
+		if err != nil {
+			return nil, nil, err
+		}
+		// The lexical channel learns prompt→body statistics from whatever
+		// name/body pairs exist in the corpus — none for pure NL/code
+		// corpora, plenty for the Ansible corpora. This is where the
+		// paper's data-mix orderings come from.
+		lex := lexical.New(tok.VocabSize())
+		for _, f := range files {
+			ids := tok.Encode(f.Text)
+			lm.Add(append(ids, tok.Sep()))
+			if f.IsAnsible() {
+				for _, sm := range dataset.ExtractSamples(f) {
+					lex.AddPair(promptTokens(tok, sm.Prompt), tok.Encode(sm.Target))
+				}
+			}
+		}
+		return lm, lex, nil
+	}
+
+	recentLM, recentLex, err := train(recentFiles)
+	if err != nil {
+		return nil, err
+	}
+	var gen Generator = &NgramLM{Model: recentLM, Lex: recentLex}
+	if continued {
+		baseLM, baseLex, err := train(baseFiles)
+		if err != nil {
+			return nil, err
+		}
+		// The base stays almost silent (continued training overwrites it)
+		// but still supplies fallback knowledge for unseen contexts and
+		// extra lexical pairs from its Ansible admixture.
+		gen = &blendLM{
+			primary: recentLM, base: baseLM, weight: 0.98,
+			lexPrimary: recentLex, lexBase: baseLex,
+			baseMargin: 2, interpolated: true,
+		}
+	}
+	m := &Model{
+		Name:        v.Display + " " + v.SizeLabel,
+		Tok:         tok,
+		LM:          gen,
+		CtxWindow:   ctxWindow,
+		Style:       dataset.NameCompletion,
+		FewShotHint: !isWisdom(v.ID),
+	}
+	if v.Retrieval && len(leak) > 0 {
+		m.Retr = buildMemory(tok, leak, ctxWindow)
+		m.RetrThreshold = 0.98
+	}
+	return m, nil
+}
+
+func isWisdom(id VariantID) bool {
+	switch id {
+	case WisdomAnsible, WisdomYaml, WisdomAnsibleMulti, WisdomYamlMulti:
+		return true
+	}
+	return false
+}
+
+// FinetuneConfig controls fine-tuning.
+type FinetuneConfig struct {
+	// Window is the context window in tokens (512/1024/2048 in Table 4);
+	// it limits both the retrieval key and inference input.
+	Window int
+	// Style is the prompt formulation (NameCompletion, or PrefixPrompt for
+	// the ablation row).
+	Style dataset.PromptStyle
+	// Fraction uses only the first fraction of the training samples
+	// (0 < Fraction <= 1; 0 means all), the data-ablation knob.
+	Fraction float64
+	// Weight repeats each fine-tuning sample this many times relative to
+	// pre-training counts (default 3), the "largely boost" of §Finetuning.
+	Weight int
+	// RetrievalThreshold for the fine-tuned nearest-neighbour memory
+	// (default 0.9 on prompt cosine similarity).
+	RetrievalThreshold float64
+}
+
+// Finetune adapts a pre-trained model to the NL→Ansible task: the LM keeps
+// training on the rendered samples, and a nearest-neighbour memory over the
+// fine-tuning set (window-truncated keys) provides the strong
+// prompt-conditioned behaviour fine-tuning creates.
+func Finetune(pre *Model, train []dataset.Sample, cfg FinetuneConfig) (*Model, error) {
+	// The fine-tuning base is the pre-trained count table and lexical
+	// channel: directly for plain variants, or the dominant (recent)
+	// component for continued-pretraining variants, whose original base
+	// corpus contributes negligibly after two rounds of continuation.
+	var baseLM *ngram.Model
+	var baseLex *lexical.Model
+	switch lm := pre.LM.(type) {
+	case *NgramLM:
+		baseLM, baseLex = lm.Model, lm.Lex
+	case *blendLM:
+		baseLM, baseLex = lm.primary, lm.lexPrimary
+	default:
+		return nil, fmt.Errorf("wisdom: finetune requires an n-gram base model")
+	}
+	if baseLM == nil {
+		return nil, fmt.Errorf("wisdom: finetune base model is empty")
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 1024
+	}
+	if cfg.Weight == 0 {
+		cfg.Weight = 3
+	}
+	if cfg.RetrievalThreshold == 0 {
+		cfg.RetrievalThreshold = 0.9
+	}
+	if cfg.Fraction > 0 && cfg.Fraction < 1 {
+		n := int(float64(len(train)) * cfg.Fraction)
+		if n < 1 {
+			n = 1
+		}
+		train = train[:n]
+	}
+
+	// Train a task-specialised model on the rendered samples and
+	// interpolate with the frozen pre-trained base at generation time —
+	// the n-gram analogue of initialising fine-tuning from a pre-trained
+	// checkpoint: the base's knowledge keeps contributing wherever the
+	// fine-tuning counts are thin, so better pre-training still shows
+	// after fine-tuning (the effect Table 4 measures across variants).
+	ft, err := ngram.New(baseLM.Order(), baseLM.VocabSize())
+	if err != nil {
+		return nil, err
+	}
+	ftLex := lexical.New(baseLM.VocabSize())
+	for _, s := range train {
+		text := dataset.RenderFull(s, cfg.Style)
+		ids := pre.Tok.Encode(text)
+		ids = dataset.LeftTruncate(ids, cfg.Window)
+		for i := 0; i < cfg.Weight; i++ {
+			ft.Add(append(ids, pre.Tok.Sep()))
+		}
+		ftLex.AddPair(promptTokens(pre.Tok, s.Prompt), pre.Tok.Encode(s.Target))
+	}
+
+	m := &Model{
+		Name: pre.Name + " (fine-tuned)",
+		Tok:  pre.Tok,
+		LM: &blendLM{
+			primary: ft, base: baseLM, weight: 0.85,
+			lexPrimary: ftLex, lexBase: baseLex,
+		},
+		CtxWindow: cfg.Window,
+		Style:     cfg.Style,
+	}
+	// The nearest-neighbour memory implements the name-anchored completion
+	// of Eq. 2: a memorised body can be spliced in exactly because the
+	// name line marks where the body starts. The prefix formulation has no
+	// such anchor, so the ablation row runs without it — one of the two
+	// mechanisms behind the formulation's large win in Table 4.
+	if cfg.Style == dataset.NameCompletion {
+		m.Retr = buildMemory(pre.Tok, train, cfg.Window)
+		m.RetrThreshold = cfg.RetrievalThreshold
+	}
+	return m, nil
+}
+
+// FinetuneWithValidation fine-tunes once per candidate blend weight and
+// keeps the model with the best validation BLEU — the reproduction's
+// analogue of the paper's checkpoint selection ("We used the BLEU score on
+// the validation set to determine the best checkpoint"): the n-gram has no
+// training epochs, so the selected hyperparameter is the base/fine-tuned
+// interpolation weight instead.
+func FinetuneWithValidation(pre *Model, train, valid []dataset.Sample, cfg FinetuneConfig, validLimit int) (*Model, float64, error) {
+	weights := []float64{0.7, 0.85, 0.95}
+	var best *Model
+	bestBLEU := -1.0
+	for _, w := range weights {
+		m, err := Finetune(pre, train, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		if blend, ok := m.LM.(*blendLM); ok {
+			blend.weight = w
+		}
+		res := Evaluate(m, valid, validLimit)
+		if res.Overall.BLEU > bestBLEU {
+			best, bestBLEU = m, res.Overall.BLEU
+		}
+	}
+	return best, bestBLEU, nil
+}
+
+// SetSampling switches a model's language-model component from greedy
+// decoding to temperature sampling (topK 0 samples over all candidates).
+// The retrieval memory is unaffected: memorised completions stay exact.
+func SetSampling(m *Model, temperature float64, topK int, seed int64) {
+	switch lm := m.LM.(type) {
+	case *NgramLM:
+		lm.Temperature, lm.TopK, lm.Seed = temperature, topK, seed
+	case *blendLM:
+		lm.temperature, lm.topK, lm.seed = temperature, topK, seed
+	case *NeuralLM:
+		lm.Temperature, lm.TopK, lm.Seed = temperature, topK, seed
+	}
+}
+
+// buildMemory indexes samples by prompt with window-limited context bags.
+func buildMemory(tok *tokenizer.Tokenizer, samples []dataset.Sample, window int) *Memory {
+	mem := NewMemory()
+	for _, s := range samples {
+		ctx := dataset.LeftTruncate(tok.Encode(s.Context), window/2)
+		mem.Add(memoryKey(tok, s.Prompt), ctx, tok.Encode(s.Target), dataset.NameLineIndent(s.NameLine))
+	}
+	mem.Build()
+	return mem
+}
+
+// blendLM decodes greedily from the token-level interpolation
+// weight*P_finetuned + (1-weight)*P_pretrained, with both lexical channels
+// (fine-tuned and pre-trained) conditioning on the prompt, so the
+// pre-trained base keeps contributing after fine-tuning — the n-gram
+// analogue of initialising from a checkpoint.
+type blendLM struct {
+	primary    *ngram.Model
+	base       *ngram.Model
+	weight     float64
+	lexPrimary *lexical.Model
+	lexBase    *lexical.Model
+	// baseMargin is how many context tokens longer the base's match must
+	// be before it may supply the candidate set. Fine-tuned models use 0
+	// (the pre-trained base genuinely helps wherever it matches longer);
+	// continued pre-training uses a positive margin, because continuation
+	// training overwrites the base's behaviour except where the recent
+	// data has nothing at all.
+	baseMargin int
+	// interpolated switches decoding from longest-match to smoothed
+	// interpolation over the union candidate set. Pre-trained models
+	// decode interpolated (their crawl-style counts only partially match
+	// the standardised test formatting, and smoothing bridges the style
+	// gap); fine-tuned models decode longest-match (their counts match the
+	// target style exactly, and the crisper structure wins).
+	interpolated bool
+	// temperature/topK/seed enable sampling instead of greedy decoding.
+	temperature float64
+	topK        int
+	seed        int64
+}
+
+// Complete implements Generator.
+func (b *blendLM) Complete(prefix, prompt []int, maxNew int, stop func([]int) bool, stopToken int) []int {
+	cov := newCoverage(len(prefix))
+	var rng *rand.Rand
+	if b.temperature > 0 {
+		rng = rand.New(rand.NewSource(b.seed))
+	}
+	if b.interpolated {
+		next := func(seq []int) (int, bool) {
+			seen := make(map[int]bool)
+			var cands []int
+			for _, tok := range b.primary.Candidates(seq) {
+				if !seen[tok] {
+					seen[tok] = true
+					cands = append(cands, tok)
+				}
+			}
+			for _, tok := range b.base.Candidates(seq) {
+				if !seen[tok] {
+					seen[tok] = true
+					cands = append(cands, tok)
+				}
+			}
+			return chooseCandidate(cands, func(tok int) float64 {
+				pr := b.weight*b.primary.Prob(seq, tok) + (1-b.weight)*b.base.Prob(seq, tok)
+				if pr <= 0 {
+					return math.Inf(-1)
+				}
+				// Pre-trained decoding uses the plain affinity weight, like
+				// NgramLM's interpolated path.
+				a := 0.0
+				if b.lexPrimary != nil && b.lexPrimary.Trained() {
+					a += b.weight * b.lexPrimary.Affinity(prompt, tok)
+				}
+				if b.lexBase != nil && b.lexBase.Trained() {
+					a += (1 - b.weight) * b.lexBase.Affinity(prompt, tok)
+				}
+				return math.Log(pr) + shapeAffinity(a, cov, seq, tok, b.primary.VocabSize())
+			}, b.temperature, b.topK, rng)
+		}
+		return decodeGreedy(next, prefix, maxNew, stop, stopToken)
+	}
+	next := func(seq []int) (int, bool) {
+		// Longest-match decoding across the two count tables: the model
+		// that has seen the longer context suffix supplies the candidate
+		// set (ties go to the fine-tuned counts, which dominate behaviour
+		// after fine-tuning, as in the paper); the lexical channels then
+		// select prompt-appropriate content among the candidates.
+		kp, pCounts, pTotal := b.primary.LongestContext(seq)
+		kb, bCounts, bTotal := b.base.LongestContext(seq)
+		counts, total := pCounts, pTotal
+		if kb > kp+b.baseMargin {
+			counts, total = bCounts, bTotal
+		}
+		if total == 0 {
+			if bTotal == 0 {
+				return 0, false
+			}
+			counts, total = bCounts, bTotal
+		}
+		cands := make([]int, 0, len(counts))
+		for tok := range counts {
+			cands = append(cands, tok)
+		}
+		return chooseCandidate(cands, func(tok int) float64 {
+			score := math.Log(float64(counts[tok]) / float64(total))
+			return score + b.affinityBonus(prompt, cov, seq, tok)
+		}, b.temperature, b.topK, rng)
+	}
+	return decodeGreedy(next, prefix, maxNew, stop, stopToken)
+}
+
+// affinityBonus blends both lexical channels and applies coverage shaping.
+func (b *blendLM) affinityBonus(prompt []int, cov *coverage, seq []int, tok int) float64 {
+	if len(prompt) == 0 {
+		return 0
+	}
+	a := 0.0
+	if b.lexPrimary != nil && b.lexPrimary.Trained() {
+		a += b.weight * b.lexPrimary.Affinity(prompt, tok)
+	}
+	if b.lexBase != nil && b.lexBase.Trained() {
+		a += (1 - b.weight) * b.lexBase.Affinity(prompt, tok)
+	}
+	return defaultLexWeight * shapeAffinity(a, cov, seq, tok, b.primary.VocabSize())
+}

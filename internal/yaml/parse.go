@@ -1,0 +1,829 @@
+package yaml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SyntaxError describes a parse failure with its 1-based source position.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("yaml: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse parses a source holding exactly one YAML document and returns its
+// root node. An empty (or comment-only) source yields a null scalar root.
+func Parse(src string) (*Node, error) {
+	docs, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	switch len(docs) {
+	case 0:
+		return NullScalar(), nil
+	case 1:
+		return docs[0], nil
+	default:
+		return nil, &SyntaxError{Line: 1, Msg: fmt.Sprintf("expected one document, found %d", len(docs))}
+	}
+}
+
+// ParseAll parses a multi-document YAML stream and returns one root node per
+// document. Documents are separated by "---"; an optional trailing "..."
+// terminates a document.
+func ParseAll(src string) ([]*Node, error) {
+	p := &parser{anchors: make(map[string]*Node)}
+	p.split(src)
+	var docs []*Node
+	for !p.eof() {
+		// Skip blank lines, comments and document markers between docs.
+		ln := p.peek()
+		switch {
+		case ln.text == "---" || strings.HasPrefix(ln.text, "--- "):
+			if ln.text == "---" {
+				p.next()
+				continue
+			}
+			// "--- value" puts the root value on the marker line.
+			rest := strings.TrimPrefix(ln.text, "--- ")
+			p.lines[p.pos].text = rest
+			p.lines[p.pos].indent = ln.indent + 4
+		case ln.text == "...":
+			p.next()
+			continue
+		}
+		node, err := p.parseValue(0)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, node)
+	}
+	return docs, nil
+}
+
+// line is one physical source line with its indentation precomputed.
+type line struct {
+	num    int
+	indent int
+	text   string // content after the indent, trailing newline removed
+}
+
+type parser struct {
+	raw     []string // every physical line, for block-scalar bodies
+	lines   []line   // structural lines only
+	pos     int
+	anchors map[string]*Node
+}
+
+// split breaks the source into structural lines, dropping blank and
+// comment-only lines (their positions never affect block structure for the
+// subset we accept: block scalars re-read raw lines, see parseBlockScalar).
+func (p *parser) split(src string) {
+	p.raw = strings.Split(src, "\n")
+	for i, r := range p.raw {
+		r = strings.TrimRight(r, "\r")
+		trimmed := strings.TrimLeft(r, " ")
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		p.lines = append(p.lines, line{num: i + 1, indent: len(r) - len(trimmed), text: trimmed})
+	}
+}
+
+func (p *parser) eof() bool  { return p.pos >= len(p.lines) }
+func (p *parser) peek() line { return p.lines[p.pos] }
+func (p *parser) next() line { l := p.lines[p.pos]; p.pos++; return l }
+func (p *parser) errf(l line, format string, args ...any) error {
+	return &SyntaxError{Line: l.num, Col: l.indent + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseValue parses the block node that starts at the current line, which
+// must be indented at least minIndent columns.
+func (p *parser) parseValue(minIndent int) (*Node, error) {
+	if p.eof() {
+		return NullScalar(), nil
+	}
+	ln := p.peek()
+	if ln.indent < minIndent {
+		return NullScalar(), nil
+	}
+	if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+		return p.parseBlockSeq(ln.indent)
+	}
+	if key, _, ok := splitKey(ln.text); ok && key != "" {
+		return p.parseBlockMap(ln.indent)
+	}
+	// Scalar or flow collection on its own line.
+	p.next()
+	return p.parseInline(ln, ln.text)
+}
+
+// parseBlockSeq parses consecutive "- ..." items at exactly the given indent.
+func (p *parser) parseBlockSeq(indent int) (*Node, error) {
+	seq := &Node{Kind: SequenceNode, Line: p.peek().num, Col: indent + 1}
+	for !p.eof() {
+		ln := p.peek()
+		if ln.indent != indent || (ln.text != "-" && !strings.HasPrefix(ln.text, "- ")) {
+			if ln.indent > indent {
+				return nil, p.errf(ln, "unexpected indentation inside sequence")
+			}
+			break
+		}
+		if ln.text == "-" {
+			// Item body on following more-indented lines (or null).
+			p.next()
+			item, err := p.parseChild(indent)
+			if err != nil {
+				return nil, err
+			}
+			seq.Items = append(seq.Items, item)
+			continue
+		}
+		// "- content": re-enter the parser with the dash stripped, so that
+		// "- key: v" parses as a mapping whose first line sits at the dash
+		// column + 2. Nested "- - x" recurses naturally.
+		rest := ln.text[1:]
+		trimmed := strings.TrimLeft(rest, " ")
+		p.lines[p.pos].text = trimmed
+		p.lines[p.pos].indent = ln.indent + 1 + (len(rest) - len(trimmed))
+		item, err := p.parseValue(indent + 1)
+		if err != nil {
+			return nil, err
+		}
+		seq.Items = append(seq.Items, item)
+	}
+	return seq, nil
+}
+
+// parseChild parses the node nested under a construct whose own line sits at
+// parentIndent; a child must be indented strictly deeper, otherwise the value
+// is null.
+func (p *parser) parseChild(parentIndent int) (*Node, error) {
+	if p.eof() || p.peek().indent <= parentIndent {
+		return NullScalar(), nil
+	}
+	return p.parseValue(parentIndent + 1)
+}
+
+// parseBlockMap parses consecutive "key: value" entries at the given indent.
+func (p *parser) parseBlockMap(indent int) (*Node, error) {
+	m := &Node{Kind: MappingNode, Line: p.peek().num, Col: indent + 1}
+	startLine := p.peek()
+	var merges []*Node
+	for !p.eof() {
+		ln := p.peek()
+		if ln.indent != indent {
+			if ln.indent > indent {
+				return nil, p.errf(ln, "unexpected indentation inside mapping")
+			}
+			break
+		}
+		if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+			break
+		}
+		keyText, rest, ok := splitKey(ln.text)
+		if !ok {
+			break
+		}
+		p.next()
+		keyNode, err := parseScalarToken(keyText, ln)
+		if err != nil {
+			return nil, err
+		}
+		keyNode.Line, keyNode.Col = ln.num, ln.indent+1
+		if keyNode.Value != mergeKey {
+			for _, k := range m.Keys {
+				if k.Value == keyNode.Value && k.Kind == ScalarNode {
+					return nil, p.errf(ln, "duplicate mapping key %q", keyNode.Value)
+				}
+			}
+		}
+		var val *Node
+		if rest == "" {
+			// Value nested on following lines; a sequence may sit at the
+			// same indent as its key (common Ansible style) or deeper.
+			if !p.eof() && p.peek().indent == indent &&
+				(p.peek().text == "-" || strings.HasPrefix(p.peek().text, "- ")) {
+				val, err = p.parseBlockSeq(indent)
+			} else {
+				val, err = p.parseChild(indent)
+			}
+		} else {
+			val, err = p.parseInline(ln, rest)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if keyNode.Value == mergeKey {
+			merges = append(merges, val)
+			continue
+		}
+		m.Keys = append(m.Keys, keyNode)
+		m.Values = append(m.Values, val)
+	}
+	if err := applyMerges(m, merges, p, startLine); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// mergeKey is the YAML merge-key indicator ("<<: *defaults").
+const mergeKey = "<<"
+
+// applyMerges folds merge-key values into the mapping: entries from the
+// merged mapping(s) are appended unless an explicit key overrides them, per
+// the YAML merge-key specification.
+func applyMerges(m *Node, merges []*Node, p *parser, ln line) error {
+	for _, merge := range merges {
+		var sources []*Node
+		switch {
+		case merge == nil:
+			continue
+		case merge.Kind == MappingNode:
+			sources = []*Node{merge}
+		case merge.Kind == SequenceNode:
+			sources = merge.Items
+		default:
+			return p.errf(ln, "merge key value must be a mapping or list of mappings")
+		}
+		for _, src := range sources {
+			if src == nil || src.Kind != MappingNode {
+				return p.errf(ln, "merge key value must be a mapping or list of mappings")
+			}
+			for i, k := range src.Keys {
+				if k.Kind == ScalarNode && m.Has(k.Value) {
+					continue // explicit keys win
+				}
+				m.Keys = append(m.Keys, k.Clone())
+				m.Values = append(m.Values, src.Values[i].Clone())
+			}
+		}
+	}
+	return nil
+}
+
+// anchorToken splits "&name rest"; ok is false when text is not an anchor.
+func anchorToken(text string) (name, rest string, ok bool) {
+	if len(text) < 2 || text[0] != '&' {
+		return "", "", false
+	}
+	end := 1
+	for end < len(text) && text[end] != ' ' {
+		end++
+	}
+	name = text[1:end]
+	if !isAnchorName(name) {
+		return "", "", false
+	}
+	return name, strings.TrimSpace(text[end:]), true
+}
+
+// isAnchorName accepts the identifier-like anchor names YAML uses.
+func isAnchorName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// parseInline parses a value that begins on the already-consumed line ln:
+// a flow collection, a block-scalar header, or a single-line scalar.
+func (p *parser) parseInline(ln line, text string) (*Node, error) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return &Node{Kind: ScalarNode, Tag: NullTag, Line: ln.num}, nil
+	}
+	// Anchor: "&name value" anchors the value; "&name" alone anchors the
+	// nested block that follows on deeper-indented lines.
+	if name, rest, ok := anchorToken(text); ok {
+		var n *Node
+		var err error
+		if rest == "" {
+			n, err = p.parseChild(ln.indent)
+		} else {
+			n, err = p.parseInline(ln, rest)
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.anchors[name] = n
+		return n, nil
+	}
+	// Alias: "*name" resolves to a copy of the anchored node.
+	if len(text) > 1 && text[0] == '*' && isAnchorName(text[1:]) {
+		n, ok := p.anchors[text[1:]]
+		if !ok {
+			return nil, p.errf(ln, "unknown alias *%s", text[1:])
+		}
+		return n.Clone(), nil
+	}
+	switch text[0] {
+	case '|', '>':
+		return p.parseBlockScalar(ln, text)
+	case '{', '[':
+		joined := text
+		for bracketDepth(joined) != 0 {
+			if p.eof() {
+				return nil, p.errf(ln, "unterminated flow collection")
+			}
+			joined += " " + p.next().text
+		}
+		n, rest, err := p.parseFlow(joined, ln)
+		if err != nil {
+			return nil, err
+		}
+		rest = strings.TrimSpace(rest)
+		if rest != "" && !strings.HasPrefix(rest, "#") {
+			return nil, p.errf(ln, "trailing content %q after flow collection", rest)
+		}
+		return n, nil
+	}
+	n, err := parseScalarToken(stripComment(text), ln)
+	if err != nil {
+		return nil, err
+	}
+	n.Line, n.Col = ln.num, ln.indent+1
+	return n, nil
+}
+
+// parseBlockScalar parses a literal (|) or folded (>) block scalar whose
+// header is on line ln. Blank interior lines matter, so it re-reads the raw
+// source lines between the header and the next structural line.
+func (p *parser) parseBlockScalar(ln line, header string) (*Node, error) {
+	style := Literal
+	if header[0] == '>' {
+		style = Folded
+	}
+	chomp := byte(0) // 0 = clip, '-' = strip, '+' = keep
+	explicitIndent := 0
+	for _, c := range header[1:] {
+		switch {
+		case c == '-' || c == '+':
+			chomp = byte(c)
+		case c >= '1' && c <= '9':
+			explicitIndent = int(c - '0')
+		case c == ' ' || c == '#':
+			// Trailing comment on the header line.
+		}
+		if c == ' ' || c == '#' {
+			break
+		}
+	}
+
+	// The body is every following raw line that is blank or indented
+	// strictly deeper than the header line. Raw lines are used because the
+	// structural pass cannot see inside a block scalar (its lines may look
+	// like mappings or comments) and because interior blank lines matter.
+	end := ln.num // 0-based index of first candidate body line
+	for end < len(p.raw) {
+		r := strings.TrimRight(p.raw[end], "\r")
+		t := strings.TrimLeft(r, " ")
+		if t == "" {
+			end++
+			continue
+		}
+		if len(r)-len(t) <= ln.indent {
+			break
+		}
+		end++
+	}
+	var body []string
+	for i := ln.num; i < end; i++ {
+		body = append(body, strings.TrimRight(p.raw[i], "\r"))
+	}
+	// Fix the block indent from the first non-blank body line (or the
+	// explicit indicator relative to the header's indent).
+	blockIndent := -1
+	if explicitIndent > 0 {
+		blockIndent = ln.indent + explicitIndent
+	} else {
+		for _, b := range body {
+			if strings.TrimSpace(b) == "" {
+				continue
+			}
+			blockIndent = len(b) - len(strings.TrimLeft(b, " "))
+			break
+		}
+	}
+	var content []string
+	for _, b := range body {
+		if strings.TrimSpace(b) == "" {
+			content = append(content, "")
+			continue
+		}
+		if blockIndent >= 0 && len(b) >= blockIndent {
+			content = append(content, b[blockIndent:])
+		} else {
+			content = append(content, strings.TrimLeft(b, " "))
+		}
+	}
+	// Advance past the structural lines that fell inside the body window.
+	for !p.eof() && p.peek().num <= end {
+		p.next()
+	}
+
+	text := assembleBlockScalar(content, style, chomp)
+	return &Node{Kind: ScalarNode, Value: text, Style: style, Tag: StrTag, Line: ln.num, Col: ln.indent + 1}, nil
+}
+
+// assembleBlockScalar joins block-scalar content lines per the style and
+// chomping indicator.
+func assembleBlockScalar(lines []string, style Style, chomp byte) string {
+	// Drop trailing blank lines but remember how many for keep-chomping.
+	trailing := 0
+	for len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+		trailing++
+	}
+	var sb strings.Builder
+	if style == Literal {
+		for i, l := range lines {
+			if i > 0 {
+				sb.WriteByte('\n')
+			}
+			sb.WriteString(l)
+		}
+	} else {
+		prevBlank := false
+		for i, l := range lines {
+			if l == "" {
+				sb.WriteByte('\n')
+				prevBlank = true
+				continue
+			}
+			if i > 0 && !prevBlank {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(l)
+			prevBlank = false
+		}
+	}
+	switch chomp {
+	case '-':
+		return sb.String()
+	case '+':
+		return sb.String() + strings.Repeat("\n", trailing+1)
+	default:
+		if sb.Len() == 0 {
+			return ""
+		}
+		return sb.String() + "\n"
+	}
+}
+
+// splitKey splits "key: rest" at the first unquoted, top-level ": " (or a
+// trailing ":"). ok is false when the line is not a mapping entry.
+func splitKey(text string) (key, rest string, ok bool) {
+	inSingle, inDouble := false, false
+	depth := 0
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case inSingle:
+			if c == '\'' {
+				inSingle = false
+			}
+		case inDouble:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inDouble = false
+			}
+		case c == '\'':
+			inSingle = true
+		case c == '"':
+			inDouble = true
+		case c == '{' || c == '[':
+			depth++
+		case c == '}' || c == ']':
+			depth--
+		case c == '#' && i > 0 && text[i-1] == ' ' && depth == 0:
+			// Comment starts; no key separator found before it.
+			return "", "", false
+		case c == ':' && depth == 0:
+			if i+1 == len(text) {
+				return strings.TrimSpace(text[:i]), "", true
+			}
+			if text[i+1] == ' ' {
+				return strings.TrimSpace(text[:i]), strings.TrimSpace(text[i+1:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// stripComment removes an unquoted trailing comment (" #...") from a plain
+// scalar line.
+func stripComment(text string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case inSingle:
+			if c == '\'' {
+				inSingle = false
+			}
+		case inDouble:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inDouble = false
+			}
+		case c == '\'':
+			inSingle = true
+		case c == '"':
+			inDouble = true
+		case c == '#' && i > 0 && (text[i-1] == ' ' || text[i-1] == '\t'):
+			return strings.TrimRight(text[:i], " \t")
+		}
+	}
+	return text
+}
+
+// parseScalarToken decodes a single scalar token: quoted, or plain.
+func parseScalarToken(tok string, ln line) (*Node, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == "" {
+		return &Node{Kind: ScalarNode, Tag: NullTag}, nil
+	}
+	switch tok[0] {
+	case '\'':
+		if len(tok) < 2 || tok[len(tok)-1] != '\'' {
+			return nil, &SyntaxError{Line: ln.num, Msg: "unterminated single-quoted scalar"}
+		}
+		v := strings.ReplaceAll(tok[1:len(tok)-1], "''", "'")
+		return &Node{Kind: ScalarNode, Value: v, Style: SingleQuoted, Tag: StrTag}, nil
+	case '"':
+		if len(tok) < 2 || tok[len(tok)-1] != '"' {
+			return nil, &SyntaxError{Line: ln.num, Msg: "unterminated double-quoted scalar"}
+		}
+		v, err := unescapeDouble(tok[1 : len(tok)-1])
+		if err != nil {
+			return nil, &SyntaxError{Line: ln.num, Msg: err.Error()}
+		}
+		return &Node{Kind: ScalarNode, Value: v, Style: DoubleQuoted, Tag: StrTag}, nil
+	}
+	return &Node{Kind: ScalarNode, Value: tok, Tag: resolveTag(tok, Plain)}, nil
+}
+
+// unescapeDouble resolves the escape sequences permitted in double-quoted
+// scalars.
+func unescapeDouble(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("dangling escape in double-quoted scalar")
+		}
+		switch s[i] {
+		case 'n':
+			sb.WriteByte('\n')
+		case 't':
+			sb.WriteByte('\t')
+		case 'r':
+			sb.WriteByte('\r')
+		case '0':
+			sb.WriteByte(0)
+		case '\\':
+			sb.WriteByte('\\')
+		case '"':
+			sb.WriteByte('"')
+		case 'x':
+			if i+2 >= len(s) {
+				return "", fmt.Errorf("truncated \\x escape")
+			}
+			v, err := strconv.ParseUint(s[i+1:i+3], 16, 8)
+			if err != nil {
+				return "", fmt.Errorf("invalid \\x escape: %v", err)
+			}
+			sb.WriteByte(byte(v))
+			i += 2
+		case 'u':
+			if i+4 >= len(s) {
+				return "", fmt.Errorf("truncated \\u escape")
+			}
+			v, err := strconv.ParseUint(s[i+1:i+5], 16, 32)
+			if err != nil {
+				return "", fmt.Errorf("invalid \\u escape: %v", err)
+			}
+			sb.WriteRune(rune(v))
+			i += 4
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", s[i])
+		}
+	}
+	return sb.String(), nil
+}
+
+// bracketDepth returns the net open-bracket depth of text, ignoring brackets
+// inside quotes; used to join multi-line flow collections.
+func bracketDepth(text string) int {
+	inSingle, inDouble := false, false
+	depth := 0
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case inSingle:
+			if c == '\'' {
+				inSingle = false
+			}
+		case inDouble:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inDouble = false
+			}
+		case c == '\'':
+			inSingle = true
+		case c == '"':
+			inDouble = true
+		case c == '{' || c == '[':
+			depth++
+		case c == '}' || c == ']':
+			depth--
+		}
+	}
+	return depth
+}
+
+// parseFlow parses a flow value ({...}, [...], or a flow scalar) from the
+// start of text, returning the node and the unconsumed remainder.
+func (p *parser) parseFlow(text string, ln line) (*Node, string, error) {
+	text = strings.TrimLeft(text, " ")
+	if text == "" {
+		return &Node{Kind: ScalarNode, Tag: NullTag}, "", nil
+	}
+	switch text[0] {
+	case '{':
+		return p.parseFlowMap(text[1:], ln)
+	case '[':
+		return p.parseFlowSeq(text[1:], ln)
+	case '\'':
+		end := findSingleEnd(text)
+		if end < 0 {
+			return nil, "", &SyntaxError{Line: ln.num, Msg: "unterminated single-quoted scalar in flow"}
+		}
+		n, err := parseScalarToken(text[:end+1], ln)
+		return n, text[end+1:], err
+	case '"':
+		end := findDoubleEnd(text)
+		if end < 0 {
+			return nil, "", &SyntaxError{Line: ln.num, Msg: "unterminated double-quoted scalar in flow"}
+		}
+		n, err := parseScalarToken(text[:end+1], ln)
+		return n, text[end+1:], err
+	}
+	// Plain flow scalar: up to , } ] or ": ".
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c == ',' || c == '}' || c == ']' {
+			n, err := p.flowScalar(text[:i], ln)
+			return n, text[i:], err
+		}
+		if c == ':' && (i+1 == len(text) || text[i+1] == ' ' || text[i+1] == ',' || text[i+1] == '}') {
+			n, err := p.flowScalar(text[:i], ln)
+			return n, text[i:], err
+		}
+	}
+	n, err := p.flowScalar(text, ln)
+	return n, "", err
+}
+
+// flowScalar decodes a plain flow token, resolving aliases.
+func (p *parser) flowScalar(tok string, ln line) (*Node, error) {
+	trimmed := strings.TrimSpace(tok)
+	if len(trimmed) > 1 && trimmed[0] == '*' && isAnchorName(trimmed[1:]) {
+		n, ok := p.anchors[trimmed[1:]]
+		if !ok {
+			return nil, p.errf(ln, "unknown alias %s", trimmed)
+		}
+		return n.Clone(), nil
+	}
+	return parseScalarToken(tok, ln)
+}
+
+func findSingleEnd(text string) int {
+	for i := 1; i < len(text); i++ {
+		if text[i] == '\'' {
+			if i+1 < len(text) && text[i+1] == '\'' {
+				i++
+				continue
+			}
+			return i
+		}
+	}
+	return -1
+}
+
+func findDoubleEnd(text string) int {
+	for i := 1; i < len(text); i++ {
+		if text[i] == '\\' {
+			i++
+			continue
+		}
+		if text[i] == '"' {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *parser) parseFlowMap(text string, ln line) (*Node, string, error) {
+	m := &Node{Kind: MappingNode, Line: ln.num}
+	rest := strings.TrimLeft(text, " ")
+	for {
+		if rest == "" {
+			return nil, "", &SyntaxError{Line: ln.num, Msg: "unterminated flow mapping"}
+		}
+		if rest[0] == '}' {
+			return m, rest[1:], nil
+		}
+		key, r2, err := p.parseFlow(rest, ln)
+		if err != nil {
+			return nil, "", err
+		}
+		rest = strings.TrimLeft(r2, " ")
+		var val *Node
+		if strings.HasPrefix(rest, ":") {
+			val, r2, err = p.parseFlow(rest[1:], ln)
+			if err != nil {
+				return nil, "", err
+			}
+			rest = strings.TrimLeft(r2, " ")
+		} else {
+			val = NullScalar()
+		}
+		m.Keys = append(m.Keys, key)
+		m.Values = append(m.Values, val)
+		switch {
+		case strings.HasPrefix(rest, ","):
+			rest = strings.TrimLeft(rest[1:], " ")
+		case strings.HasPrefix(rest, "}"):
+			return m, rest[1:], nil
+		default:
+			return nil, "", &SyntaxError{Line: ln.num, Msg: fmt.Sprintf("expected ',' or '}' in flow mapping, found %q", rest)}
+		}
+	}
+}
+
+func (p *parser) parseFlowSeq(text string, ln line) (*Node, string, error) {
+	s := &Node{Kind: SequenceNode, Line: ln.num}
+	rest := strings.TrimLeft(text, " ")
+	for {
+		if rest == "" {
+			return nil, "", &SyntaxError{Line: ln.num, Msg: "unterminated flow sequence"}
+		}
+		if rest[0] == ']' {
+			return s, rest[1:], nil
+		}
+		item, r2, err := p.parseFlow(rest, ln)
+		if err != nil {
+			return nil, "", err
+		}
+		rest = strings.TrimLeft(r2, " ")
+		// A flow sequence may contain single-pair mappings: [a: b, c: d].
+		if strings.HasPrefix(rest, ":") && item.Kind == ScalarNode {
+			var val *Node
+			val, r2, err = p.parseFlow(rest[1:], ln)
+			if err != nil {
+				return nil, "", err
+			}
+			rest = strings.TrimLeft(r2, " ")
+			pair := Mapping()
+			pair.Keys = append(pair.Keys, item)
+			pair.Values = append(pair.Values, val)
+			item = pair
+		}
+		s.Items = append(s.Items, item)
+		switch {
+		case strings.HasPrefix(rest, ","):
+			rest = strings.TrimLeft(rest[1:], " ")
+		case strings.HasPrefix(rest, "]"):
+			return s, rest[1:], nil
+		default:
+			return nil, "", &SyntaxError{Line: ln.num, Msg: fmt.Sprintf("expected ',' or ']' in flow sequence, found %q", rest)}
+		}
+	}
+}
