@@ -1,0 +1,33 @@
+# Standard-library-only Go project; these targets are conveniences over the
+# go tool, not a build system.
+
+GO ?= go
+
+.PHONY: all build test race vet check bench fmt clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the gate this repository holds itself to (see scripts/check.sh).
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fmt:
+	gofmt -l -w .
+
+clean:
+	$(GO) clean ./...

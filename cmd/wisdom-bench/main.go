@@ -4,24 +4,43 @@
 // Usage:
 //
 //	wisdom-bench [-quick] [-table 1|2|3|4|5|throughput|all] [-figure 2]
+//	wisdom-bench -quick -trace -metrics   # per-stage timings + metrics dump
 //
-// Each run is fully deterministic for a given configuration.
+// Each run is fully deterministic for a given configuration; -trace and
+// -metrics only observe, they never perturb results.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"wisdom/internal/dataset"
 	"wisdom/internal/experiments"
+	"wisdom/internal/observe"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use the reduced (smoke-test) configuration")
 	table := flag.String("table", "all", "table to regenerate: 1, 2, 3, 4, 5, throughput, sensitivity, ablation, decoding, or all")
 	figure := flag.Int("figure", 0, "figure to print (2 prints one sample per generation type)")
+	metricsOn := flag.Bool("metrics", false, "dump collected metrics in Prometheus text format to stderr at exit")
+	traceOn := flag.Bool("trace", false, "log stage span timings to stderr and print a stage summary at exit")
 	flag.Parse()
+
+	var reg *observe.Registry
+	if *metricsOn {
+		reg = observe.NewRegistry()
+	}
+	var tracer *observe.Tracer
+	if *metricsOn || *traceOn {
+		var logw io.Writer
+		if *traceOn {
+			logw = os.Stderr
+		}
+		tracer = observe.NewTracer(reg, logw)
+	}
 
 	cfg := experiments.Default()
 	if *quick {
@@ -29,7 +48,7 @@ func main() {
 	}
 	fmt.Printf("building suite (seed %d, vocab %d, galaxy %d files)...\n",
 		cfg.Seed, cfg.VocabSize, cfg.GalaxyFiles)
-	suite, err := experiments.NewSuite(cfg)
+	suite, err := experiments.NewSuiteTraced(cfg, tracer)
 	if err != nil {
 		fatal(err)
 	}
@@ -116,6 +135,18 @@ func main() {
 		fmt.Printf("Throughput (pre-training section): small %.1f tok/s, large %.1f tok/s, ratio %.2fx\n",
 			res.SmallTokensPerSec, res.LargeTokensPerSec, res.Ratio)
 		fmt.Println("(the paper reports the 350M model ~1.9x faster than the 2.7B on one GPU)")
+	}
+
+	if *traceOn {
+		if s := tracer.Summary(); s != "" {
+			fmt.Fprintf(os.Stderr, "\nstage timings:\n%s", s)
+		}
+	}
+	if *metricsOn {
+		fmt.Fprintln(os.Stderr, "\ncollected metrics:")
+		if err := reg.WritePrometheus(os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -1,20 +1,32 @@
 // Command wisdom-serve runs the Wisdom inference service: the REST endpoint
 // and the binary RPC endpoint from the paper's Demo/Plugin section, with the
-// LRU response cache.
+// LRU response cache, Prometheus-format metrics and graceful shutdown.
 //
 // Usage:
 //
 //	wisdom-serve -http :8080 -rpc :8081
 //	curl -s localhost:8080/v1/completions -d '{"prompt":"install nginx"}'
+//	curl -s localhost:8080/metrics     # Prometheus text format
+//	curl -s localhost:8080/healthz     # liveness probe
+//
+// SIGINT/SIGTERM drain in-flight HTTP and RPC requests within the -drain
+// deadline before the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"wisdom/internal/experiments"
+	"wisdom/internal/observe"
 	"wisdom/internal/serve"
 	"wisdom/internal/wisdom"
 )
@@ -27,11 +39,78 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced training configuration")
 	loadPath := flag.String("load", "", "load a previously saved model instead of training")
 	savePath := flag.String("save", "", "save the trained model to this file before serving")
+	metricsOn := flag.Bool("metrics", true, "record runtime metrics and serve them at /metrics")
+	traceOn := flag.Bool("trace", false, "log stage span timings to stderr")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	flag.Parse()
 
+	var reg *observe.Registry
+	if *metricsOn {
+		reg = observe.NewRegistry()
+	}
+	var tracer *observe.Tracer
+	if *traceOn {
+		tracer = observe.NewTracer(reg, os.Stderr)
+	}
+
+	model := buildModel(*loadPath, *savePath, *variant, *quick, tracer)
+
+	srv := serve.NewServer(model, model.Name, *cacheSize)
+	srv.Instrument(reg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Listener failures land on errc instead of os.Exit-ing from a
+	// goroutine, so a dying listener still drains the other protocol.
+	errc := make(chan error, 2)
+	if *rpcAddr != "" {
+		ln, err := net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rpc listening on %s\n", ln.Addr())
+		go func() { errc <- srv.ServeRPC(ln) }()
+	}
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
+	go func() {
+		fmt.Fprintf(os.Stderr, "rest listening on %s\n", *httpAddr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	exitCode := 0
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "signal received; draining in-flight requests...")
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wisdom-serve:", err)
+			exitCode = 1
+		}
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "wisdom-serve: http drain:", err)
+		exitCode = 1
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "wisdom-serve: rpc drain:", err)
+		exitCode = 1
+	}
+	fmt.Fprintln(os.Stderr, "shutdown complete")
+	os.Exit(exitCode)
+}
+
+// buildModel loads a saved model or trains one from the seeded corpora.
+func buildModel(loadPath, savePath, variant string, quick bool, tracer *observe.Tracer) *wisdom.Model {
 	var model *wisdom.Model
-	if *loadPath != "" {
-		f, err := os.Open(*loadPath)
+	if loadPath != "" {
+		sp := tracer.Start("serve.load_model")
+		f, err := os.Open(loadPath)
 		if err != nil {
 			fatal(err)
 		}
@@ -40,28 +119,31 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "loaded %s from %s\n", model.Name, *loadPath)
+		sp.End()
+		fmt.Fprintf(os.Stderr, "loaded %s from %s\n", model.Name, loadPath)
 	} else {
 		cfg := experiments.Default()
-		if *quick {
+		if quick {
 			cfg = experiments.Quick()
 		}
 		fmt.Fprintln(os.Stderr, "training model (seeded synthetic corpora)...")
-		suite, err := experiments.NewSuite(cfg)
+		suite, err := experiments.NewSuiteTraced(cfg, tracer)
 		if err != nil {
 			fatal(err)
 		}
-		pre, err := suite.Pretrained(wisdom.VariantID(*variant), "", 0, 1024)
+		pre, err := suite.Pretrained(wisdom.VariantID(variant), "", 0, 1024)
 		if err != nil {
 			fatal(err)
 		}
+		sp := tracer.Start("serve.finetune")
 		model, err = wisdom.Finetune(pre, suite.Pipe.Train, wisdom.FinetuneConfig{Window: 1024})
 		if err != nil {
 			fatal(err)
 		}
+		sp.End()
 	}
-	if *savePath != "" {
-		f, err := os.Create(*savePath)
+	if savePath != "" {
+		f, err := os.Create(savePath)
 		if err != nil {
 			fatal(err)
 		}
@@ -71,26 +153,9 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "saved model to %s\n", *savePath)
+		fmt.Fprintf(os.Stderr, "saved model to %s\n", savePath)
 	}
-
-	srv := serve.NewServer(model, model.Name, *cacheSize)
-	if *rpcAddr != "" {
-		ln, err := net.Listen("tcp", *rpcAddr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "rpc listening on %s\n", ln.Addr())
-		go func() {
-			if err := srv.ServeRPC(ln); err != nil {
-				fatal(err)
-			}
-		}()
-	}
-	fmt.Fprintf(os.Stderr, "rest listening on %s\n", *httpAddr)
-	if err := srv.ListenHTTP(*httpAddr); err != nil {
-		fatal(err)
-	}
+	return model
 }
 
 func fatal(err error) {

@@ -8,15 +8,18 @@
 //	wisdom-train -variant wisdom-ansible-multi
 //	wisdom-train -variant codegen-multi -few-shot
 //	wisdom-train -variant codegen-multi -window 512 -fraction 0.5
+//	wisdom-train -quick -trace -metrics      # stage timings + metrics dump
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"wisdom/internal/dataset"
 	"wisdom/internal/experiments"
+	"wisdom/internal/observe"
 	"wisdom/internal/wisdom"
 )
 
@@ -30,7 +33,22 @@ func main() {
 	limit := flag.Int("limit", 0, "cap evaluated test samples (0 = config default)")
 	savePath := flag.String("save", "", "save the trained model to this file")
 	selectOnValid := flag.Bool("select", false, "select the fine-tuning blend weight on validation BLEU (the paper's checkpoint selection)")
+	metricsOn := flag.Bool("metrics", false, "dump collected metrics in Prometheus text format to stderr at exit")
+	traceOn := flag.Bool("trace", false, "log stage span timings to stderr and print a stage summary at exit")
 	flag.Parse()
+
+	var reg *observe.Registry
+	if *metricsOn {
+		reg = observe.NewRegistry()
+	}
+	var tracer *observe.Tracer
+	if *metricsOn || *traceOn {
+		var logw io.Writer
+		if *traceOn {
+			logw = os.Stderr
+		}
+		tracer = observe.NewTracer(reg, logw)
+	}
 
 	cfg := experiments.Default()
 	if *quick {
@@ -40,12 +58,14 @@ func main() {
 		cfg.EvalLimit = *limit
 	}
 	fmt.Println("building corpora and tokenizer...")
-	suite, err := experiments.NewSuite(cfg)
+	suite, err := experiments.NewSuiteTraced(cfg, tracer)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("pre-training %s (window %d)...\n", *variant, *window)
+	sp := tracer.Start("train.pretrain")
 	model, err := suite.Pretrained(wisdom.VariantID(*variant), "", 0, *window)
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -56,6 +76,7 @@ func main() {
 		}
 		ftCfg := wisdom.FinetuneConfig{Window: *window, Style: style, Fraction: *fraction}
 		fmt.Printf("fine-tuning on %d Galaxy samples...\n", len(suite.Pipe.Train))
+		sp := tracer.Start("train.finetune")
 		if *selectOnValid {
 			var validBLEU float64
 			model, validBLEU, err = wisdom.FinetuneWithValidation(model, suite.Pipe.Train, suite.Pipe.Valid, ftCfg, cfg.EvalLimit)
@@ -69,6 +90,7 @@ func main() {
 				fatal(err)
 			}
 		}
+		sp.End()
 	}
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
@@ -84,12 +106,26 @@ func main() {
 		fmt.Printf("saved model to %s\n", *savePath)
 	}
 	fmt.Printf("evaluating %s on %d test samples...\n", model.Name, min(cfg.EvalLimit, len(suite.Pipe.Test)))
+	sp = tracer.Start("train.evaluate")
 	res := wisdom.Evaluate(model, suite.Pipe.Test, cfg.EvalLimit)
+	sp.End()
 	fmt.Printf("\n%-16s %8s\n", "Metric", "Score")
 	fmt.Printf("%-16s %8.2f\n", "Schema Correct", res.Overall.SchemaCorrect)
 	fmt.Printf("%-16s %8.2f\n", "Exact Match", res.Overall.ExactMatch)
 	fmt.Printf("%-16s %8.2f\n", "BLEU", res.Overall.BLEU)
 	fmt.Printf("%-16s %8.2f\n", "Ansible Aware", res.Overall.AnsibleAware)
+
+	if *traceOn {
+		if s := tracer.Summary(); s != "" {
+			fmt.Fprintf(os.Stderr, "\nstage timings:\n%s", s)
+		}
+	}
+	if *metricsOn {
+		fmt.Fprintln(os.Stderr, "\ncollected metrics:")
+		if err := reg.WritePrometheus(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func min(a, b int) int {

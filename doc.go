@@ -10,4 +10,13 @@
 // zoo, and the serving layer. Executables live under cmd/ and runnable
 // examples under examples/. The benchmarks in bench_test.go regenerate
 // every table of the paper; see DESIGN.md and EXPERIMENTS.md.
+//
+// Operationally, internal/observe provides a dependency-free metrics
+// registry (atomic counters, gauges and latency histograms with a
+// Prometheus text exporter) and span timers; the serving layer in
+// internal/serve exposes them at /metrics and /healthz and over the RPC
+// protocol, and cmd/wisdom-serve drains in-flight requests on
+// SIGINT/SIGTERM. The package map and data-flow diagram are in
+// ARCHITECTURE.md; the operator's guide is the Operations section of
+// README.md.
 package wisdom

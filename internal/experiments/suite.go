@@ -17,6 +17,7 @@ import (
 	"wisdom/internal/dataset"
 	"wisdom/internal/metrics"
 	"wisdom/internal/neural"
+	"wisdom/internal/observe"
 	"wisdom/internal/tokenizer"
 	"wisdom/internal/wisdom"
 )
@@ -82,19 +83,33 @@ type Suite struct {
 	Corpora *wisdom.Corpora
 	Tok     *tokenizer.Tokenizer
 	Pipe    *dataset.Pipeline
-	leak    []dataset.Sample
+	// Trace, when non-nil, times every suite stage (corpora build,
+	// tokenizer training, per-table model builds and evaluations). A nil
+	// tracer is a no-op, so results are identical either way.
+	Trace *observe.Tracer
+	leak  []dataset.Sample
 }
 
 // NewSuite builds corpora, tokenizer and the fine-tuning pipeline.
-func NewSuite(cfg Config) (*Suite, error) {
-	s := &Suite{Cfg: cfg}
+func NewSuite(cfg Config) (*Suite, error) { return NewSuiteTraced(cfg, nil) }
+
+// NewSuiteTraced is NewSuite with per-stage span timing on tr (which may be
+// nil).
+func NewSuiteTraced(cfg Config, tr *observe.Tracer) (*Suite, error) {
+	s := &Suite{Cfg: cfg, Trace: tr}
+	sp := tr.Start("suite.corpora")
 	s.Corpora = wisdom.BuildCorpora(cfg.Corpora)
+	sp.End()
+	sp = tr.Start("suite.tokenizer")
 	tok, err := wisdom.TrainTokenizer(s.Corpora, cfg.VocabSize)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: tokenizer: %w", err)
 	}
 	s.Tok = tok
+	sp = tr.Start("suite.pipeline")
 	s.Pipe = dataset.BuildPipeline(corpus.Galaxy(cfg.Seed+900, cfg.GalaxyFiles), cfg.Seed)
+	sp.End()
 	if cfg.LeakEvery > 0 {
 		// Codex-sim "saw large portions" of Galaxy, diluted among billions
 		// of other files: a slice of the training split plus a slice of
@@ -152,6 +167,7 @@ type Table1Row struct {
 // Table1 regenerates the dataset-size table: file counts per source with
 // the Table 1 ratios, at this run's scale.
 func (s *Suite) Table1() []Table1Row {
+	defer s.Trace.Start("table1").End()
 	galaxy := corpus.Galaxy(s.Cfg.Seed+900, s.Cfg.GalaxyFiles)
 	gitlab := corpus.GitLabAnsible(s.Cfg.Corpora.Seed+500, s.Cfg.Corpora.GitLab)
 	github := corpus.GitHubGBQAnsible(s.Cfg.Corpora.Seed+600, s.Cfg.Corpora.GitHub)
@@ -241,18 +257,22 @@ func (s *Suite) Pretrained(id wisdom.VariantID, size string, order, window int) 
 	if v.Retrieval {
 		leak = s.leak
 	}
+	defer s.Trace.Start("pretrain").End()
 	return wisdom.Pretrain(v, s.Corpora, s.Tok, window, leak)
 }
 
 // Table3 evaluates every few-shot row.
 func (s *Suite) Table3() ([]Row, error) {
+	defer s.Trace.Start("table3").End()
 	var rows []Row
 	for _, spec := range table3Rows() {
 		m, err := s.Pretrained(spec.id, spec.size, spec.order, spec.window)
 		if err != nil {
 			return nil, err
 		}
+		sp := s.Trace.Start("evaluate")
 		res := wisdom.Evaluate(m, s.Pipe.Test, s.Cfg.EvalLimit)
+		sp.End()
 		rows = append(rows, Row{Model: displayName(spec.id), Size: spec.size, Window: spec.window, Report: res.Overall})
 	}
 	return rows, nil
@@ -299,6 +319,7 @@ func (s *Suite) Finetuned(spec table4Spec) (*wisdom.Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s.Trace.Start("finetune").End()
 	return wisdom.Finetune(pre, s.Pipe.Train, wisdom.FinetuneConfig{
 		Window:   spec.window,
 		Style:    spec.style,
@@ -308,13 +329,16 @@ func (s *Suite) Finetuned(spec table4Spec) (*wisdom.Model, error) {
 
 // Table4 evaluates every fine-tuned row.
 func (s *Suite) Table4() ([]Row, error) {
+	defer s.Trace.Start("table4").End()
 	var rows []Row
 	for _, spec := range table4Rows() {
 		m, err := s.Finetuned(spec)
 		if err != nil {
 			return nil, err
 		}
+		sp := s.Trace.Start("evaluate")
 		res := wisdom.Evaluate(m, s.Pipe.Test, s.Cfg.EvalLimit)
+		sp.End()
 		rows = append(rows, Row{Model: spec.label, Size: spec.size, Window: spec.window, Report: res.Overall})
 	}
 	return rows, nil
@@ -331,13 +355,16 @@ type Table5Row struct {
 // Table5 fine-tunes CodeGen-Multi (the paper's Table 5 model) and breaks
 // the evaluation down per generation type, evaluating the full test set.
 func (s *Suite) Table5() ([]Table5Row, error) {
+	defer s.Trace.Start("table5").End()
 	m, err := s.Finetuned(table4Spec{
 		id: wisdom.CodeGenMulti, size: "350M", window: 1024, style: dataset.NameCompletion,
 	})
 	if err != nil {
 		return nil, err
 	}
+	sp := s.Trace.Start("evaluate")
 	res := wisdom.Evaluate(m, s.Pipe.Test, 0)
+	sp.End()
 	rows := []Table5Row{{Type: "ALL", Report: res.Overall}}
 	order := []dataset.GenType{dataset.NLtoPB, dataset.NLtoT, dataset.PBNLtoT, dataset.TNLtoT}
 	for _, t := range order {
@@ -391,6 +418,7 @@ type ThroughputResult struct {
 // Throughput builds two neural models in the paper's size relation and
 // measures greedy-decoding tokens/second for each.
 func (s *Suite) Throughput() (ThroughputResult, error) {
+	defer s.Trace.Start("throughput").End()
 	small, err := neural.NewModel(neural.Config{Vocab: 512, Ctx: 64, Dim: 96, Heads: 4, Layers: 4, Seed: 1})
 	if err != nil {
 		return ThroughputResult{}, err

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"wisdom/internal/observe"
+)
+
+// TestSuiteTraced asserts that the traced constructor times every build
+// stage and that tracing does not perturb the deterministic fixtures.
+func TestSuiteTraced(t *testing.T) {
+	reg := observe.NewRegistry()
+	tr := observe.NewTracer(reg, nil)
+	traced, err := NewSuiteTraced(Quick(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewSuite(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.Pipe.Train) != len(plain.Pipe.Train) || len(traced.Pipe.Test) != len(plain.Pipe.Test) {
+		t.Errorf("tracing changed the pipeline: %d/%d vs %d/%d",
+			len(traced.Pipe.Train), len(traced.Pipe.Test), len(plain.Pipe.Train), len(plain.Pipe.Test))
+	}
+
+	traced.Table1()
+
+	seen := map[string]bool{}
+	for _, r := range tr.Recent() {
+		seen[r.Name] = true
+	}
+	for _, stage := range []string{"suite.corpora", "suite.tokenizer", "suite.pipeline", "table1"} {
+		if !seen[stage] {
+			t.Errorf("stage %q not traced (saw %v)", stage, seen)
+		}
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `wisdom_span_duration_seconds_count{span="suite.corpora"} 1`) {
+		t.Errorf("span histogram missing:\n%s", sb.String())
+	}
+}

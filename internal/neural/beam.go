@@ -3,6 +3,7 @@ package neural
 import (
 	"math"
 	"sort"
+	"time"
 )
 
 // BeamOptions control beam-search decoding.
@@ -35,6 +36,10 @@ func (h beamHyp) score(penalty float64) float64 {
 // greedy decoding and names beam search as an expected improvement; this
 // implements that extension.
 func (m *Model) GenerateBeam(prefix []int, maxNew int, opts BeamOptions) []int {
+	var start time.Time
+	if m.obs != nil {
+		start = time.Now()
+	}
 	if opts.Width <= 0 {
 		opts.Width = 4
 	}
@@ -79,6 +84,9 @@ func (m *Model) GenerateBeam(prefix []int, maxNew int, opts BeamOptions) []int {
 		if h.score(opts.LengthPenalty) > best.score(opts.LengthPenalty) {
 			best = h
 		}
+	}
+	if m.obs != nil {
+		m.obs.recordGeneration(len(best.tokens), time.Since(start))
 	}
 	return best.tokens
 }

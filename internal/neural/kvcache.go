@@ -1,6 +1,9 @@
 package neural
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // genState is an incremental decoding state: the per-layer key/value caches
 // that let each new token attend over all previous positions without
@@ -129,6 +132,10 @@ func (s *genState) step(tok int) []float64 {
 		}
 	}
 	s.pos++
+	if m.obs != nil {
+		m.obs.KVCachePositions.Set(float64(s.pos))
+		m.obs.KVCacheOccupancy.Set(float64(s.pos) / float64(cfg.Ctx))
+	}
 
 	hf := lnRow(x, m.lnfg.W, m.lnfb.W)
 	logits := make([]float64, cfg.Vocab)
@@ -151,6 +158,10 @@ func (m *Model) GenerateCached(prefix []int, maxNew int, opts GenOptions) []int 
 	if len(prefix) == 0 || len(prefix)+maxNew > m.cfg.Ctx {
 		return m.Generate(prefix, maxNew, opts)
 	}
+	var start time.Time
+	if m.obs != nil {
+		start = time.Now()
+	}
 	st := m.newGenState()
 	var logits []float64
 	for _, tok := range prefix {
@@ -170,6 +181,9 @@ func (m *Model) GenerateCached(prefix []int, maxNew int, opts GenOptions) []int 
 			break
 		}
 		logits = st.step(tok)
+	}
+	if m.obs != nil {
+		m.obs.recordGeneration(len(out), time.Since(start))
 	}
 	return out
 }

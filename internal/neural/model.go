@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 )
 
 // Config defines a transformer architecture.
@@ -58,6 +59,7 @@ type Model struct {
 	lnfg   *Param
 	lnfb   *Param
 	params []*Param
+	obs    *Instrumentation // nil = metrics off (the default)
 }
 
 // NewModel builds a model with small random initial weights.
@@ -395,7 +397,15 @@ func (m *Model) lossAndBackward(tokens []int, mask []bool) float64 {
 	if len(tokens) < 2 {
 		return 0
 	}
+	var phaseStart time.Time
+	if m.obs != nil {
+		phaseStart = time.Now()
+	}
 	tr := m.forward(tokens)
+	if m.obs != nil {
+		m.obs.Forward.Observe(time.Since(phaseStart).Seconds())
+		phaseStart = time.Now()
+	}
 	cfg := m.cfg
 	T, d, v := len(tokens), cfg.Dim, cfg.Vocab
 
@@ -453,6 +463,10 @@ func (m *Model) lossAndBackward(tokens []int, mask []bool) float64 {
 	loss *= invN
 
 	m.backward(tr, dHf)
+	if m.obs != nil {
+		// The backward phase covers the loss head plus backpropagation.
+		m.obs.Backward.Observe(time.Since(phaseStart).Seconds())
+	}
 	return loss
 }
 

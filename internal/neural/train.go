@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 )
 
 // TrainConfig controls a training run.
@@ -66,6 +67,10 @@ func (m *Model) Train(seqs [][]int, cfg TrainConfig) float64 {
 			if end > len(order) {
 				end = len(order)
 			}
+			var batchStart time.Time
+			if m.obs != nil {
+				batchStart = time.Now()
+			}
 			batchLoss, n := m.batchGrad(seqs, order[at:end])
 			if n == 0 {
 				continue
@@ -77,8 +82,26 @@ func (m *Model) Train(seqs [][]int, cfg TrainConfig) float64 {
 					p.G[i] *= inv
 				}
 			}
+			var stepStart time.Time
+			if m.obs != nil {
+				stepStart = time.Now()
+			}
 			opt.Step(cfg.LR * cfg.Schedule(step, total))
 			step++
+			if m.obs != nil {
+				now := time.Now()
+				m.obs.OptStep.Observe(now.Sub(stepStart).Seconds())
+				toks := 0
+				for _, idx := range order[at:end] {
+					if s := clipSeq(seqs[idx], m.cfg.Ctx); s != nil {
+						toks += len(s)
+					}
+				}
+				m.obs.TrainTokens.Add(toks)
+				if elapsed := now.Sub(batchStart).Seconds(); elapsed > 0 {
+					m.obs.TrainTokensPerSec.Set(float64(toks) / elapsed)
+				}
+			}
 			batchLoss /= float64(n)
 			epochLoss += batchLoss
 			epochN++
@@ -179,7 +202,7 @@ func clipSeq(seq []int, ctx int) []int {
 // holding freshly allocated gradient buffers, so concurrent backward passes
 // never write to shared memory.
 func (m *Model) shadowForGrads() *Model {
-	shadow := &Model{cfg: m.cfg}
+	shadow := &Model{cfg: m.cfg, obs: m.obs}
 	clone := func(p *Param) *Param {
 		np := &Param{Name: p.Name, W: p.W, G: make([]float64, len(p.G))}
 		shadow.params = append(shadow.params, np)
@@ -221,6 +244,10 @@ type GenOptions struct {
 // The context window slides when the sequence exceeds the configured length
 // (left truncation, as the paper describes for over-long inputs).
 func (m *Model) Generate(prefix []int, maxNew int, opts GenOptions) []int {
+	var start time.Time
+	if m.obs != nil {
+		start = time.Now()
+	}
 	seq := append([]int(nil), prefix...)
 	var out []int
 	for len(out) < maxNew {
@@ -242,6 +269,9 @@ func (m *Model) Generate(prefix []int, maxNew int, opts GenOptions) []int {
 		if opts.Stop != nil && opts.Stop(out) {
 			break
 		}
+	}
+	if m.obs != nil {
+		m.obs.recordGeneration(len(out), time.Since(start))
 	}
 	return out
 }

@@ -1,0 +1,49 @@
+package observe
+
+import "testing"
+
+// The disabled (nil) path must be nothing but a pointer test — these
+// benches document the cost of leaving instrumentation compiled into a hot
+// path. Compare *Nil vs *Live to see the enabled cost too.
+
+func BenchmarkCounterNil(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterLive(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramNil(b *testing.B) {
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.001)
+	}
+}
+
+func BenchmarkHistogramLive(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", nil)
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.001)
+	}
+}
+
+func BenchmarkSpanNil(b *testing.B) {
+	var t *Tracer
+	for i := 0; i < b.N; i++ {
+		t.Start("x").End()
+	}
+}
+
+func BenchmarkSpanLive(b *testing.B) {
+	t := NewTracer(NewRegistry(), nil)
+	for i := 0; i < b.N; i++ {
+		t.Start("x").End()
+	}
+}

@@ -1,0 +1,209 @@
+package observe
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("c_total", "help"); again != c {
+		t.Error("re-registration returned a different counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry().Gauge("g", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewRegistry().Histogram("h_seconds", "help", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 56.05; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	cum, count := h.snapshot()
+	wantCum := []uint64{1, 3, 4, 5}
+	for i, w := range wantCum {
+		if cum[i] != w {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	if count != 5 {
+		t.Errorf("snapshot count = %d", count)
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	// Prometheus buckets are le (inclusive) bounds.
+	h := NewRegistry().Histogram("hb", "help", []float64{1, 2})
+	h.Observe(1)
+	cum, _ := h.snapshot()
+	if cum[0] != 1 {
+		t.Errorf("observation equal to bound landed in bucket %v, want le=1", cum)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", nil)
+	r.CounterFunc("cf_total", "", func() float64 { return 1 })
+	r.GaugeFunc("gf", "", func() float64 { return 1 })
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments recorded values")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q, err %v", buf.String(), err)
+	}
+
+	var tr *Tracer
+	sp := tr.Start("stage")
+	if d := sp.End(); d != 0 {
+		t.Errorf("nil tracer span duration = %v", d)
+	}
+	if tr.Recent() != nil || tr.Summary() != "" {
+		t.Error("nil tracer retained spans")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge over a counter did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "with space", "dash-ed", "ütf"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("l_total", "", Label{Key: "a", Value: "1"}, Label{Key: "b", Value: "2"})
+	b := r.Counter("l_total", "", Label{Key: "b", Value: "2"}, Label{Key: "a", Value: "1"})
+	if a != b {
+		t.Error("label order created distinct series")
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "")
+	g := r.Gauge("cg", "")
+	h := r.Histogram("ch_seconds", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+				// Concurrent get-or-create of the same series must be safe.
+				r.Counter("cc_total", "")
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %v, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestTracerSpans(t *testing.T) {
+	reg := NewRegistry()
+	var log bytes.Buffer
+	tr := NewTracer(reg, &log)
+	sp := tr.Start("build")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Errorf("duration = %v", d)
+	}
+	tr.Start("build").End()
+	rec := tr.Recent()
+	if len(rec) != 2 || rec[0].Name != "build" {
+		t.Errorf("recent = %+v", rec)
+	}
+	if !strings.Contains(log.String(), "span build") {
+		t.Errorf("log = %q", log.String())
+	}
+	if sum := tr.Summary(); !strings.Contains(sum, "build") || !strings.Contains(sum, "2") {
+		t.Errorf("summary = %q", sum)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `wisdom_span_duration_seconds_count{span="build"} 2`) {
+		t.Errorf("exposition missing span histogram:\n%s", buf.String())
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer(nil, nil)
+	for i := 0; i < recentCap+10; i++ {
+		tr.Start("s").End()
+	}
+	if got := len(tr.Recent()); got != recentCap {
+		t.Errorf("retained %d spans, want %d", got, recentCap)
+	}
+}

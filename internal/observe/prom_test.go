@@ -1,0 +1,164 @@
+package observe
+
+import (
+	"bufio"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePromText is a strict checker for the Prometheus text exposition
+// format: every non-comment line must be `name{labels} value`, every TYPE
+// comment must precede its samples, and names must be valid. It returns the
+// sample map.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			typed[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line %q has no value", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("sample %q: bad value: %v", line, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("sample %q: unterminated labels", line)
+			}
+			name = key[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				if _, ok := typed[strings.TrimSuffix(name, suffix)]; ok {
+					base = strings.TrimSuffix(name, suffix)
+				}
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("sample %q has no preceding TYPE line", line)
+		}
+		if !validName(name) {
+			t.Fatalf("invalid metric name in %q", line)
+		}
+		samples[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wisdom_requests_total", "Requests served.", Label{Key: "proto", Value: "http"}).Add(3)
+	r.Counter("wisdom_requests_total", "Requests served.", Label{Key: "proto", Value: "rpc"}).Inc()
+	r.Gauge("wisdom_cache_entries", "Cache entries.").Set(42)
+	h := r.Histogram("wisdom_request_duration_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.5)
+	r.GaugeFunc("wisdom_tokens_per_second", "Rate.", func() float64 { return 12.5 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	samples := parsePromText(t, out)
+
+	want := map[string]float64{
+		`wisdom_requests_total{proto="http"}`:               3,
+		`wisdom_requests_total{proto="rpc"}`:                1,
+		`wisdom_cache_entries`:                              42,
+		`wisdom_request_duration_seconds_bucket{le="0.01"}`: 1,
+		`wisdom_request_duration_seconds_bucket{le="0.1"}`:  1,
+		`wisdom_request_duration_seconds_bucket{le="1"}`:    2,
+		`wisdom_request_duration_seconds_bucket{le="+Inf"}`: 2,
+		`wisdom_request_duration_seconds_count`:             2,
+		`wisdom_tokens_per_second`:                          12.5,
+	}
+	for k, v := range want {
+		if samples[k] != v {
+			t.Errorf("%s = %v, want %v\nfull output:\n%s", k, samples[k], v, out)
+		}
+	}
+	if got := samples[`wisdom_request_duration_seconds_sum`]; got < 0.5049 || got > 0.5051 {
+		t.Errorf("sum = %v", got)
+	}
+	// Families must come out sorted by name.
+	first := strings.Index(out, "wisdom_cache_entries")
+	second := strings.Index(out, "wisdom_request_duration_seconds")
+	third := strings.Index(out, "wisdom_requests_total")
+	if !(first < second && second < third) {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Label{Key: "v", Value: "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong: %q", sb.String())
+	}
+}
+
+// ExampleRegistry_WritePrometheus shows the wiring a server uses.
+func ExampleRegistry_WritePrometheus() {
+	r := NewRegistry()
+	r.Counter("demo_requests_total", "Requests served.").Add(2)
+	var sb strings.Builder
+	_ = r.WritePrometheus(&sb)
+	fmt.Print(sb.String())
+	// Output:
+	// # HELP demo_requests_total Requests served.
+	// # TYPE demo_requests_total counter
+	// demo_requests_total 2
+}

@@ -1,0 +1,153 @@
+package observe
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer hands out lightweight span timers. Every finished span feeds a
+// per-name latency histogram in the tracer's registry
+// (wisdom_span_duration_seconds{span="..."}), is kept in a bounded ring of
+// recent spans, and — when a log writer is set — is printed as one line,
+// which is what `-trace` wires to stderr.
+//
+// A nil Tracer is a no-op: Start returns an inert Span whose End costs one
+// pointer test, so instrumented code never branches on "tracing enabled".
+type Tracer struct {
+	reg *Registry
+	log io.Writer
+
+	mu     sync.Mutex
+	hists  map[string]*Histogram
+	recent []SpanRecord
+	next   int
+}
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// recentCap bounds the in-memory span ring.
+const recentCap = 256
+
+// NewTracer returns a tracer recording into reg (may be nil — spans are
+// then only ringed/logged) and logging each finished span to log (may be
+// nil).
+func NewTracer(reg *Registry, log io.Writer) *Tracer {
+	return &Tracer{reg: reg, log: log, hists: make(map[string]*Histogram)}
+}
+
+// Span is one in-flight timed region. The zero value (and any span from a
+// nil tracer) is inert.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+}
+
+// Start begins a span. Nest freely; spans are independent timers, not a
+// stack.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// End finishes the span and returns its duration (0 for inert spans).
+func (s Span) End() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.t.record(s.name, s.start, d)
+	return d
+}
+
+func (t *Tracer) record(name string, start time.Time, d time.Duration) {
+	t.histogram(name).Observe(d.Seconds())
+	t.mu.Lock()
+	if len(t.recent) < recentCap {
+		t.recent = append(t.recent, SpanRecord{Name: name, Start: start, Duration: d})
+	} else {
+		t.recent[t.next] = SpanRecord{Name: name, Start: start, Duration: d}
+		t.next = (t.next + 1) % recentCap
+	}
+	t.mu.Unlock()
+	if t.log != nil {
+		fmt.Fprintf(t.log, "span %-28s %12.3fms\n", name, float64(d.Microseconds())/1000)
+	}
+}
+
+// histogram caches the per-name histogram so End stays cheap.
+func (t *Tracer) histogram(name string) *Histogram {
+	t.mu.Lock()
+	h, ok := t.hists[name]
+	t.mu.Unlock()
+	if ok {
+		return h
+	}
+	h = t.reg.Histogram("wisdom_span_duration_seconds",
+		"Duration of traced stages.", DefBuckets, Label{Key: "span", Value: name})
+	t.mu.Lock()
+	t.hists[name] = h
+	t.mu.Unlock()
+	return h
+}
+
+// Recent returns the retained spans, oldest first.
+func (t *Tracer) Recent() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.recent))
+	if len(t.recent) == recentCap {
+		out = append(out, t.recent[t.next:]...)
+		out = append(out, t.recent[:t.next]...)
+		return out
+	}
+	return append(out, t.recent...)
+}
+
+// Summary aggregates the retained spans per name: count and total time,
+// rendered as an aligned table. Useful for one-shot commands that print a
+// stage breakdown on exit.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return ""
+	}
+	type agg struct {
+		name  string
+		n     int
+		total time.Duration
+	}
+	byName := map[string]*agg{}
+	var order []string
+	for _, r := range t.Recent() {
+		a, ok := byName[r.Name]
+		if !ok {
+			a = &agg{name: r.Name}
+			byName[r.Name] = a
+			order = append(order, r.Name)
+		}
+		a.n++
+		a.total += r.Duration
+	}
+	if len(order) == 0 {
+		return ""
+	}
+	out := fmt.Sprintf("%-28s %6s %14s %14s\n", "stage", "count", "total", "mean")
+	for _, name := range order {
+		a := byName[name]
+		out += fmt.Sprintf("%-28s %6d %14s %14s\n",
+			a.name, a.n, a.total.Round(time.Microsecond), (a.total / time.Duration(a.n)).Round(time.Microsecond))
+	}
+	return out
+}

@@ -14,7 +14,7 @@ type Cache struct {
 	ll       *list.List
 	items    map[string]*list.Element
 
-	hits, misses int
+	hits, misses, evictions int
 }
 
 type cacheEntry struct {
@@ -63,6 +63,7 @@ func (c *Cache) Put(key, value string) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 }
 
@@ -73,9 +74,9 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
-// Stats returns the hit and miss counters.
-func (c *Cache) Stats() (hits, misses int) {
+// Stats returns the hit, miss and eviction counters.
+func (c *Cache) Stats() (hits, misses, evictions int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits, c.misses, c.evictions
 }

@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wisdom/internal/observe"
+)
+
+// slowModel blocks until released, for shutdown-drain tests.
+type slowModel struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (m *slowModel) Predict(_, prompt string) string {
+	m.started <- struct{}{}
+	<-m.release
+	return "- name: " + prompt + "\n"
+}
+
+// parsePromText is a strict reader of the Prometheus text exposition
+// format: every sample line must be `name{labels} value` with a valid float
+// and a preceding TYPE comment. It returns the sample map.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "" || strings.HasPrefix(line, "# HELP "):
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[fields[2]] = true
+			continue
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("unexpected comment %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line %q has no value", line)
+		}
+		val, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("sample %q: bad value: %v", line, err)
+		}
+		key := line[:sp]
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("sample %q: unterminated labels", line)
+			}
+			name = key[:i]
+		}
+		covered := typed[name]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if typed[strings.TrimSuffix(name, suffix)] {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Fatalf("sample %q has no preceding TYPE line", line)
+		}
+		samples[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func postCompletion(t *testing.T, ts *httptest.Server, prompt string) Response {
+	t.Helper()
+	body, _ := json.Marshal(Request{Prompt: prompt})
+	resp, err := ts.Client().Post(ts.URL+"/v1/completions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := NewServer(&echoModel{}, "metrics-model", 8)
+	srv.Instrument(observe.NewRegistry())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	postCompletion(t, ts, "install nginx") // miss
+	postCompletion(t, ts, "install nginx") // hit
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, string(raw))
+
+	want := map[string]float64{
+		`wisdom_requests_total{proto="http"}`:                 2,
+		`wisdom_request_duration_seconds_count{proto="http"}`: 2,
+		`wisdom_cache_hits_total`:                             1,
+		`wisdom_cache_misses_total`:                           1,
+		`wisdom_cache_evictions_total`:                        0,
+		`wisdom_cache_entries`:                                1,
+		`wisdom_cached_responses_total`:                       1,
+	}
+	for k, v := range want {
+		got, ok := samples[k]
+		if !ok || got != v {
+			t.Errorf("%s = %v (present %v), want %v", k, got, ok, v)
+		}
+	}
+	if samples[`wisdom_served_tokens_total`] == 0 {
+		t.Error("served tokens not counted")
+	}
+	if _, ok := samples[`wisdom_served_tokens_per_second`]; !ok {
+		t.Error("tokens/sec gauge missing")
+	}
+}
+
+func TestMetricsDisabled(t *testing.T) {
+	srv := NewServer(&echoModel{}, "m", 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("uninstrumented /metrics status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	srv := NewServer(&echoModel{}, "probe-model", 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(raw), `"status":"ok"`) {
+		t.Errorf("healthz = %d %q", resp.StatusCode, raw)
+	}
+}
+
+func TestRequestErrorCounters(t *testing.T) {
+	reg := observe.NewRegistry()
+	srv := NewServer(&echoModel{}, "m", 0)
+	srv.Instrument(reg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, _ := ts.Client().Post(ts.URL+"/v1/completions", "application/json", strings.NewReader(`{`))
+	resp.Body.Close()
+	resp, _ = ts.Client().Post(ts.URL+"/v1/completions", "application/json", strings.NewReader(`{}`))
+	resp.Body.Close()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, sb.String())
+	if samples[`wisdom_request_errors_total{proto="http",reason="bad_json"}`] != 1 {
+		t.Errorf("bad_json not counted:\n%s", sb.String())
+	}
+	if samples[`wisdom_request_errors_total{proto="http",reason="empty_prompt"}`] != 1 {
+		t.Errorf("empty_prompt not counted:\n%s", sb.String())
+	}
+}
+
+func TestRPCMetricsOp(t *testing.T) {
+	srv := NewServer(&echoModel{}, "rpc-metrics", 8)
+	srv.Instrument(observe.NewRegistry())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.ServeRPC(ln) }()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Predict(Request{Prompt: "install redis"}); err != nil {
+		t.Fatal(err)
+	}
+	health, err := c.Health()
+	if err != nil || health.Status != "ok" || health.Model != "rpc-metrics" {
+		t.Errorf("health = %+v, err %v", health, err)
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, text)
+	if samples[`wisdom_requests_total{proto="rpc"}`] != 1 {
+		t.Errorf("rpc requests = %v\n%s", samples[`wisdom_requests_total{proto="rpc"}`], text)
+	}
+}
+
+func TestRPCMetricsOpDisabled(t *testing.T) {
+	srv := NewServer(&echoModel{}, "m", 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.ServeRPC(ln) }()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Metrics(); err == nil {
+		t.Error("metrics op on uninstrumented server did not error")
+	}
+}
+
+func TestCacheEvictionCounter(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", "1")
+	c.Put("b", "2")
+	c.Put("c", "3") // evicts a
+	c.Put("d", "4") // evicts b
+	c.Put("d", "4") // update, no eviction
+	hits, misses, evictions := c.Stats()
+	if evictions != 2 {
+		t.Errorf("evictions = %d, want 2", evictions)
+	}
+	if hits != 0 || misses != 0 {
+		t.Errorf("hits/misses = %d/%d, want 0/0", hits, misses)
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("a should be evicted")
+	}
+	if _, _, e := c.Stats(); e != 2 {
+		t.Errorf("Get changed evictions to %d", e)
+	}
+}
+
+func TestCacheStatsConcurrent(t *testing.T) {
+	c := NewCache(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := strconv.Itoa((w + i) % 10)
+				c.Get(key)
+				c.Put(key, "v")
+			}
+		}(w)
+	}
+	wg.Wait()
+	hits, misses, _ := c.Stats()
+	if hits+misses != 1600 {
+		t.Errorf("lookups = %d, want 1600", hits+misses)
+	}
+}
+
+func TestShutdownDrainsInflightRPC(t *testing.T) {
+	model := &slowModel{started: make(chan struct{}, 1), release: make(chan struct{})}
+	srv := NewServer(model, "m", 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.ServeRPC(ln) }()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type result struct {
+		resp Response
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := c.Predict(Request{Prompt: "slow"})
+		got <- result{resp, err}
+	}()
+	<-model.started // the request is now in flight
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	// Shutdown must wait for the in-flight request, not kill it.
+	time.Sleep(50 * time.Millisecond)
+	close(model.release)
+
+	res := <-got
+	if res.err != nil {
+		t.Errorf("in-flight request failed during drain: %v", res.err)
+	}
+	if !strings.Contains(res.resp.Suggestion, "slow") {
+		t.Errorf("suggestion = %q", res.resp.Suggestion)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Errorf("shutdown = %v", err)
+	}
+
+	// New connections must be refused after shutdown.
+	if conn, err := net.DialTimeout("tcp", ln.Addr().String(), 200*time.Millisecond); err == nil {
+		conn.Close()
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+func TestShutdownDeadline(t *testing.T) {
+	model := &slowModel{started: make(chan struct{}, 1), release: make(chan struct{})}
+	srv := NewServer(model, "m", 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.ServeRPC(ln) }()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go func() { _, _ = c.Predict(Request{Prompt: "stuck"}) }()
+	<-model.started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Errorf("shutdown err = %v, want DeadlineExceeded", err)
+	}
+	close(model.release) // unblock the worker goroutine
+}
+
+func TestShutdownIdle(t *testing.T) {
+	srv := NewServer(&echoModel{}, "m", 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.ServeRPC(ln) }()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("idle shutdown = %v", err)
+	}
+}

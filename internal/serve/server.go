@@ -4,9 +4,28 @@
 // interface), plus the response cache the paper lists as its latency
 // roadmap item. The examples/editor-plugin program drives this service the
 // way the paper's Visual Studio Code plugin drives theirs.
+//
+// # Observability
+//
+// Instrument attaches an observe.Registry; from then on the server records
+// per-request latency histograms and request/error counters per protocol,
+// cache hit/miss/eviction rates and served-token throughput, and exposes
+// everything at GET /metrics in the Prometheus text format. GET /healthz
+// answers liveness probes whether or not metrics are enabled. The same
+// metrics text is available over the RPC listener via the "metrics" op
+// (Client.Metrics), so a deployment that only exposes the RPC port can
+// still be scraped.
+//
+// # Lifecycle
+//
+// Shutdown drains the RPC side gracefully: listeners stop accepting,
+// in-flight requests finish within the context's deadline, and persistent
+// connections are then closed. The HTTP side is drained by the caller's
+// http.Server.Shutdown (see cmd/wisdom-serve).
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +34,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"wisdom/internal/observe"
 )
 
 // Predictor is the model-side interface the server needs; *wisdom.Model
@@ -30,6 +51,10 @@ type Request struct {
 	Prompt string `json:"prompt"`
 	// Context is the file content above the prompt (may be empty).
 	Context string `json:"context,omitempty"`
+	// Op selects a non-prediction RPC operation: "" (predict), "metrics"
+	// (Prometheus text dump) or "health". HTTP ignores it — the REST API
+	// routes by path.
+	Op string `json:"op,omitempty"`
 }
 
 // Response carries the suggestion back to the editor.
@@ -44,6 +69,14 @@ type Response struct {
 	Model string `json:"model"`
 }
 
+// OpResponse answers the non-prediction RPC ops.
+type OpResponse struct {
+	Status  string `json:"status,omitempty"`
+	Model   string `json:"model,omitempty"`
+	Metrics string `json:"metrics,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
 // Server serves predictions over HTTP and the binary RPC protocol.
 type Server struct {
 	model     Predictor
@@ -51,11 +84,28 @@ type Server struct {
 	cache     *Cache
 	mu        sync.Mutex
 	requests  int
+
+	reg *observe.Registry
+	met *serverMetrics
+
+	// RPC lifecycle: lifeMu guards the listener/connection sets and the
+	// draining flag; inflight counts requests between frame-read and
+	// frame-write so Shutdown can wait for them.
+	lifeMu   sync.Mutex
+	draining bool
+	lns      map[net.Listener]struct{}
+	conns    map[net.Conn]struct{}
+	inflight sync.WaitGroup
 }
 
 // NewServer wraps a predictor. cacheSize <= 0 disables the cache.
 func NewServer(model Predictor, modelName string, cacheSize int) *Server {
-	s := &Server{model: model, modelName: modelName}
+	s := &Server{
+		model:     model,
+		modelName: modelName,
+		lns:       make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
 	if cacheSize > 0 {
 		s.cache = NewCache(cacheSize)
 	}
@@ -69,24 +119,126 @@ func (s *Server) Requests() int {
 	return s.requests
 }
 
-// predict answers one request, consulting the cache first.
-func (s *Server) predict(req Request) Response {
+// ---- metrics ----
+
+// serverMetrics holds the instruments recorded on the request hot path.
+// The struct is nil when the server is not instrumented, so the disabled
+// path costs one pointer test per request.
+type serverMetrics struct {
+	reg          *observe.Registry
+	requestsHTTP *observe.Counter
+	requestsRPC  *observe.Counter
+	durationHTTP *observe.Histogram
+	durationRPC  *observe.Histogram
+	cachedTotal  *observe.Counter
+	servedTokens *observe.Counter
+	tokensPerSec *observe.Gauge
+}
+
+func (m *serverMetrics) requestsFor(proto string) *observe.Counter {
+	if proto == "rpc" {
+		return m.requestsRPC
+	}
+	return m.requestsHTTP
+}
+
+func (m *serverMetrics) durationFor(proto string) *observe.Histogram {
+	if proto == "rpc" {
+		return m.durationRPC
+	}
+	return m.durationHTTP
+}
+
+// Instrument registers the server's metrics on reg and makes Handler serve
+// reg at /metrics. Call it once, before traffic starts; a nil registry is
+// a no-op and leaves metrics disabled.
+func (s *Server) Instrument(reg *observe.Registry) {
+	if reg == nil {
+		return
+	}
+	proto := func(p string) observe.Label { return observe.Label{Key: "proto", Value: p} }
+	m := &serverMetrics{
+		reg: reg,
+		requestsHTTP: reg.Counter("wisdom_requests_total",
+			"Prediction requests served.", proto("http")),
+		requestsRPC: reg.Counter("wisdom_requests_total",
+			"Prediction requests served.", proto("rpc")),
+		durationHTTP: reg.Histogram("wisdom_request_duration_seconds",
+			"Server-side prediction latency.", observe.DefBuckets, proto("http")),
+		durationRPC: reg.Histogram("wisdom_request_duration_seconds",
+			"Server-side prediction latency.", observe.DefBuckets, proto("rpc")),
+		cachedTotal: reg.Counter("wisdom_cached_responses_total",
+			"Predictions answered from the response cache."),
+		servedTokens: reg.Counter("wisdom_served_tokens_total",
+			"Whitespace-delimited tokens in served suggestions."),
+		tokensPerSec: reg.Gauge("wisdom_served_tokens_per_second",
+			"Generation rate of the most recent uncached prediction."),
+	}
+	if s.cache != nil {
+		c := s.cache
+		reg.CounterFunc("wisdom_cache_hits_total",
+			"Response-cache hits.", func() float64 { h, _, _ := c.Stats(); return float64(h) })
+		reg.CounterFunc("wisdom_cache_misses_total",
+			"Response-cache misses.", func() float64 { _, m, _ := c.Stats(); return float64(m) })
+		reg.CounterFunc("wisdom_cache_evictions_total",
+			"Response-cache LRU evictions.", func() float64 { _, _, e := c.Stats(); return float64(e) })
+		reg.GaugeFunc("wisdom_cache_entries",
+			"Response-cache resident entries.", func() float64 { return float64(c.Len()) })
+	}
+	s.reg = reg
+	s.met = m
+}
+
+// countError increments the per-protocol error counter for reason. Error
+// paths are rare, so the registry's get-or-create lookup is fine here.
+func (s *Server) countError(proto, reason string) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Counter("wisdom_request_errors_total", "Rejected requests.",
+		observe.Label{Key: "proto", Value: proto},
+		observe.Label{Key: "reason", Value: reason}).Inc()
+}
+
+// predict answers one request, consulting the cache first, and records the
+// request's signals when the server is instrumented.
+func (s *Server) predict(req Request, proto string) Response {
 	start := time.Now()
 	s.mu.Lock()
 	s.requests++
 	s.mu.Unlock()
 
+	resp := s.answer(req)
+	resp.LatencyMS = ms(start)
+	resp.Model = s.modelName
+	if m := s.met; m != nil {
+		elapsed := time.Since(start).Seconds()
+		m.requestsFor(proto).Inc()
+		m.durationFor(proto).Observe(elapsed)
+		toks := len(strings.Fields(resp.Suggestion))
+		m.servedTokens.Add(toks)
+		if resp.Cached {
+			m.cachedTotal.Inc()
+		} else if elapsed > 0 && toks > 0 {
+			m.tokensPerSec.Set(float64(toks) / elapsed)
+		}
+	}
+	return resp
+}
+
+// answer resolves a request against the cache, then the model.
+func (s *Server) answer(req Request) Response {
 	key := req.Context + "\x00" + req.Prompt
 	if s.cache != nil {
 		if v, ok := s.cache.Get(key); ok {
-			return Response{Suggestion: v, Cached: true, LatencyMS: ms(start), Model: s.modelName}
+			return Response{Suggestion: v, Cached: true}
 		}
 	}
 	suggestion := s.model.Predict(req.Context, req.Prompt)
 	if s.cache != nil {
 		s.cache.Put(key, suggestion)
 	}
-	return Response{Suggestion: suggestion, LatencyMS: ms(start), Model: s.modelName}
+	return Response{Suggestion: suggestion}
 }
 
 func ms(start time.Time) float64 { return float64(time.Since(start).Microseconds()) / 1000 }
@@ -97,50 +249,66 @@ func ms(start time.Time) float64 { return float64(time.Since(start).Microseconds
 //
 //	POST /v1/completions  {"prompt": ..., "context": ...} -> Response
 //	GET  /v1/health       -> {"status": "ok", "model": ...}
+//	GET  /healthz         -> {"status": "ok", "model": ...}   (liveness probe)
+//	GET  /v1/stats        -> Stats
+//	GET  /metrics         -> Prometheus text format (requires Instrument)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/completions", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
+			s.countError("http", "method_not_allowed")
 			http.Error(w, `{"error":"method not allowed"}`, http.StatusMethodNotAllowed)
 			return
 		}
 		var req Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.countError("http", "bad_json")
 			http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
 			return
 		}
 		if strings.TrimSpace(req.Prompt) == "" {
+			s.countError("http", "empty_prompt")
 			http.Error(w, `{"error":"prompt is required"}`, http.StatusBadRequest)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(s.predict(req)); err != nil {
+		if err := json.NewEncoder(w).Encode(s.predict(req, "http")); err != nil {
 			// Too late for a status change; the connection is gone.
 			return
 		}
 	})
-	mux.HandleFunc("/v1/health", func(w http.ResponseWriter, r *http.Request) {
+	health := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"status":"ok","model":%q,"requests":%d}`+"\n", s.modelName, s.Requests())
-	})
+	}
+	mux.HandleFunc("/v1/health", health)
+	mux.HandleFunc("/healthz", health)
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(s.Stats()); err != nil {
 			return
 		}
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if s.reg == nil {
+			http.Error(w, "metrics disabled; start the server with instrumentation (wisdom-serve -metrics)", http.StatusNotFound)
+			return
+		}
+		s.reg.Handler().ServeHTTP(w, r)
+	})
 	return mux
 }
 
 // Stats summarises the server's counters for the /v1/stats endpoint.
 type Stats struct {
-	Model        string  `json:"model"`
-	Requests     int     `json:"requests"`
-	CacheEnabled bool    `json:"cache_enabled"`
-	CacheEntries int     `json:"cache_entries"`
-	CacheHits    int     `json:"cache_hits"`
-	CacheMisses  int     `json:"cache_misses"`
-	HitRate      float64 `json:"hit_rate"`
+	Model          string  `json:"model"`
+	Requests       int     `json:"requests"`
+	CacheEnabled   bool    `json:"cache_enabled"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheHits      int     `json:"cache_hits"`
+	CacheMisses    int     `json:"cache_misses"`
+	CacheEvictions int     `json:"cache_evictions"`
+	HitRate        float64 `json:"hit_rate"`
 }
 
 // Stats returns a snapshot of the server counters.
@@ -149,7 +317,7 @@ func (s *Server) Stats() Stats {
 	if s.cache != nil {
 		st.CacheEnabled = true
 		st.CacheEntries = s.cache.Len()
-		st.CacheHits, st.CacheMisses = s.cache.Stats()
+		st.CacheHits, st.CacheMisses, st.CacheEvictions = s.cache.Stats()
 		if total := st.CacheHits + st.CacheMisses; total > 0 {
 			st.HitRate = float64(st.CacheHits) / float64(total)
 		}
@@ -218,8 +386,22 @@ func readFull(conn net.Conn, buf []byte) (int, error) {
 	return total, nil
 }
 
-// ServeRPC accepts RPC connections on the listener until it is closed.
+// ServeRPC accepts RPC connections on the listener until it is closed
+// (Shutdown closes every registered listener).
 func (s *Server) ServeRPC(ln net.Listener) error {
+	s.lifeMu.Lock()
+	if s.draining {
+		s.lifeMu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.lns[ln] = struct{}{}
+	s.lifeMu.Unlock()
+	defer func() {
+		s.lifeMu.Lock()
+		delete(s.lns, ln)
+		s.lifeMu.Unlock()
+	}()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -228,21 +410,106 @@ func (s *Server) ServeRPC(ln net.Listener) error {
 			}
 			return err
 		}
+		s.lifeMu.Lock()
+		if s.draining {
+			s.lifeMu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.lifeMu.Unlock()
 		go s.serveConn(conn)
 	}
 }
 
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.lifeMu.Lock()
+		delete(s.conns, conn)
+		s.lifeMu.Unlock()
+	}()
 	for {
 		var req Request
 		if err := readFrame(conn, &req); err != nil {
 			return // client closed or sent garbage; drop the connection
 		}
-		if err := writeFrame(conn, s.predict(req)); err != nil {
+		if !s.beginRequest() {
+			return // draining: the client sees the connection close
+		}
+		resp := s.handleRPC(req)
+		err := writeFrame(conn, resp)
+		s.inflight.Done()
+		if err != nil {
 			return
 		}
 	}
+}
+
+// handleRPC dispatches one RPC frame by op.
+func (s *Server) handleRPC(req Request) any {
+	switch req.Op {
+	case "":
+		return s.predict(req, "rpc")
+	case "metrics":
+		var sb strings.Builder
+		if s.reg == nil {
+			return OpResponse{Model: s.modelName, Error: "metrics disabled"}
+		}
+		if err := s.reg.WritePrometheus(&sb); err != nil {
+			return OpResponse{Model: s.modelName, Error: err.Error()}
+		}
+		return OpResponse{Model: s.modelName, Metrics: sb.String()}
+	case "health":
+		return OpResponse{Status: "ok", Model: s.modelName}
+	default:
+		s.countError("rpc", "unknown_op")
+		return OpResponse{Model: s.modelName, Error: "unknown op " + req.Op}
+	}
+}
+
+// beginRequest marks one RPC request in flight unless the server is
+// draining.
+func (s *Server) beginRequest() bool {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Shutdown drains the RPC side: stop accepting, let in-flight requests
+// finish (bounded by ctx), then close the persistent connections. It
+// returns ctx.Err() if the deadline expired before the drain completed.
+// The server refuses new work afterwards.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.lifeMu.Lock()
+	s.draining = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	s.lifeMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	s.lifeMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.lifeMu.Unlock()
+	return err
 }
 
 // Client is an RPC client holding one persistent connection.
@@ -260,18 +527,40 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn}, nil
 }
 
-// Predict performs one RPC round trip.
-func (c *Client) Predict(req Request) (Response, error) {
+// roundTrip performs one framed exchange.
+func (c *Client) roundTrip(req Request, resp any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := writeFrame(c.conn, req); err != nil {
-		return Response{}, err
+		return err
 	}
+	return readFrame(c.conn, resp)
+}
+
+// Predict performs one prediction round trip.
+func (c *Client) Predict(req Request) (Response, error) {
 	var resp Response
-	if err := readFrame(c.conn, &resp); err != nil {
-		return Response{}, err
+	err := c.roundTrip(req, &resp)
+	return resp, err
+}
+
+// Metrics fetches the server's Prometheus text dump over RPC.
+func (c *Client) Metrics() (string, error) {
+	var resp OpResponse
+	if err := c.roundTrip(Request{Op: "metrics"}, &resp); err != nil {
+		return "", err
 	}
-	return resp, nil
+	if resp.Error != "" {
+		return "", errors.New("serve: " + resp.Error)
+	}
+	return resp.Metrics, nil
+}
+
+// Health performs a liveness round trip over RPC.
+func (c *Client) Health() (OpResponse, error) {
+	var resp OpResponse
+	err := c.roundTrip(Request{Op: "health"}, &resp)
+	return resp, err
 }
 
 // Close releases the connection.

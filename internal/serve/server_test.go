@@ -266,9 +266,9 @@ func TestCacheLRU(t *testing.T) {
 	if c.Len() != 2 {
 		t.Errorf("len = %d", c.Len())
 	}
-	hits, misses := c.Stats()
-	if hits != 2 || misses != 1 {
-		t.Errorf("stats = %d/%d, want 2/1", hits, misses)
+	hits, misses, evictions := c.Stats()
+	if hits != 2 || misses != 1 || evictions != 1 {
+		t.Errorf("stats = %d/%d/%d, want 2/1/1", hits, misses, evictions)
 	}
 }
 

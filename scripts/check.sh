@@ -1,0 +1,26 @@
+#!/bin/sh
+# The repository's verification gate: formatting, static analysis, build,
+# and the full test suite under the race detector. Run from the repo root
+# (or via `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "OK"
