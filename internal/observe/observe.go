@@ -262,17 +262,13 @@ func NewRegistry() *Registry {
 }
 
 // Counter returns the counter registered under name with the given labels,
-// creating it on first use. It panics if name is invalid or already
-// registered as a different kind.
+// creating it on first use. It panics if name is invalid, already
+// registered as a different kind, or registered via CounterFunc.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.getOrCreate(name, help, kindCounter, labels)
-	if s.c == nil {
-		s.c = &Counter{}
-	}
-	return s.c
+	return r.getOrCreate(name, help, kindCounter, labels, nil, nil).c
 }
 
 // Gauge returns the gauge registered under name with the given labels,
@@ -281,50 +277,52 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.getOrCreate(name, help, kindGauge, labels)
-	if s.g == nil {
-		s.g = &Gauge{}
-	}
-	return s.g
+	return r.getOrCreate(name, help, kindGauge, labels, nil, nil).g
 }
 
 // Histogram returns the histogram registered under name with the given
-// bucket upper bounds (nil means DefBuckets), creating it on first use.
+// bucket upper bounds (nil means DefBuckets), creating it on first use. It
+// panics if the series already exists with different bucket bounds — the
+// second caller would otherwise silently record into buckets it never asked
+// for.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
 	if r == nil {
 		return nil
 	}
-	s := r.getOrCreate(name, help, kindHistogram, labels)
-	if s.h == nil {
-		if buckets == nil {
-			buckets = DefBuckets
-		}
-		s.h = newHistogram(buckets)
+	if buckets == nil {
+		buckets = DefBuckets
 	}
-	return s.h
+	return r.getOrCreate(name, help, kindHistogram, labels, buckets, nil).h
 }
 
 // CounterFunc registers a counter whose value is read from fn at export
 // time — the bridge for components that keep their own counters (the LRU
-// cache's hit/miss/eviction totals).
+// cache's hit/miss/eviction totals). If the series is already registered
+// with a callback, the first callback wins; mixing callback and direct
+// registration of the same series panics.
 func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
 	if r == nil {
 		return
 	}
-	s := r.getOrCreate(name, help, kindCounter, labels)
-	s.fn = fn
+	r.getOrCreate(name, help, kindCounter, labels, nil, fn)
 }
 
-// GaugeFunc registers a gauge whose value is read from fn at export time.
+// GaugeFunc registers a gauge whose value is read from fn at export time,
+// with the same re-registration rules as CounterFunc.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
 	if r == nil {
 		return
 	}
-	s := r.getOrCreate(name, help, kindGauge, labels)
-	s.fn = fn
+	r.getOrCreate(name, help, kindGauge, labels, nil, fn)
 }
 
-func (r *Registry) getOrCreate(name, help string, kind metricKind, labels []Label) *series {
+// getOrCreate returns the series for name+labels, creating the family and
+// the series' instrument while r.mu is held: a series never becomes visible
+// in a half-built state, and concurrent first registrations of the same
+// series agree on a single instrument. The instrument fields (c, g, h, fn)
+// are immutable once this returns, so readers are synchronized by any later
+// acquisition of r.mu rather than a lock around every field access.
+func (r *Registry) getOrCreate(name, help string, kind metricKind, labels []Label, buckets []float64, fn func() float64) *series {
 	if !validName(name) {
 		panic(fmt.Sprintf("observe: invalid metric name %q", name))
 	}
@@ -342,10 +340,43 @@ func (r *Registry) getOrCreate(name, help string, kind metricKind, labels []Labe
 	s, ok := fam.byLbl[lbl]
 	if !ok {
 		s = &series{labels: lbl}
+		switch {
+		case fn != nil:
+			s.fn = fn
+		case kind == kindCounter:
+			s.c = &Counter{}
+		case kind == kindGauge:
+			s.g = &Gauge{}
+		default:
+			s.h = newHistogram(buckets)
+		}
 		fam.byLbl[lbl] = s
 		fam.series = append(fam.series, s)
+		return s
+	}
+	if (s.fn != nil) != (fn != nil) {
+		panic(fmt.Sprintf("observe: %s%s mixes callback and direct registration", name, lbl))
+	}
+	if s.h != nil && !sameBounds(s.h.bounds, buckets) {
+		panic(fmt.Sprintf("observe: %s%s re-registered with different buckets", name, lbl))
 	}
 	return s
+}
+
+// sameBounds reports whether the requested bucket bounds, once normalized
+// the way newHistogram normalizes them (sorted), match the existing ones.
+func sameBounds(have, requested []float64) bool {
+	if len(have) != len(requested) {
+		return false
+	}
+	req := append([]float64(nil), requested...)
+	sort.Float64s(req)
+	for i := range req {
+		if req[i] != have[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // validName enforces the Prometheus metric-name grammar.

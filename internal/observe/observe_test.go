@@ -169,6 +169,62 @@ func TestConcurrentInstruments(t *testing.T) {
 	}
 }
 
+// TestConcurrentFirstRegistration exercises the case the registry contract
+// is strictest about: many goroutines registering the same series for the
+// FIRST time while a scraper exports. Under -race this fails if instrument
+// creation ever escapes the registry lock; without -race it fails if two
+// racing registrations get distinct instruments (increments silently lost).
+func TestConcurrentFirstRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("fresh_total", "", Label{Key: "i", Value: string(rune('a' + i%16))}).Inc()
+				r.Histogram("fresh_seconds", "", nil, Label{Key: "i", Value: string(rune('a' + i%16))}).Observe(0.001)
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < 16; i++ {
+		total += r.Counter("fresh_total", "", Label{Key: "i", Value: string(rune('a' + i))}).Value()
+	}
+	if want := uint64(8 * 200); total != want {
+		t.Errorf("counted %d increments across series, want %d (lost to a racing registration)", total, want)
+	}
+}
+
+func TestHistogramBucketMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("hm_seconds", "", []float64{1, 2, 3})
+	// Same bounds in a different order are the same series.
+	r.Histogram("hm_seconds", "", []float64{3, 2, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with different buckets did not panic")
+		}
+	}()
+	r.Histogram("hm_seconds", "", []float64{1, 2})
+}
+
+func TestMixedCallbackAndDirectPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("mix_total", "", func() float64 { return 1 })
+	defer func() {
+		if recover() == nil {
+			t.Error("direct registration over a callback series did not panic")
+		}
+	}()
+	r.Counter("mix_total", "")
+}
+
 func TestTracerSpans(t *testing.T) {
 	reg := NewRegistry()
 	var log bytes.Buffer

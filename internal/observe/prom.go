@@ -34,8 +34,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
-		// Lock again briefly to snapshot the series list; instrument values
-		// are atomics and need no lock.
+		// Lock again briefly to snapshot the series list. The same
+		// acquisition publishes each series' instrument fields, which are
+		// assigned under r.mu at creation and immutable afterwards;
+		// instrument values themselves are atomics and need no lock.
 		r.mu.Lock()
 		series := append([]*series(nil), f.series...)
 		r.mu.Unlock()
@@ -56,9 +58,12 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 		return err
 	case f.kind == kindHistogram:
 		h := s.h
-		if h == nil {
-			return nil
-		}
+		// The buckets and _count come from one snapshot, but _sum is read
+		// separately: a scrape racing an Observe can expose a count that
+		// includes a sample whose value is not yet in the sum (Observe
+		// updates buckets before CASing the sum). That transient skew is
+		// the accepted cost of a lock-free histogram; it heals on the next
+		// scrape and never corrupts the cumulative bucket series.
 		cum, count := h.snapshot()
 		for i, bound := range h.bounds {
 			le := formatFloat(bound)
