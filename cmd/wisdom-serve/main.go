@@ -36,6 +36,10 @@ func main() {
 	rpcAddr := flag.String("rpc", "", "binary RPC listen address (empty disables)")
 	variant := flag.String("variant", string(wisdom.WisdomAnsibleMulti), "model variant to serve")
 	cacheSize := flag.Int("cache", 1024, "LRU response cache entries (0 disables)")
+	workers := flag.Int("workers", 0, "max concurrent model predictions (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 0, "max requests waiting for a worker (0 = 4x workers, -1 disables queueing)")
+	queueTimeout := flag.Duration("request-timeout", serve.DefaultQueueTimeout, "max wait for worker admission before shedding (0 = no deadline)")
+	maxBody := flag.Int64("max-body", 1<<20, "max HTTP request body bytes")
 	quick := flag.Bool("quick", false, "use the reduced training configuration")
 	loadPath := flag.String("load", "", "load a previously saved model instead of training")
 	savePath := flag.String("save", "", "save the trained model to this file before serving")
@@ -55,8 +59,20 @@ func main() {
 
 	model := buildModel(*loadPath, *savePath, *variant, *quick, tracer)
 
-	srv := serve.NewServer(model, model.Name, *cacheSize)
+	qt := *queueTimeout
+	if qt == 0 {
+		qt = -1 // flag 0 means "no admission deadline"
+	}
+	srv := serve.NewServerWithOptions(model, model.Name, serve.Options{
+		CacheSize:    *cacheSize,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		QueueTimeout: qt,
+		MaxBodyBytes: *maxBody,
+	})
 	srv.Instrument(reg)
+	fmt.Fprintf(os.Stderr, "worker pool: %d workers, queue %d\n",
+		srv.Pool().Workers(), srv.Pool().QueueCap())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

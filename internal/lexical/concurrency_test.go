@@ -1,0 +1,40 @@
+package lexical
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentScoring pins down the package contract the serve layer
+// depends on: after the AddPair calls end, the co-occurrence tables are
+// frozen and Prob/Affinity are pure reads, safe to call from any number of
+// goroutines. Run under -race this fails if scoring mutates the model.
+func TestConcurrentScoring(t *testing.T) {
+	m := New(16)
+	m.AddPair([]int{1, 2, 3}, []int{4, 5})
+	m.AddPair([]int{1, 6}, []int{4, 7})
+	m.AddPair([]int{2, 3}, []int{5, 8})
+
+	prompt := []int{1, 2}
+	wantProb := m.Prob(prompt, 4)
+	wantAff := m.Affinity(prompt, 5)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if got := m.Prob(prompt, 4); got != wantProb {
+					t.Errorf("Prob = %v, want %v", got, wantProb)
+					return
+				}
+				if got := m.Affinity(prompt, 5); got != wantAff {
+					t.Errorf("Affinity = %v, want %v", got, wantAff)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -15,6 +15,8 @@ package lexical
 import "math"
 
 // Model holds smoothed co-occurrence counts between prompt and body tokens.
+// AddPair mutates; once training is done, Prob and Affinity are pure reads
+// and safe for concurrent use (see TestConcurrentScoring).
 type Model struct {
 	vocab int
 	// counts[p][b] is how often body token b appeared with prompt token p.

@@ -50,7 +50,10 @@ type block struct {
 }
 
 // Model is a decoder-only transformer language model with tied input/output
-// embeddings.
+// embeddings. Train mutates the parameters; after training, every decode
+// path (Generate, GenerateCached, GenerateBeam, Loss) reads frozen weights
+// and allocates its own working state per call, so a trained model is safe
+// for concurrent use (see TestConcurrentDecodePathsMatchSerial).
 type Model struct {
 	cfg    Config
 	tokEmb *Param // Vocab x Dim (also the output projection, tied)

@@ -1,0 +1,60 @@
+package ngram
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentInference pins down the package contract the serve layer
+// depends on: once training stops, Prob/Perplexity/Generate/Candidates are
+// pure reads over the frozen count maps and safe to share across
+// goroutines. Run under -race this fails if any inference path mutates the
+// model.
+func TestConcurrentInference(t *testing.T) {
+	seqs := [][]int{
+		{1, 2, 3, 4, 5},
+		{1, 2, 3, 5, 6},
+		{2, 3, 4, 1, 2, 3},
+		{6, 5, 4, 3, 2, 1},
+	}
+	m, err := Train(seqs, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := []int{1, 2, 3}
+	wantProb := m.Prob(probe, 4)
+	wantPPL := m.Perplexity(seqs[0])
+	wantGen := m.Generate(probe, 4, GenOptions{StopToken: -1})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := m.Prob(probe, 4); got != wantProb {
+					t.Errorf("Prob = %v, want %v", got, wantProb)
+					return
+				}
+				if got := m.Perplexity(seqs[0]); got != wantPPL {
+					t.Errorf("Perplexity = %v, want %v", got, wantPPL)
+					return
+				}
+				got := m.Generate(probe, 4, GenOptions{StopToken: -1})
+				if len(got) != len(wantGen) {
+					t.Errorf("Generate = %v, want %v", got, wantGen)
+					return
+				}
+				for j := range got {
+					if got[j] != wantGen[j] {
+						t.Errorf("Generate = %v, want %v", got, wantGen)
+						return
+					}
+				}
+				m.Candidates(probe)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,50 @@
+package retrieval
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueries pins down the package contract the serve layer
+// depends on: after Build, the index (entries, IDF table, norms) is frozen
+// and Query/Best are pure reads, safe to share across goroutines. Run under
+// -race this fails if a lookup mutates the index.
+func TestConcurrentQueries(t *testing.T) {
+	ix := New()
+	ix.Add([]int{1, 2, 3}, []int{10, 11})
+	ix.Add([]int{2, 3, 4}, []int{12})
+	ix.Add([]int{5, 6}, []int{13, 14})
+	ix.Add([]int{1, 6, 7}, []int{15})
+	ix.Build()
+
+	key := []int{1, 2, 6}
+	want := ix.Query(key, 3)
+	wantBest, wantOK := ix.Best(key)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				got := ix.Query(key, 3)
+				if len(got) != len(want) {
+					t.Errorf("Query returned %d matches, want %d", len(got), len(want))
+					return
+				}
+				for j := range got {
+					if got[j].Score != want[j].Score {
+						t.Errorf("Query[%d].Score = %v, want %v", j, got[j].Score, want[j].Score)
+						return
+					}
+				}
+				best, ok := ix.Best(key)
+				if ok != wantOK || best.Score != wantBest.Score {
+					t.Errorf("Best = %+v/%v, want %+v/%v", best, ok, wantBest, wantOK)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -31,6 +31,8 @@ type Match struct {
 
 // Index is a bag-of-tokens cosine index with IDF weighting. Add entries,
 // then call Build before querying. The zero value is not usable; use New.
+// Add and Build mutate; after Build, Query and Best are pure reads and safe
+// for concurrent use (see TestConcurrentQueries).
 type Index struct {
 	entries  []Entry
 	counts   []map[int]int   // per-entry token counts

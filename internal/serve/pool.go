@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Pool admission errors. Both map to HTTP 503 / an RPC error response: the
+// caller should back off and retry, the server is intact.
+var (
+	// ErrOverloaded means the worker pool and its wait queue are both
+	// full; the request was shed immediately.
+	ErrOverloaded = errors.New("serve: overloaded: worker pool and queue full")
+	// ErrQueueTimeout means the request waited in the admission queue for
+	// the full per-request deadline without a worker freeing up.
+	ErrQueueTimeout = errors.New("serve: overloaded: queue wait deadline exceeded")
+)
+
+// Pool is the bounded admission controller in front of the model: at most
+// Workers() Predict calls run at once, at most queueCap further requests
+// wait for a slot, and everything beyond that is shed with ErrOverloaded
+// instead of piling up goroutines. A waiter that outlives the configured
+// deadline (or its own context) is shed too, so latency under overload is
+// bounded rather than unbounded queueing delay.
+type Pool struct {
+	sem      chan struct{} // one token per running worker
+	queueCap int
+	timeout  time.Duration // max queue wait; <= 0 means wait on ctx alone
+	queued   atomic.Int64
+	shed     atomic.Uint64
+}
+
+// NewPool builds a pool of the given size. workers < 1 is clamped to 1.
+// queueCap < 0 disables queueing (busy pool sheds immediately); timeout <= 0
+// disables the queue-wait deadline.
+func NewPool(workers, queueCap int, timeout time.Duration) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	return &Pool{
+		sem:      make(chan struct{}, workers),
+		queueCap: queueCap,
+		timeout:  timeout,
+	}
+}
+
+// Acquire claims a worker slot, waiting in the bounded queue if the pool is
+// busy. It returns ErrOverloaded when the queue is full, ErrQueueTimeout
+// when the wait deadline expires first, or ctx.Err() when the caller's
+// context ends first. Every nil return must be paired with one Release.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	// Busy: join the queue unless it is already at capacity. Add-then-check
+	// keeps the bound exact under concurrent arrivals.
+	if p.queued.Add(1) > int64(p.queueCap) {
+		p.queued.Add(-1)
+		p.shed.Add(1)
+		return ErrOverloaded
+	}
+	defer p.queued.Add(-1)
+
+	var deadline <-chan time.Time
+	if p.timeout > 0 {
+		t := time.NewTimer(p.timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-deadline:
+		p.shed.Add(1)
+		return ErrQueueTimeout
+	case <-ctx.Done():
+		p.shed.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by a successful Acquire.
+func (p *Pool) Release() { <-p.sem }
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// QueueCap returns the admission-queue capacity.
+func (p *Pool) QueueCap() int { return p.queueCap }
+
+// Active returns the number of slots currently claimed.
+func (p *Pool) Active() int { return len(p.sem) }
+
+// Queued returns the number of requests currently waiting for a slot.
+func (p *Pool) Queued() int { return int(p.queued.Load()) }
+
+// Shed returns the total number of requests rejected by this pool.
+func (p *Pool) Shed() uint64 { return p.shed.Load() }

@@ -5,16 +5,36 @@
 // roadmap item. The examples/editor-plugin program drives this service the
 // way the paper's Visual Studio Code plugin drives theirs.
 //
+// # Concurrency model
+//
+// Every prediction flows through two layers before reaching the model:
+//
+//  1. A singleflight group in front of the LRU cache coalesces concurrent
+//     identical requests (same context+prompt) into one model invocation
+//     whose result fans out to all waiters. Without it, N simultaneous
+//     misses on one key would each run a full generation with the last
+//     writer winning the cache slot.
+//  2. A bounded worker pool admits at most Options.Workers concurrent
+//     Predict calls, with a bounded wait queue and a per-request admission
+//     deadline. Requests beyond pool+queue capacity are shed with HTTP 503
+//     (Retry-After) or an RPC error response instead of piling up
+//     goroutines without bound.
+//
+// The model itself must be safe for concurrent Predict calls; *wisdom.Model
+// and every Generator in this repository are (inference reads frozen counts
+// and weights only — see the concurrency stress tests in each package).
+//
 // # Observability
 //
 // Instrument attaches an observe.Registry; from then on the server records
 // per-request latency histograms and request/error counters per protocol,
-// cache hit/miss/eviction rates and served-token throughput, and exposes
-// everything at GET /metrics in the Prometheus text format. GET /healthz
-// answers liveness probes whether or not metrics are enabled. The same
-// metrics text is available over the RPC listener via the "metrics" op
-// (Client.Metrics), so a deployment that only exposes the RPC port can
-// still be scraped.
+// cache hit/miss/eviction rates, coalesced and shed request counters,
+// worker-pool occupancy and queue depth gauges, and served-token
+// throughput, and exposes everything at GET /metrics in the Prometheus text
+// format. GET /healthz answers liveness probes whether or not metrics are
+// enabled. The same metrics text is available over the RPC listener via the
+// "metrics" op (Client.Metrics), so a deployment that only exposes the RPC
+// port can still be scraped.
 //
 // # Lifecycle
 //
@@ -31,15 +51,18 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wisdom/internal/observe"
 )
 
 // Predictor is the model-side interface the server needs; *wisdom.Model
-// satisfies it.
+// satisfies it. Implementations must be safe for concurrent Predict calls:
+// the server runs up to Options.Workers of them in parallel.
 type Predictor interface {
 	Predict(context, prompt string) string
 }
@@ -63,10 +86,16 @@ type Response struct {
 	Suggestion string `json:"suggestion"`
 	// Cached reports whether the suggestion came from the response cache.
 	Cached bool `json:"cached"`
+	// Coalesced reports whether the suggestion was shared from a
+	// concurrent identical request's model invocation.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// LatencyMS is the server-side handling time in milliseconds.
 	LatencyMS float64 `json:"latency_ms"`
 	// Model names the serving model.
 	Model string `json:"model"`
+	// Error is set (and Suggestion empty) when the request was rejected,
+	// e.g. shed under overload. RPC clients surface it as an error.
+	Error string `json:"error,omitempty"`
 }
 
 // OpResponse answers the non-prediction RPC ops.
@@ -77,13 +106,64 @@ type OpResponse struct {
 	Error   string `json:"error,omitempty"`
 }
 
+// Options configure the concurrent serving path. The zero value of each
+// field selects the documented default.
+type Options struct {
+	// CacheSize is the LRU response-cache capacity; <= 0 disables caching.
+	CacheSize int
+	// Workers bounds concurrent model Predict calls (<= 0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker (0: 4x Workers;
+	// < 0: no queue — a busy pool sheds immediately).
+	QueueDepth int
+	// QueueTimeout bounds how long one request may wait for admission
+	// (0: 2s; < 0: no deadline, wait until the client gives up).
+	QueueTimeout time.Duration
+	// MaxBodyBytes caps an HTTP request body (<= 0: 1 MiB, matching the
+	// RPC frame limit).
+	MaxBodyBytes int64
+}
+
+// DefaultQueueTimeout is the admission deadline used when Options leave
+// QueueTimeout zero.
+const DefaultQueueTimeout = 2 * time.Second
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case o.QueueDepth < 0:
+		o.QueueDepth = 0
+	case o.QueueDepth == 0:
+		o.QueueDepth = 4 * o.Workers
+	}
+	switch {
+	case o.QueueTimeout < 0:
+		o.QueueTimeout = 0
+	case o.QueueTimeout == 0:
+		o.QueueTimeout = DefaultQueueTimeout
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = maxFrame
+	}
+	return o
+}
+
 // Server serves predictions over HTTP and the binary RPC protocol.
 type Server struct {
 	model     Predictor
 	modelName string
 	cache     *Cache
-	mu        sync.Mutex
-	requests  int
+	requests  atomic.Int64 // predictions served, both protocols
+
+	// Concurrency control: flight coalesces identical in-flight requests,
+	// pool bounds concurrent Predict calls. reqTimeout bounds one
+	// request's admission wait (queueing plus coalesced waiting).
+	flight     *flightGroup
+	pool       *Pool
+	reqTimeout time.Duration
+	maxBody    int64
 
 	reg *observe.Registry
 	met *serverMetrics
@@ -98,26 +178,38 @@ type Server struct {
 	inflight sync.WaitGroup
 }
 
-// NewServer wraps a predictor. cacheSize <= 0 disables the cache.
+// NewServer wraps a predictor with default concurrency options.
+// cacheSize <= 0 disables the cache.
 func NewServer(model Predictor, modelName string, cacheSize int) *Server {
+	return NewServerWithOptions(model, modelName, Options{CacheSize: cacheSize})
+}
+
+// NewServerWithOptions wraps a predictor with explicit serving options.
+func NewServerWithOptions(model Predictor, modelName string, opts Options) *Server {
+	opts = opts.withDefaults()
 	s := &Server{
-		model:     model,
-		modelName: modelName,
-		lns:       make(map[net.Listener]struct{}),
-		conns:     make(map[net.Conn]struct{}),
+		model:      model,
+		modelName:  modelName,
+		flight:     newFlightGroup(),
+		pool:       NewPool(opts.Workers, opts.QueueDepth, opts.QueueTimeout),
+		reqTimeout: opts.QueueTimeout,
+		maxBody:    opts.MaxBodyBytes,
+		lns:        make(map[net.Listener]struct{}),
+		conns:      make(map[net.Conn]struct{}),
 	}
-	if cacheSize > 0 {
-		s.cache = NewCache(cacheSize)
+	if opts.CacheSize > 0 {
+		s.cache = NewCache(opts.CacheSize)
 	}
 	return s
 }
 
 // Requests returns the number of predictions served (both protocols).
 func (s *Server) Requests() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.requests
+	return int(s.requests.Load())
 }
+
+// Pool returns the server's admission pool (occupancy introspection).
+func (s *Server) Pool() *Pool { return s.pool }
 
 // ---- metrics ----
 
@@ -125,14 +217,17 @@ func (s *Server) Requests() int {
 // The struct is nil when the server is not instrumented, so the disabled
 // path costs one pointer test per request.
 type serverMetrics struct {
-	reg          *observe.Registry
-	requestsHTTP *observe.Counter
-	requestsRPC  *observe.Counter
-	durationHTTP *observe.Histogram
-	durationRPC  *observe.Histogram
-	cachedTotal  *observe.Counter
-	servedTokens *observe.Counter
-	tokensPerSec *observe.Gauge
+	reg            *observe.Registry
+	requestsHTTP   *observe.Counter
+	requestsRPC    *observe.Counter
+	durationHTTP   *observe.Histogram
+	durationRPC    *observe.Histogram
+	cachedTotal    *observe.Counter
+	coalescedTotal *observe.Counter
+	shedHTTP       *observe.Counter
+	shedRPC        *observe.Counter
+	servedTokens   *observe.Counter
+	tokensPerSec   *observe.Gauge
 }
 
 func (m *serverMetrics) requestsFor(proto string) *observe.Counter {
@@ -147,6 +242,13 @@ func (m *serverMetrics) durationFor(proto string) *observe.Histogram {
 		return m.durationRPC
 	}
 	return m.durationHTTP
+}
+
+func (m *serverMetrics) shedFor(proto string) *observe.Counter {
+	if proto == "rpc" {
+		return m.shedRPC
+	}
+	return m.shedHTTP
 }
 
 // Instrument registers the server's metrics on reg and makes Handler serve
@@ -169,11 +271,24 @@ func (s *Server) Instrument(reg *observe.Registry) {
 			"Server-side prediction latency.", observe.DefBuckets, proto("rpc")),
 		cachedTotal: reg.Counter("wisdom_cached_responses_total",
 			"Predictions answered from the response cache."),
+		coalescedTotal: reg.Counter("wisdom_coalesced_requests_total",
+			"Predictions shared from a concurrent identical request's model call."),
+		shedHTTP: reg.Counter("wisdom_shed_requests_total",
+			"Requests rejected by overload shedding.", proto("http")),
+		shedRPC: reg.Counter("wisdom_shed_requests_total",
+			"Requests rejected by overload shedding.", proto("rpc")),
 		servedTokens: reg.Counter("wisdom_served_tokens_total",
 			"Whitespace-delimited tokens in served suggestions."),
 		tokensPerSec: reg.Gauge("wisdom_served_tokens_per_second",
 			"Generation rate of the most recent uncached prediction."),
 	}
+	p := s.pool
+	reg.GaugeFunc("wisdom_pool_workers",
+		"Size of the inference worker pool.", func() float64 { return float64(p.Workers()) })
+	reg.GaugeFunc("wisdom_pool_active_workers",
+		"Predict calls currently running.", func() float64 { return float64(p.Active()) })
+	reg.GaugeFunc("wisdom_pool_queue_depth",
+		"Requests currently waiting for a worker.", func() float64 { return float64(p.Queued()) })
 	if s.cache != nil {
 		c := s.cache
 		reg.CounterFunc("wisdom_cache_hits_total",
@@ -200,15 +315,38 @@ func (s *Server) countError(proto, reason string) {
 		observe.Label{Key: "reason", Value: reason}).Inc()
 }
 
-// predict answers one request, consulting the cache first, and records the
-// request's signals when the server is instrumented.
-func (s *Server) predict(req Request, proto string) Response {
-	start := time.Now()
-	s.mu.Lock()
-	s.requests++
-	s.mu.Unlock()
+// shedReason maps an admission error to the error-counter reason label.
+func shedReason(err error) string {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrQueueTimeout), errors.Is(err, context.DeadlineExceeded):
+		return "queue_timeout"
+	default:
+		return "canceled"
+	}
+}
 
-	resp := s.answer(req)
+// predict answers one request, consulting the cache first, and records the
+// request's signals when the server is instrumented. A non-nil error means
+// the request was shed (or its client gave up) and nothing was served.
+func (s *Server) predict(ctx context.Context, req Request, proto string) (Response, error) {
+	start := time.Now()
+	if s.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
+		defer cancel()
+	}
+
+	resp, err := s.answer(ctx, req)
+	if err != nil {
+		if m := s.met; m != nil {
+			m.shedFor(proto).Inc()
+		}
+		s.countError(proto, shedReason(err))
+		return Response{}, err
+	}
+	s.requests.Add(1)
 	resp.LatencyMS = ms(start)
 	resp.Model = s.modelName
 	if m := s.met; m != nil {
@@ -217,28 +355,55 @@ func (s *Server) predict(req Request, proto string) Response {
 		m.durationFor(proto).Observe(elapsed)
 		toks := len(strings.Fields(resp.Suggestion))
 		m.servedTokens.Add(toks)
-		if resp.Cached {
+		switch {
+		case resp.Cached:
 			m.cachedTotal.Inc()
-		} else if elapsed > 0 && toks > 0 {
-			m.tokensPerSec.Set(float64(toks) / elapsed)
+		case resp.Coalesced:
+			m.coalescedTotal.Inc()
+		default:
+			if elapsed > 0 && toks > 0 {
+				m.tokensPerSec.Set(float64(toks) / elapsed)
+			}
 		}
 	}
-	return resp
+	return resp, nil
 }
 
-// answer resolves a request against the cache, then the model.
-func (s *Server) answer(req Request) Response {
+// answer resolves a request against the cache, then — coalesced with any
+// concurrent identical request and admitted through the worker pool — the
+// model.
+func (s *Server) answer(ctx context.Context, req Request) (Response, error) {
 	key := req.Context + "\x00" + req.Prompt
 	if s.cache != nil {
 		if v, ok := s.cache.Get(key); ok {
-			return Response{Suggestion: v, Cached: true}
+			return Response{Suggestion: v, Cached: true}, nil
 		}
 	}
-	suggestion := s.model.Predict(req.Context, req.Prompt)
-	if s.cache != nil {
-		s.cache.Put(key, suggestion)
+	invoke := func() (string, error) {
+		if s.pool != nil {
+			if err := s.pool.Acquire(ctx); err != nil {
+				return "", err
+			}
+			defer s.pool.Release()
+		}
+		suggestion := s.model.Predict(req.Context, req.Prompt)
+		if s.cache != nil {
+			s.cache.Put(key, suggestion)
+		}
+		return suggestion, nil
 	}
-	return Response{Suggestion: suggestion}
+	if s.flight == nil { // coalescing disabled (benchmark baseline)
+		v, err := invoke()
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Suggestion: v}, nil
+	}
+	v, coalesced, err := s.flight.Do(ctx, key, invoke)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Suggestion: v, Coalesced: coalesced}, nil
 }
 
 func ms(start time.Time) float64 { return float64(time.Since(start).Microseconds()) / 1000 }
@@ -252,6 +417,9 @@ func ms(start time.Time) float64 { return float64(time.Since(start).Microseconds
 //	GET  /healthz         -> {"status": "ok", "model": ...}   (liveness probe)
 //	GET  /v1/stats        -> Stats
 //	GET  /metrics         -> Prometheus text format (requires Instrument)
+//
+// Oversized request bodies are rejected with 413; requests shed under
+// overload get 503 with a Retry-After header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/completions", func(w http.ResponseWriter, r *http.Request) {
@@ -260,8 +428,16 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, `{"error":"method not allowed"}`, http.StatusMethodNotAllowed)
 			return
 		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 		var req Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				s.countError("http", "body_too_large")
+				http.Error(w, fmt.Sprintf(`{"error":"request body exceeds %d bytes"}`, tooLarge.Limit),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
 			s.countError("http", "bad_json")
 			http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
 			return
@@ -271,8 +447,14 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, `{"error":"prompt is required"}`, http.StatusBadRequest)
 			return
 		}
+		resp, err := s.predict(r.Context(), req, "http")
+		if err != nil {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(s.predict(req, "http")); err != nil {
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
 			// Too late for a status change; the connection is gone.
 			return
 		}
@@ -303,6 +485,10 @@ func (s *Server) Handler() http.Handler {
 type Stats struct {
 	Model          string  `json:"model"`
 	Requests       int     `json:"requests"`
+	PoolWorkers    int     `json:"pool_workers"`
+	PoolActive     int     `json:"pool_active"`
+	PoolQueued     int     `json:"pool_queued"`
+	ShedRequests   uint64  `json:"shed_requests"`
 	CacheEnabled   bool    `json:"cache_enabled"`
 	CacheEntries   int     `json:"cache_entries"`
 	CacheHits      int     `json:"cache_hits"`
@@ -313,7 +499,14 @@ type Stats struct {
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
-	st := Stats{Model: s.modelName, Requests: s.Requests()}
+	st := Stats{
+		Model:        s.modelName,
+		Requests:     s.Requests(),
+		PoolWorkers:  s.pool.Workers(),
+		PoolActive:   s.pool.Active(),
+		PoolQueued:   s.pool.Queued(),
+		ShedRequests: s.pool.Shed(),
+	}
 	if s.cache != nil {
 		st.CacheEnabled = true
 		st.CacheEntries = s.cache.Len()
@@ -450,7 +643,11 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) handleRPC(req Request) any {
 	switch req.Op {
 	case "":
-		return s.predict(req, "rpc")
+		resp, err := s.predict(context.Background(), req, "rpc")
+		if err != nil {
+			return Response{Model: s.modelName, Error: err.Error()}
+		}
+		return resp
 	case "metrics":
 		var sb strings.Builder
 		if s.reg == nil {
@@ -512,10 +709,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// ErrClientBroken is returned by every call on a Client whose connection
+// previously failed mid-exchange. The framing state of such a connection is
+// undefined (a partial frame may have been written or read), so reusing it
+// would desynchronise every later call; reconnect with Dial instead.
+var ErrClientBroken = errors.New("serve: client connection broken by a previous I/O error; redial")
+
 // Client is an RPC client holding one persistent connection.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	conn   net.Conn
+	broken bool
 }
 
 // Dial connects an RPC client to addr.
@@ -527,21 +731,38 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn}, nil
 }
 
-// roundTrip performs one framed exchange.
+// roundTrip performs one framed exchange. Any failure mid-exchange leaves
+// the connection's framing state undefined, so the client marks itself
+// broken and fails every later call fast instead of silently desyncing.
 func (c *Client) roundTrip(req Request, resp any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return ErrClientBroken
+	}
 	if err := writeFrame(c.conn, req); err != nil {
+		c.broken = true
 		return err
 	}
-	return readFrame(c.conn, resp)
+	if err := readFrame(c.conn, resp); err != nil {
+		c.broken = true
+		return err
+	}
+	return nil
 }
 
-// Predict performs one prediction round trip.
+// Predict performs one prediction round trip. A server-side rejection
+// (e.g. overload shedding) is returned as an error; the connection remains
+// healthy in that case.
 func (c *Client) Predict(req Request) (Response, error) {
 	var resp Response
-	err := c.roundTrip(req, &resp)
-	return resp, err
+	if err := c.roundTrip(req, &resp); err != nil {
+		return Response{}, err
+	}
+	if resp.Error != "" {
+		return Response{}, errors.New("serve: " + resp.Error)
+	}
+	return resp, nil
 }
 
 // Metrics fetches the server's Prometheus text dump over RPC.

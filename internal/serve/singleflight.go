@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup coalesces concurrent calls that share a key: the first caller
+// (the leader) runs fn, everyone else waits for the leader's result, and the
+// answer fans out to all of them. In front of the response cache this turns
+// N simultaneous misses on one context+prompt into exactly one model
+// invocation — the cache alone cannot do that, because every miss that
+// arrives before the first Put runs its own generation and the last writer
+// wins the slot.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight computation.
+type flightCall struct {
+	done    chan struct{} // closed when val/err are final
+	val     string
+	err     error
+	waiters atomic.Int64 // coalesced callers currently blocked on done
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// Do returns the result of fn for key, coalescing concurrent duplicates.
+// coalesced reports whether this caller shared another caller's invocation
+// rather than running fn itself. A waiter whose ctx ends before the leader
+// finishes returns ctx.Err(); the leader itself is never cancelled — its
+// result still lands in the cache for the next request. A leader's error
+// (e.g. pool shed) fans out to every waiter, which is the behaviour that
+// keeps an overloaded key from multiplying into one model call per waiter.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (string, error)) (val string, coalesced bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters.Add(1)
+		g.mu.Unlock()
+		defer c.waiters.Add(-1)
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return "", true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// pending returns the number of callers currently waiting on key's leader
+// (zero when no flight is active). Test/metrics hook.
+func (g *flightGroup) pending(key string) int {
+	g.mu.Lock()
+	c := g.m[key]
+	g.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return int(c.waiters.Load())
+}

@@ -1,0 +1,50 @@
+package wisdom
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPredictMatchesSerial is the contract the serve package's
+// worker pool relies on: a fine-tuned *Model is frozen, so concurrent
+// Predict calls — spanning the blended n-gram scorer, retrieval memory,
+// lexical reranker and post-processing — must be race-free and return
+// exactly what serial calls return. Each Complete call derives its own
+// rand and coverage state, which is what this test (under -race) proves.
+func TestConcurrentPredictMatchesSerial(t *testing.T) {
+	r := getRig(t)
+	pre := pretrain(t, r, WisdomAnsibleMulti)
+	ft, err := Finetune(pre, r.pipe.Train, FinetuneConfig{Window: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	playbook := "---\n- hosts: all\n  tasks:\n"
+	cases := []struct{ ctx, prompt string }{
+		{"", "Install nginx"},
+		{playbook, "Install nginx"},
+		{"", "Restart the web service"},
+		{playbook, "Copy configuration files"},
+	}
+	want := make([]string, len(cases))
+	for i, c := range cases {
+		want[i] = ft.Predict(c.ctx, c.prompt)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				i := (w + rep) % len(cases)
+				if got := ft.Predict(cases[i].ctx, cases[i].prompt); got != want[i] {
+					t.Errorf("concurrent Predict(%q) diverged:\n got %q\nwant %q",
+						cases[i].prompt, got, want[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

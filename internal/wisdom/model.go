@@ -261,6 +261,13 @@ func (g *NeuralLM) Complete(prefix, _ []int, maxNew int, stop func([]int) bool, 
 
 // Model is one NL→Ansible generation system: a tokenizer, a language model,
 // an optional retrieval component, and the prompt/window policy.
+//
+// Once built (Pretrain/Finetune/LoadModel), a Model is frozen: Predict,
+// GenerateSample and Evaluate read immutable state and derive any
+// per-generation randomness and coverage tracking locally, so one Model
+// instance serves concurrent requests without locking — the contract the
+// serve package's worker pool relies on (see
+// TestConcurrentPredictMatchesSerial).
 type Model struct {
 	// Name identifies the variant (Table 2 row).
 	Name string
