@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench fmt clean
+.PHONY: all build test race vet check bench bench-decode fmt clean
 
 all: check
 
@@ -25,6 +25,12 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-decode runs the decode-engine microbenchmarks that back
+# BENCH_PR3.json (step kernels, cached beam, batched generation).
+bench-decode:
+	$(GO) test ./internal/neural/ -run XXX -benchmem -benchtime 2s \
+		-bench 'BenchmarkStep$$|BenchmarkStepBatch8|BenchmarkBeamDecode|BenchmarkGenerateBatch8|BenchmarkGenerateFullForward|BenchmarkGenerateKVCached'
 
 fmt:
 	gofmt -l -w .

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	wisdom-bench [-quick] [-table 1|2|3|4|5|throughput|all] [-figure 2]
+//	wisdom-bench [-quick] [-table 1|2|3|4|5|throughput|engine|all] [-figure 2]
 //	wisdom-bench -quick -trace -metrics   # per-stage timings + metrics dump
 //
 // Each run is fully deterministic for a given configuration; -trace and
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use the reduced (smoke-test) configuration")
-	table := flag.String("table", "all", "table to regenerate: 1, 2, 3, 4, 5, throughput, sensitivity, ablation, decoding, or all")
+	table := flag.String("table", "all", "table to regenerate: 1, 2, 3, 4, 5, throughput, sensitivity, ablation, decoding, engine, or all")
 	figure := flag.Int("figure", 0, "figure to print (2 prints one sample per generation type)")
 	metricsOn := flag.Bool("metrics", false, "dump collected metrics in Prometheus text format to stderr at exit")
 	traceOn := flag.Bool("trace", false, "log stage span timings to stderr and print a stage summary at exit")
@@ -62,7 +62,7 @@ func main() {
 
 	run := map[string]bool{}
 	if *table == "all" {
-		for _, t := range []string{"1", "2", "3", "4", "5", "throughput", "sensitivity", "ablation", "decoding"} {
+		for _, t := range []string{"1", "2", "3", "4", "5", "throughput", "sensitivity", "ablation", "decoding", "engine"} {
 			run[t] = true
 		}
 	} else {
@@ -124,6 +124,17 @@ func main() {
 		for _, r := range rows {
 			fmt.Printf("%-16s Schema %6.2f  EM %6.2f  BLEU %6.2f  Aware %6.2f\n", r.Name,
 				r.Report.SchemaCorrect, r.Report.ExactMatch, r.Report.BLEU, r.Report.AnsibleAware)
+		}
+		fmt.Println()
+	}
+	if run["engine"] {
+		rows, err := suite.DecodeEngine()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Decode engine throughput (emitted tokens/second, benchmark model)")
+		for _, r := range rows {
+			fmt.Printf("%-24s %10.1f tok/s\n", r.Path, r.TokensPerSec)
 		}
 		fmt.Println()
 	}

@@ -9,6 +9,9 @@
 //	curl -s localhost:8080/metrics     # Prometheus text format
 //	curl -s localhost:8080/healthz     # liveness probe
 //
+// -batch-window/-max-batch enable the micro-batching decode path;
+// -pprof :6060 exposes net/http/pprof on a side listener.
+//
 // SIGINT/SIGTERM drain in-flight HTTP and RPC requests within the -drain
 // deadline before the process exits.
 package main
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof side listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +44,9 @@ func main() {
 	queueDepth := flag.Int("queue", 0, "max requests waiting for a worker (0 = 4x workers, -1 disables queueing)")
 	queueTimeout := flag.Duration("request-timeout", serve.DefaultQueueTimeout, "max wait for worker admission before shedding (0 = no deadline)")
 	maxBody := flag.Int64("max-body", 1<<20, "max HTTP request body bytes")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batching gather window (0 disables batching)")
+	maxBatch := flag.Int("max-batch", 8, "max requests decoded together per micro-batch")
+	pprofAddr := flag.String("pprof", "", "net/http/pprof listen address on a side port (empty disables)")
 	quick := flag.Bool("quick", false, "use the reduced training configuration")
 	loadPath := flag.String("load", "", "load a previously saved model instead of training")
 	savePath := flag.String("save", "", "save the trained model to this file before serving")
@@ -69,6 +76,8 @@ func main() {
 		QueueDepth:   *queueDepth,
 		QueueTimeout: qt,
 		MaxBodyBytes: *maxBody,
+		BatchWindow:  *batchWindow,
+		MaxBatch:     *maxBatch,
 	})
 	srv.Instrument(reg)
 	fmt.Fprintf(os.Stderr, "worker pool: %d workers, queue %d\n",
@@ -79,7 +88,15 @@ func main() {
 
 	// Listener failures land on errc instead of os.Exit-ing from a
 	// goroutine, so a dying listener still drains the other protocol.
-	errc := make(chan error, 2)
+	errc := make(chan error, 3)
+	if *pprofAddr != "" {
+		// The profiling endpoint lives on its own listener so it is never
+		// exposed alongside the public API by accident.
+		go func() {
+			fmt.Fprintf(os.Stderr, "pprof listening on %s\n", *pprofAddr)
+			errc <- http.ListenAndServe(*pprofAddr, nil)
+		}()
+	}
 	if *rpcAddr != "" {
 		ln, err := net.Listen("tcp", *rpcAddr)
 		if err != nil {

@@ -448,6 +448,64 @@ func (s *Suite) Throughput() (ThroughputResult, error) {
 	return res, nil
 }
 
+// ---- decode engine (serving section) ----
+
+// DecodeEngineRow reports the emitted-token throughput of one decode path
+// on the benchmark model (the small Throughput configuration).
+type DecodeEngineRow struct {
+	Path         string
+	TokensPerSec float64
+}
+
+// DecodeEngine measures every decode path of the engine on one model:
+// the full-forward loop, the KV-cached loop, cached beam search, and the
+// batched multi-sequence path. Beam reports emitted tokens/second (it does
+// width× the internal work per emitted token); the batched row reports the
+// aggregate across its sequences, which is the serving-relevant rate.
+func (s *Suite) DecodeEngine() ([]DecodeEngineRow, error) {
+	defer s.Trace.Start("decode_engine").End()
+	m, err := neural.NewModel(neural.Config{Vocab: 512, Ctx: 64, Dim: 96, Heads: 4, Layers: 4, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	prefix := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	const maxNew = 48
+	rate := func(tokens int, elapsed time.Duration) float64 {
+		if sec := elapsed.Seconds(); sec > 0 {
+			return float64(tokens) / sec
+		}
+		return 0
+	}
+	var rows []DecodeEngineRow
+	add := func(path string, f func() int) {
+		start := time.Now()
+		tokens := f()
+		rows = append(rows, DecodeEngineRow{Path: path, TokensPerSec: rate(tokens, time.Since(start))})
+	}
+	add("generate full-forward", func() int {
+		return len(m.Generate(prefix, maxNew, neural.GenOptions{StopToken: -1}))
+	})
+	add("generate kv-cached", func() int {
+		return len(m.GenerateCached(prefix, maxNew, neural.GenOptions{StopToken: -1}))
+	})
+	add("beam w=4 kv-cached", func() int {
+		return len(m.GenerateBeam(prefix, maxNew, neural.BeamOptions{Width: 4, StopToken: -1}))
+	})
+	add("batch x8 kv-cached", func() int {
+		reqs := make([]neural.BatchRequest, 8)
+		for i := range reqs {
+			p := append(append([]int(nil), prefix...), i+1)
+			reqs[i] = neural.BatchRequest{Prefix: p, MaxNew: maxNew, Opts: neural.GenOptions{StopToken: -1}}
+		}
+		total := 0
+		for _, out := range m.GenerateBatch(reqs) {
+			total += len(out)
+		}
+		return total
+	})
+	return rows, nil
+}
+
 // SortRowsByBLEU returns a copy of rows sorted by descending BLEU, a helper
 // for shape assertions.
 func SortRowsByBLEU(rows []Row) []Row {

@@ -1,0 +1,232 @@
+package neural
+
+import (
+	"math"
+	"time"
+)
+
+// batchScratch is the working memory of a batched decode step: the same
+// buffers as decodeScratch but B rows wide, so the projection matmuls run
+// once over the whole batch instead of once per sequence. Allocated once
+// per GenerateBatch call and reused every step.
+type batchScratch struct {
+	x, a, q, k, v, att, ao, bIn, mo, hf []float64 // B x Dim, row-major
+	h1                                  []float64 // B x MLPHidden
+	scores                              []float64 // Ctx, reused row by row
+}
+
+// newBatchScratch sizes an arena for batches of up to b rows.
+func (m *Model) newBatchScratch(b int) *batchScratch {
+	d := b * m.cfg.Dim
+	return &batchScratch{
+		x: make([]float64, d), a: make([]float64, d), q: make([]float64, d),
+		k: make([]float64, d), v: make([]float64, d), att: make([]float64, d),
+		ao: make([]float64, d), bIn: make([]float64, d), mo: make([]float64, d),
+		hf:     make([]float64, d),
+		h1:     make([]float64, b*m.cfg.MLPHidden),
+		scores: make([]float64, m.cfg.Ctx),
+	}
+}
+
+// stepBatch advances B independent decode states by one token each. The
+// six per-layer projections (q, k, v, attention output, both MLP halves)
+// run as one matmul over B rows rather than B row-vector products, so the
+// weight matrices — the dominant memory traffic of decoding — are streamed
+// through the cache once per step instead of once per sequence. Attention
+// and layer norms stay per-row because each state attends over its own
+// cache at its own position; rows at different positions batch fine.
+//
+// Per-row arithmetic (accumulation order included) is identical to the
+// single-row step, so a batched decode is bit-for-bit equivalent to
+// stepping each state serially. Each state's logits buffer receives its
+// next-token distribution. States must belong to m and bs must have been
+// sized for at least len(states) rows.
+func (m *Model) stepBatch(states []*genState, toks []int, bs *batchScratch) {
+	B := len(states)
+	cfg := m.cfg
+	d := cfg.Dim
+	hid := cfg.MLPHidden
+	heads, dh := cfg.Heads, d/cfg.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	var stepStart time.Time
+	if m.obs != nil {
+		stepStart = time.Now()
+	}
+
+	for r, s := range states {
+		x := bs.x[r*d : (r+1)*d]
+		te := m.tokEmb.W[toks[r]*d : (toks[r]+1)*d]
+		pe := m.posEmb.W[s.pos*d : (s.pos+1)*d]
+		for i := 0; i < d; i++ {
+			x[i] = te[i] + pe[i]
+		}
+	}
+
+	for l, b := range m.blocks {
+		for r := 0; r < B; r++ {
+			lnRowInto(bs.a[r*d:(r+1)*d], bs.x[r*d:(r+1)*d], b.ln1g.W, b.ln1b.W)
+		}
+		matmulInto(bs.q, bs.a, B, d, b.wq.W, d)
+		matmulInto(bs.k, bs.a, B, d, b.wk.W, d)
+		matmulInto(bs.v, bs.a, B, d, b.wv.W, d)
+		for r, s := range states {
+			T := s.pos + 1
+			kl := s.k[l][:T*d]
+			vl := s.v[l][:T*d]
+			s.k[l], s.v[l] = kl, vl
+			copy(kl[s.pos*d:], bs.k[r*d:(r+1)*d])
+			copy(vl[s.pos*d:], bs.v[r*d:(r+1)*d])
+			attendRow(bs.att[r*d:(r+1)*d], bs.q[r*d:(r+1)*d], kl, vl,
+				bs.scores[:T], heads, dh, d, scale)
+		}
+		matmulInto(bs.ao, bs.att, B, d, b.wo.W, d)
+		for r := 0; r < B; r++ {
+			x := bs.x[r*d : (r+1)*d]
+			ao := bs.ao[r*d : (r+1)*d]
+			for i := 0; i < d; i++ {
+				x[i] += ao[i]
+			}
+		}
+
+		for r := 0; r < B; r++ {
+			lnRowInto(bs.bIn[r*d:(r+1)*d], bs.x[r*d:(r+1)*d], b.ln2g.W, b.ln2b.W)
+		}
+		matmulInto(bs.h1, bs.bIn, B, d, b.w1.W, hid)
+		for r := 0; r < B; r++ {
+			h := bs.h1[r*hid : (r+1)*hid]
+			for j := range h {
+				h[j] = gelu(h[j] + b.b1.W[j])
+			}
+		}
+		matmulInto(bs.mo, bs.h1, B, hid, b.w2.W, d)
+		for r := 0; r < B; r++ {
+			x := bs.x[r*d : (r+1)*d]
+			mo := bs.mo[r*d : (r+1)*d]
+			for i := 0; i < d; i++ {
+				x[i] += mo[i] + b.b2.W[i]
+			}
+		}
+	}
+
+	maxPos := 0
+	for r, s := range states {
+		s.pos++
+		if s.pos > maxPos {
+			maxPos = s.pos
+		}
+		if s.logits == nil {
+			s.logits = make([]float64, cfg.Vocab)
+		}
+		lnRowInto(bs.hf[r*d:(r+1)*d], bs.x[r*d:(r+1)*d], m.lnfg.W, m.lnfb.W)
+		projectLogits(s.logits, bs.hf[r*d:(r+1)*d], m.tokEmb.W, d)
+	}
+	if m.obs != nil {
+		m.obs.KVCachePositions.Set(float64(maxPos))
+		m.obs.KVCacheOccupancy.Set(float64(maxPos) / float64(cfg.Ctx))
+		m.obs.DecodeSteps.Add(B)
+		m.obs.StepDuration.Observe(time.Since(stepStart).Seconds())
+	}
+}
+
+// BatchRequest is one sequence of a batched generation call.
+type BatchRequest struct {
+	Prefix []int
+	MaxNew int
+	Opts   GenOptions
+}
+
+// batchRow is the per-request decode state machine of GenerateBatch.
+type batchRow struct {
+	req     *BatchRequest
+	st      *genState
+	out     []int
+	outSlot int // index into the results slice
+	fed     int // tokens fed into the cache so far
+	next    int // token to feed on the upcoming step
+}
+
+// GenerateBatch decodes every request together, advancing all live rows one
+// token per stepBatch call. Requests prime and finish independently — mixed
+// prefix lengths, MaxNew budgets, stop conditions, and sampling options
+// (each row consumes only its own Opts.Rand) batch fine, and each row's
+// output is token-for-token what GenerateCached would have produced alone
+// (see TestGenerateBatchMatchesSerial). Rows that cannot decode purely in
+// cache — an empty prefix, a non-positive MaxNew, or prefix+MaxNew
+// overflowing the context window — fall back to a solo GenerateCached call.
+// Results are returned in request order.
+func (m *Model) GenerateBatch(reqs []BatchRequest) [][]int {
+	outs := make([][]int, len(reqs))
+	active := make([]*batchRow, 0, len(reqs))
+	for i := range reqs {
+		r := &reqs[i]
+		if len(r.Prefix) == 0 || r.MaxNew <= 0 || len(r.Prefix)+r.MaxNew-1 > m.cfg.Ctx {
+			outs[i] = m.GenerateCached(r.Prefix, r.MaxNew, r.Opts)
+			continue
+		}
+		active = append(active, &batchRow{
+			req: r, st: m.newGenState(), next: r.Prefix[0],
+			out: make([]int, 0, r.MaxNew),
+		})
+		// outs entry is filled when the row finishes; remember its slot.
+		active[len(active)-1].outSlot = i
+	}
+	if len(active) == 0 {
+		return outs
+	}
+
+	var start time.Time
+	if m.obs != nil {
+		start = time.Now()
+	}
+	bs := m.newBatchScratch(len(active))
+	states := make([]*genState, len(active))
+	toks := make([]int, len(active))
+	total := 0
+	for len(active) > 0 {
+		states = states[:len(active)]
+		toks = toks[:len(active)]
+		for i, row := range active {
+			states[i] = row.st
+			toks[i] = row.next
+		}
+		m.stepBatch(states, toks, bs)
+
+		live := active[:0]
+		for _, row := range active {
+			row.fed++
+			if row.fed < len(row.req.Prefix) {
+				row.next = row.req.Prefix[row.fed]
+				live = append(live, row)
+				continue
+			}
+			opts := row.req.Opts
+			tok := pickToken(row.st.logits, opts)
+			row.out = append(row.out, tok)
+			if opts.StopToken > 0 && tok == opts.StopToken {
+				row.finish(outs, &total)
+				continue
+			}
+			if opts.Stop != nil && opts.Stop(row.out) {
+				row.finish(outs, &total)
+				continue
+			}
+			if len(row.out) == row.req.MaxNew {
+				row.finish(outs, &total)
+				continue
+			}
+			row.next = tok
+			live = append(live, row)
+		}
+		active = live
+	}
+	if m.obs != nil {
+		m.obs.recordGeneration(total, time.Since(start))
+	}
+	return outs
+}
+
+// finish publishes a completed row's output.
+func (r *batchRow) finish(outs [][]int, total *int) {
+	outs[r.outSlot] = r.out
+	*total += len(r.out)
+}

@@ -17,7 +17,244 @@ type BeamOptions struct {
 	StopToken int
 }
 
-// beamHyp is one live hypothesis.
+// beamScore is the ranking score of a hypothesis with n generated tokens.
+func beamScore(logProb float64, n int, penalty float64) float64 {
+	if penalty <= 0 || n == 0 {
+		return logProb
+	}
+	return logProb / math.Pow(float64(n), penalty)
+}
+
+// GenerateBeam extends prefix by up to maxNew tokens with beam search and
+// returns the best hypothesis's new tokens. The paper's evaluation uses
+// greedy decoding and names beam search as an expected improvement; this
+// implements that extension.
+//
+// When prefix+maxNew fits the context window, decoding runs on forked KV
+// caches: each step costs one cached token step per live beam (plus an
+// O(positions) cache copy per surviving fork) instead of a full forward
+// over the whole sequence per beam. Requests that overflow the window fall
+// back to the windowed full-forward path, whose left-truncation semantics
+// the cached caches cannot reproduce. Both paths produce identical tokens
+// on the shared domain (see TestCachedBeamMatchesUncached).
+func (m *Model) GenerateBeam(prefix []int, maxNew int, opts BeamOptions) []int {
+	if opts.Width <= 0 {
+		opts.Width = 4
+	}
+	var start time.Time
+	if m.obs != nil {
+		start = time.Now()
+	}
+	var out []int
+	// The last generated token is never fed back through the cache, so the
+	// deepest hypothesis holds len(prefix)+maxNew-1 positions.
+	if len(prefix) > 0 && maxNew > 0 && len(prefix)+maxNew-1 <= m.cfg.Ctx {
+		out = m.beamCached(prefix, maxNew, opts)
+	} else {
+		out = m.beamFullForward(prefix, maxNew, opts)
+	}
+	if m.obs != nil {
+		m.obs.recordGeneration(len(out), time.Since(start))
+	}
+	return out
+}
+
+// beamSlot is one live hypothesis of the cached beam decoder.
+type beamSlot struct {
+	st      *genState // nil once done (its cache is recycled)
+	tokens  []int
+	logProb float64
+	done    bool
+}
+
+// beamCand is one candidate in the bounded top-k selection.
+type beamCand struct {
+	parent  int // index into the current beam list
+	tok     int // -1 carries an already-finished hypothesis forward
+	logProb float64
+	score   float64
+}
+
+// topK is a bounded best-W selector over a stream of candidates. Insertion
+// uses strictly-greater comparisons throughout, so candidates offered
+// earlier outrank later ones on score ties — the same order the reference
+// implementation's stable sort produces. Selecting this way costs O(V*W)
+// per beam per step (W is small) and allocates nothing after construction,
+// where the reference materialised and sorted width*vocab hypotheses.
+type topK struct {
+	cands []beamCand
+}
+
+func (t *topK) reset(width int) {
+	if cap(t.cands) < width {
+		t.cands = make([]beamCand, 0, width)
+	}
+	t.cands = t.cands[:0]
+}
+
+func (t *topK) offer(c beamCand) {
+	n := len(t.cands)
+	if n == cap(t.cands) {
+		if c.score <= t.cands[n-1].score {
+			return
+		}
+		t.cands[n-1] = c
+		n--
+	} else {
+		t.cands = append(t.cands, c)
+	}
+	for i := n; i > 0 && t.cands[i].score > t.cands[i-1].score; i-- {
+		t.cands[i], t.cands[i-1] = t.cands[i-1], t.cands[i]
+	}
+}
+
+// beamCached is the KV-cached beam decoder. Each surviving candidate either
+// steals its parent's cache (first extension of that parent) or copies it
+// onto a state recycled from dead hypotheses, so per step the engine runs
+// one cached token step per live beam and never re-encodes the prefix.
+func (m *Model) beamCached(prefix []int, maxNew int, opts BeamOptions) []int {
+	W := opts.Width
+
+	root := m.newGenState()
+	for _, tok := range prefix {
+		root.step(tok)
+	}
+
+	beams := make([]*beamSlot, 1, W)
+	beams[0] = &beamSlot{st: root, tokens: make([]int, 0, maxNew)}
+	next := make([]*beamSlot, 0, W)
+	var freeStates []*genState
+	var freeSlots []*beamSlot
+	sel := &topK{}
+	used := make([]bool, W)
+
+	grabState := func(src *genState) *genState {
+		if n := len(freeStates); n > 0 {
+			st := freeStates[n-1]
+			freeStates = freeStates[:n-1]
+			st.copyFrom(src)
+			return st
+		}
+		return src.fork()
+	}
+	grabSlot := func() *beamSlot {
+		if n := len(freeSlots); n > 0 {
+			sl := freeSlots[n-1]
+			freeSlots = freeSlots[:n-1]
+			return sl
+		}
+		return &beamSlot{tokens: make([]int, 0, maxNew)}
+	}
+
+	for step := 0; step < maxNew; step++ {
+		sel.reset(W)
+		alive := false
+		for bi, h := range beams {
+			if h.done {
+				sel.offer(beamCand{
+					parent: bi, tok: -1, logProb: h.logProb,
+					score: beamScore(h.logProb, len(h.tokens), opts.LengthPenalty),
+				})
+				continue
+			}
+			alive = true
+			lz := logZ(h.st.logits)
+			n := len(h.tokens) + 1
+			for tok, l := range h.st.logits {
+				lp := h.logProb + (l - lz)
+				sel.offer(beamCand{
+					parent: bi, tok: tok, logProb: lp,
+					score: beamScore(lp, n, opts.LengthPenalty),
+				})
+			}
+		}
+		if !alive {
+			break
+		}
+
+		// Build the next beam set. Cache copies happen before any state is
+		// stepped, so siblings forked from one parent all start from the
+		// parent's pre-extension cache; the first extension of each parent
+		// steals the parent's buffers outright (copy-on-extend).
+		next = next[:0]
+		for i := range used {
+			used[i] = false
+		}
+		type pending struct {
+			slot *beamSlot
+			tok  int
+		}
+		var steps [8]pending // W is small; spill only for very wide beams
+		stepList := steps[:0]
+		for _, c := range sel.cands {
+			if c.tok < 0 {
+				next = append(next, beams[c.parent])
+				continue
+			}
+			p := beams[c.parent]
+			done := opts.StopToken >= 0 && c.tok == opts.StopToken
+			sl := grabSlot()
+			sl.logProb = c.logProb
+			sl.done = done
+			if !done && !used[c.parent] {
+				// First live extension: take the parent's cache and step it.
+				used[c.parent] = true
+				sl.st = p.st
+			} else if !done {
+				sl.st = grabState(p.st)
+			} else {
+				sl.st = nil // finished hypotheses never step again
+			}
+			sl.tokens = append(sl.tokens[:0], p.tokens...)
+			sl.tokens = append(sl.tokens, c.tok)
+			if !done {
+				stepList = append(stepList, pending{sl, c.tok})
+			}
+			next = append(next, sl)
+		}
+		// Recycle the caches of hypotheses that produced no surviving live
+		// extension, then advance every survivor by its chosen token.
+		for bi, h := range beams {
+			if h.st != nil && !used[bi] {
+				freeStates = append(freeStates, h.st)
+				h.st = nil
+			}
+			carried := false
+			for _, sl := range next {
+				if sl == h {
+					carried = true
+					break
+				}
+			}
+			if !carried {
+				freeSlots = append(freeSlots, h)
+			}
+		}
+		// The final iteration's chosen tokens complete their hypotheses;
+		// they are never fed back, which is what keeps the deepest state at
+		// len(prefix)+maxNew-1 positions.
+		if step+1 < maxNew {
+			for _, ps := range stepList {
+				ps.slot.st.step(ps.tok)
+			}
+		}
+		beams = append(beams[:0], next...)
+		if len(used) < len(beams) {
+			used = make([]bool, len(beams))
+		}
+	}
+
+	best := beams[0]
+	bestScore := beamScore(best.logProb, len(best.tokens), opts.LengthPenalty)
+	for _, h := range beams[1:] {
+		if s := beamScore(h.logProb, len(h.tokens), opts.LengthPenalty); s > bestScore {
+			best, bestScore = h, s
+		}
+	}
+	return best.tokens
+}
+
+// beamHyp is one live hypothesis of the full-forward reference decoder.
 type beamHyp struct {
 	tokens  []int // generated suffix only
 	logProb float64
@@ -25,24 +262,14 @@ type beamHyp struct {
 }
 
 func (h beamHyp) score(penalty float64) float64 {
-	if penalty <= 0 || len(h.tokens) == 0 {
-		return h.logProb
-	}
-	return h.logProb / math.Pow(float64(len(h.tokens)), penalty)
+	return beamScore(h.logProb, len(h.tokens), penalty)
 }
 
-// GenerateBeam extends prefix by up to maxNew tokens with beam search and
-// returns the best hypothesis's new tokens. The paper's evaluation uses
-// greedy decoding and names beam search as an expected improvement; this
-// implements that extension.
-func (m *Model) GenerateBeam(prefix []int, maxNew int, opts BeamOptions) []int {
-	var start time.Time
-	if m.obs != nil {
-		start = time.Now()
-	}
-	if opts.Width <= 0 {
-		opts.Width = 4
-	}
+// beamFullForward is the reference beam decoder: a full forward pass over
+// the (window-truncated) sequence per beam per step. It is the semantic
+// pin for beamCached and the fallback for requests that overflow the
+// context window, where it reproduces Generate's left-truncation.
+func (m *Model) beamFullForward(prefix []int, maxNew int, opts BeamOptions) []int {
 	beams := []beamHyp{{}}
 	for step := 0; step < maxNew; step++ {
 		var next []beamHyp
@@ -85,14 +312,12 @@ func (m *Model) GenerateBeam(prefix []int, maxNew int, opts BeamOptions) []int {
 			best = h
 		}
 	}
-	if m.obs != nil {
-		m.obs.recordGeneration(len(best.tokens), time.Since(start))
-	}
 	return best.tokens
 }
 
-// logSoftmax converts logits to log-probabilities.
-func logSoftmax(logits []float64) []float64 {
+// logZ returns the log-normaliser of a logits vector (log sum exp), the
+// allocation-free core of logSoftmax.
+func logZ(logits []float64) float64 {
 	maxl := math.Inf(-1)
 	for _, l := range logits {
 		if l > maxl {
@@ -103,10 +328,15 @@ func logSoftmax(logits []float64) []float64 {
 	for _, l := range logits {
 		sum += math.Exp(l - maxl)
 	}
-	logZ := maxl + math.Log(sum)
+	return maxl + math.Log(sum)
+}
+
+// logSoftmax converts logits to log-probabilities.
+func logSoftmax(logits []float64) []float64 {
+	lz := logZ(logits)
 	out := make([]float64, len(logits))
 	for i, l := range logits {
-		out[i] = l - logZ
+		out[i] = l - lz
 	}
 	return out
 }

@@ -1,0 +1,173 @@
+package neural
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCachedBeamMatchesUncached pins the cached beam decoder to the
+// full-forward reference across widths, length penalties, and stop tokens.
+// Both run on a trained model so logit ties (which the bounded top-k must
+// break exactly like the reference's stable sort) are exercised on a
+// realistic distribution.
+func TestCachedBeamMatchesUncached(t *testing.T) {
+	m := trainedPatternModel(t)
+	prefixes := [][]int{{1}, {1, 2, 3}, {4, 5}}
+	for _, width := range []int{1, 2, 4, 6} {
+		for _, penalty := range []float64{0, 0.7} {
+			for _, stop := range []int{-1, 5} {
+				for _, prefix := range prefixes {
+					maxNew := m.cfg.Ctx - len(prefix) + 1 // deepest in-cache request
+					opts := BeamOptions{Width: width, LengthPenalty: penalty, StopToken: stop}
+					want := m.beamFullForward(prefix, maxNew, opts)
+					got := m.beamCached(prefix, maxNew, opts)
+					if len(got) != len(want) {
+						t.Fatalf("w=%d p=%v stop=%d prefix=%v: cached %v vs uncached %v",
+							width, penalty, stop, prefix, got, want)
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("w=%d p=%v stop=%d prefix=%v: cached %v vs uncached %v",
+								width, penalty, stop, prefix, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBeamTruncationEdge checks the dispatch boundary: the deepest request
+// that fits the cache decodes on the cached path, one token more falls back
+// to the full-forward path, and both agree with the reference at the edge.
+func TestBeamTruncationEdge(t *testing.T) {
+	m := trainedPatternModel(t)
+	prefix := []int{1, 2, 3}
+	opts := BeamOptions{Width: 4, StopToken: -1}
+	fit := m.cfg.Ctx - len(prefix) + 1
+	for _, maxNew := range []int{fit, fit + 1, fit + 4} {
+		want := m.beamFullForward(prefix, maxNew, opts)
+		got := m.GenerateBeam(prefix, maxNew, opts)
+		if len(got) != len(want) {
+			t.Fatalf("maxNew=%d: %v vs reference %v", maxNew, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("maxNew=%d: %v vs reference %v", maxNew, got, want)
+			}
+		}
+	}
+}
+
+// TestStepBatchMatchesStep feeds the same token streams through the batched
+// and the single-row kernels and requires bit-identical logits at every
+// position — the property that makes serve-level micro-batching invisible
+// to callers.
+func TestStepBatchMatchesStep(t *testing.T) {
+	m, err := NewModel(Config{Vocab: 24, Ctx: 16, Dim: 16, Heads: 4, Layers: 3, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := [][]int{
+		{3, 14, 1, 5, 9, 2},
+		{7, 7, 7, 7, 7, 7},
+		{0, 23, 11, 8, 2, 19},
+	}
+	B := len(streams)
+
+	// Serial reference: one state per stream, single-row steps.
+	want := make([][][]float64, B)
+	for r, toks := range streams {
+		st := m.newGenState()
+		for _, tok := range toks {
+			logits := st.step(tok)
+			want[r] = append(want[r], append([]float64(nil), logits...))
+		}
+	}
+
+	states := make([]*genState, B)
+	for r := range states {
+		states[r] = m.newGenState()
+	}
+	bs := m.newBatchScratch(B)
+	toks := make([]int, B)
+	for pos := 0; pos < len(streams[0]); pos++ {
+		for r := range streams {
+			toks[r] = streams[r][pos]
+		}
+		m.stepBatch(states, toks, bs)
+		for r, st := range states {
+			for i, v := range st.logits {
+				if v != want[r][pos][i] {
+					t.Fatalf("row %d pos %d logit %d: batched %v vs serial %v",
+						r, pos, i, v, want[r][pos][i])
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateBatchMatchesSerial runs a heterogeneous batch — different
+// prefix lengths, budgets, greedy and sampled rows, a stop-token row, a
+// stop-func row, and an overflow row that takes the solo fallback — and
+// requires every row to equal its serial GenerateCached counterpart.
+func TestGenerateBatchMatchesSerial(t *testing.T) {
+	m, err := NewModel(Config{Vocab: 24, Ctx: 24, Dim: 16, Heads: 2, Layers: 2, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkReqs := func() []BatchRequest {
+		return []BatchRequest{
+			{Prefix: []int{7, 3, 11, 2}, MaxNew: 10, Opts: GenOptions{StopToken: -1}},
+			{Prefix: []int{5}, MaxNew: 6, Opts: GenOptions{StopToken: -1}},
+			{Prefix: []int{1, 2, 3, 4, 5, 6, 7, 8}, MaxNew: 4, Opts: GenOptions{StopToken: -1}},
+			{Prefix: []int{9, 9}, MaxNew: 12, Opts: GenOptions{
+				Temperature: 0.8, TopK: 5, StopToken: -1,
+				Rand: rand.New(rand.NewSource(17)),
+			}},
+			{Prefix: []int{2, 4}, MaxNew: 10, Opts: GenOptions{StopToken: 3}},
+			{Prefix: []int{6, 1}, MaxNew: 10, Opts: GenOptions{
+				StopToken: -1,
+				Stop:      func(g []int) bool { return len(g) >= 2 },
+			}},
+			// Overflow row: prefix+MaxNew exceeds Ctx, takes the solo path.
+			{Prefix: []int{1, 2, 3, 4}, MaxNew: 24, Opts: GenOptions{StopToken: -1}},
+			{Prefix: nil, MaxNew: 4, Opts: GenOptions{StopToken: -1}},
+		}
+	}
+	batched := m.GenerateBatch(mkReqs())
+	serialReqs := mkReqs()
+	for i := range serialReqs {
+		r := &serialReqs[i]
+		want := m.GenerateCached(r.Prefix, r.MaxNew, r.Opts)
+		got := batched[i]
+		if len(got) != len(want) {
+			t.Fatalf("row %d: batched %v vs serial %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("row %d: batched %v vs serial %v", i, got, want)
+			}
+		}
+	}
+}
+
+// TestGenerateBatchSingleRow checks the degenerate batch of one.
+func TestGenerateBatchSingleRow(t *testing.T) {
+	m, err := NewModel(Config{Vocab: 16, Ctx: 16, Dim: 8, Heads: 2, Layers: 1, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.GenerateCached([]int{4, 2}, 6, GenOptions{StopToken: -1})
+	got := m.GenerateBatch([]BatchRequest{
+		{Prefix: []int{4, 2}, MaxNew: 6, Opts: GenOptions{StopToken: -1}},
+	})
+	if len(got) != 1 || len(got[0]) != len(want) {
+		t.Fatalf("batched %v vs serial %v", got, want)
+	}
+	for i := range want {
+		if got[0][i] != want[i] {
+			t.Fatalf("batched %v vs serial %v", got[0], want)
+		}
+	}
+}

@@ -8,71 +8,99 @@ import (
 // genState is an incremental decoding state: the per-layer key/value caches
 // that let each new token attend over all previous positions without
 // recomputing them — the KV cache every production transformer server uses.
+//
+// The caches are allocated once at full context capacity, so step never
+// grows a slice, and all per-token working memory lives in a decodeScratch
+// arena created lazily on the first step. A state (and its scratch) belongs
+// to one generation on one goroutine; concurrent generations each build
+// their own.
 type genState struct {
 	m *Model
-	// k[l], v[l] hold the cached keys/values of layer l, pos*Dim flat.
+	// k[l], v[l] hold the cached keys/values of layer l, pos*Dim flat,
+	// length pos*Dim with capacity Ctx*Dim.
 	k, v [][]float64
 	pos  int
+	// scratch is the per-token working memory, shared by every state forked
+	// from the same generation (decoding within one generation is serial).
+	scratch *decodeScratch
+	// logits is the output buffer step fills; each state owns one so beam
+	// search can hold several beams' distributions at once.
+	logits []float64
 }
 
-// newGenState allocates an empty state.
+// newGenState allocates an empty state with full-context cache capacity.
 func (m *Model) newGenState() *genState {
-	return &genState{
+	cap := m.cfg.Ctx * m.cfg.Dim
+	s := &genState{
 		m: m,
 		k: make([][]float64, m.cfg.Layers),
 		v: make([][]float64, m.cfg.Layers),
 	}
+	for l := range s.k {
+		s.k[l] = make([]float64, 0, cap)
+		s.v[l] = make([]float64, 0, cap)
+	}
+	return s
 }
 
-// lnRow layer-normalises a single row.
-func lnRow(x, g, b []float64) []float64 {
-	const eps = 1e-5
-	d := len(x)
-	mean := 0.0
-	for _, v := range x {
-		mean += v
+// reset empties the caches so the state can be re-primed (the windowed
+// decode path) or reused from a freelist (beam search). The backing arrays
+// and scratch are kept.
+func (s *genState) reset() {
+	for l := range s.k {
+		s.k[l] = s.k[l][:0]
+		s.v[l] = s.v[l][:0]
 	}
-	mean /= float64(d)
-	varr := 0.0
-	for _, v := range x {
-		dv := v - mean
-		varr += dv * dv
-	}
-	varr /= float64(d)
-	rstd := 1 / math.Sqrt(varr+eps)
-	out := make([]float64, d)
-	for i, v := range x {
-		out[i] = (v-mean)*rstd*g[i] + b[i]
-	}
-	return out
+	s.pos = 0
 }
 
-// vecMat computes y = x @ w for one row (w: in x out).
-func vecMat(x, w []float64, out int) []float64 {
-	y := make([]float64, out)
-	for i, xv := range x {
-		if xv == 0 {
-			continue
-		}
-		wr := w[i*out : (i+1)*out]
-		for j, wv := range wr {
-			y[j] += xv * wv
-		}
+// fork returns an independent copy of the state: the caches are copied into
+// freshly allocated full-capacity buffers, the scratch arena is shared
+// (decoding within one generation is single-threaded), and the logits
+// buffer is fresh. Beam search prefers copyFrom onto recycled states; fork
+// is the allocation path when the freelist is empty.
+func (s *genState) fork() *genState {
+	c := s.m.newGenState()
+	c.scratch = s.scratch
+	c.copyFrom(s)
+	return c
+}
+
+// copyFrom overwrites s with src's cache contents and position. Both states
+// must belong to the same model.
+func (s *genState) copyFrom(src *genState) {
+	for l := range s.k {
+		s.k[l] = append(s.k[l][:0], src.k[l]...)
+		s.v[l] = append(s.v[l][:0], src.v[l]...)
 	}
-	return y
+	s.pos = src.pos
 }
 
 // step feeds one token through the model, appending to the caches, and
-// returns the logits for the next-token distribution. It must be fed tokens
-// in order; pos must stay below the context length.
+// returns the logits for the next-token distribution (valid until the next
+// step on this state). It must be fed tokens in order; pos must stay below
+// the context length. Steady-state it performs no heap allocation: keys and
+// values are written directly into the preallocated cache rows and every
+// intermediate lives in the scratch arena.
 func (s *genState) step(tok int) []float64 {
 	m := s.m
 	cfg := m.cfg
 	d := cfg.Dim
 	heads, dh := cfg.Heads, d/cfg.Heads
 	scale := 1 / math.Sqrt(float64(dh))
+	if s.scratch == nil {
+		s.scratch = m.newDecodeScratch()
+	}
+	if s.logits == nil {
+		s.logits = make([]float64, cfg.Vocab)
+	}
+	sc := s.scratch
+	var stepStart time.Time
+	if m.obs != nil {
+		stepStart = time.Now()
+	}
 
-	x := make([]float64, d)
+	x := sc.x
 	te := m.tokEmb.W[tok*d : (tok+1)*d]
 	pe := m.posEmb.W[s.pos*d : (s.pos+1)*d]
 	for i := 0; i < d; i++ {
@@ -81,96 +109,147 @@ func (s *genState) step(tok int) []float64 {
 
 	T := s.pos + 1
 	for l, b := range m.blocks {
-		a := lnRow(x, b.ln1g.W, b.ln1b.W)
-		q := vecMat(a, b.wq.W, d)
-		k := vecMat(a, b.wk.W, d)
-		v := vecMat(a, b.wv.W, d)
-		s.k[l] = append(s.k[l], k...)
-		s.v[l] = append(s.v[l], v...)
+		lnRowInto(sc.a, x, b.ln1g.W, b.ln1b.W)
+		vecMatInto(sc.q, sc.a, b.wq.W)
+		kl := s.k[l][:T*d]
+		vl := s.v[l][:T*d]
+		s.k[l], s.v[l] = kl, vl
+		vecMatInto(kl[s.pos*d:], sc.a, b.wk.W)
+		vecMatInto(vl[s.pos*d:], sc.a, b.wv.W)
 
-		att := make([]float64, d)
-		for h := 0; h < heads; h++ {
-			off := h * dh
-			scores := make([]float64, T)
-			maxs := math.Inf(-1)
-			for u := 0; u < T; u++ {
-				dot := 0.0
-				for i := 0; i < dh; i++ {
-					dot += q[off+i] * s.k[l][u*d+off+i]
-				}
-				dot *= scale
-				scores[u] = dot
-				if dot > maxs {
-					maxs = dot
-				}
-			}
-			sum := 0.0
-			for u := 0; u < T; u++ {
-				scores[u] = math.Exp(scores[u] - maxs)
-				sum += scores[u]
-			}
-			for u := 0; u < T; u++ {
-				p := scores[u] / sum
-				for i := 0; i < dh; i++ {
-					att[off+i] += p * s.v[l][u*d+off+i]
-				}
-			}
-		}
-		ao := vecMat(att, b.wo.W, d)
+		attendRow(sc.att, sc.q, kl, vl, sc.scores[:T], heads, dh, d, scale)
+		vecMatInto(sc.ao, sc.att, b.wo.W)
 		for i := 0; i < d; i++ {
-			x[i] += ao[i]
+			x[i] += sc.ao[i]
 		}
 
-		bIn := lnRow(x, b.ln2g.W, b.ln2b.W)
-		h1 := vecMat(bIn, b.w1.W, cfg.MLPHidden)
-		for j := range h1 {
-			h1[j] = gelu(h1[j] + b.b1.W[j])
+		lnRowInto(sc.bIn, x, b.ln2g.W, b.ln2b.W)
+		vecMatInto(sc.h1, sc.bIn, b.w1.W)
+		for j := range sc.h1 {
+			sc.h1[j] = gelu(sc.h1[j] + b.b1.W[j])
 		}
-		mo := vecMat(h1, b.w2.W, d)
+		vecMatInto(sc.mo, sc.h1, b.w2.W)
 		for i := 0; i < d; i++ {
-			x[i] += mo[i] + b.b2.W[i]
+			x[i] += sc.mo[i] + b.b2.W[i]
 		}
 	}
 	s.pos++
 	if m.obs != nil {
 		m.obs.KVCachePositions.Set(float64(s.pos))
 		m.obs.KVCacheOccupancy.Set(float64(s.pos) / float64(cfg.Ctx))
+		m.obs.DecodeSteps.Inc()
+		m.obs.StepDuration.Observe(time.Since(stepStart).Seconds())
 	}
 
-	hf := lnRow(x, m.lnfg.W, m.lnfb.W)
-	logits := make([]float64, cfg.Vocab)
-	for tokID := 0; tokID < cfg.Vocab; tokID++ {
-		e := m.tokEmb.W[tokID*d : (tokID+1)*d]
+	lnRowInto(sc.hf, x, m.lnfg.W, m.lnfb.W)
+	projectLogits(s.logits, sc.hf, m.tokEmb.W, d)
+	return s.logits
+}
+
+// attendRow runs causal multi-head attention for one query row over the
+// cached keys/values, writing the concatenated head outputs into att.
+// scores must have length T (the cached positions including the current).
+func attendRow(att, q, k, v, scores []float64, heads, dh, d int, scale float64) {
+	for i := range att {
+		att[i] = 0
+	}
+	T := len(scores)
+	for h := 0; h < heads; h++ {
+		off := h * dh
+		maxs := math.Inf(-1)
+		for u := 0; u < T; u++ {
+			dot := 0.0
+			for i := 0; i < dh; i++ {
+				dot += q[off+i] * k[u*d+off+i]
+			}
+			dot *= scale
+			scores[u] = dot
+			if dot > maxs {
+				maxs = dot
+			}
+		}
+		sum := 0.0
+		for u := 0; u < T; u++ {
+			scores[u] = math.Exp(scores[u] - maxs)
+			sum += scores[u]
+		}
+		for u := 0; u < T; u++ {
+			p := scores[u] / sum
+			for i := 0; i < dh; i++ {
+				att[off+i] += p * v[u*d+off+i]
+			}
+		}
+	}
+}
+
+// projectLogits writes hf @ tokEmb^T into logits (the tied output head).
+func projectLogits(logits, hf, emb []float64, d int) {
+	for tokID := range logits {
+		e := emb[tokID*d : (tokID+1)*d]
 		dot := 0.0
 		for i := 0; i < d; i++ {
 			dot += hf[i] * e[i]
 		}
 		logits[tokID] = dot
 	}
-	return logits
 }
 
+// windowHopDiv sets the re-prime stride of the windowed decode path: when
+// the cache fills, the state is rebuilt over the last Ctx - Ctx/windowHopDiv
+// tokens, buying Ctx/windowHopDiv cached steps per rebuild. Amortised cost
+// per token stays O(window), against O(window^2) for the full re-forward
+// the pre-decode-engine code paid.
+const windowHopDiv = 4
+
 // GenerateCached extends prefix by up to maxNew tokens using the KV cache:
-// each token costs O(sequence) instead of O(sequence^2). Outputs are
-// identical to Generate as long as prefix+maxNew fits the context window;
-// longer requests fall back to the windowed full forward.
+// each token costs O(sequence) instead of O(sequence^2). When prefix+maxNew
+// fits the context window the outputs are identical to Generate. Longer
+// requests decode through a hopped sliding window: whenever the cache
+// fills, it is re-primed over the most recent Ctx - Ctx/4 tokens and
+// decoding continues incrementally. Inside the overflow regime each token
+// therefore conditions on at least 3/4 of the context window (Generate's
+// exact sliding window always uses the full Ctx), which keeps the cost
+// linear per token where the old fallback re-ran a quadratic full forward.
 func (m *Model) GenerateCached(prefix []int, maxNew int, opts GenOptions) []int {
-	if len(prefix) == 0 || len(prefix)+maxNew > m.cfg.Ctx {
-		return m.Generate(prefix, maxNew, opts)
+	if len(prefix) == 0 {
+		return nil
 	}
 	var start time.Time
 	if m.obs != nil {
 		start = time.Now()
 	}
+	ctx := m.cfg.Ctx
 	st := m.newGenState()
+
+	// The final emitted token is never fed back, so a request fits the
+	// cache exactly when prefix + maxNew - 1 positions do.
+	windowed := len(prefix)+maxNew-1 > ctx
+	keep := ctx - ctx/windowHopDiv
+	if keep < 1 {
+		keep = 1
+	}
+	seq := prefix
+	if windowed {
+		seq = append(make([]int, 0, len(prefix)+maxNew), prefix...)
+	}
+
+	// Prime over the (possibly truncated) prefix.
 	var logits []float64
-	for _, tok := range prefix {
+	prime := seq
+	if len(prime) > ctx {
+		prime = prime[len(prime)-ctx:]
+	}
+	for _, tok := range prime {
 		logits = st.step(tok)
 	}
+
 	var out []int
 	for len(out) < maxNew {
 		tok := pickToken(logits, opts)
 		out = append(out, tok)
+		if windowed {
+			seq = append(seq, tok)
+		}
 		if opts.StopToken > 0 && tok == opts.StopToken {
 			break
 		}
@@ -180,7 +259,20 @@ func (m *Model) GenerateCached(prefix []int, maxNew int, opts GenOptions) []int 
 		if len(out) == maxNew {
 			break
 		}
-		logits = st.step(tok)
+		if st.pos == ctx {
+			// Cache full: re-prime over the freshest window, leaving
+			// ctx/windowHopDiv positions of headroom for cached steps.
+			st.reset()
+			w := seq
+			if len(w) > keep {
+				w = w[len(w)-keep:]
+			}
+			for _, t := range w {
+				logits = st.step(t)
+			}
+		} else {
+			logits = st.step(tok)
+		}
 	}
 	if m.obs != nil {
 		m.obs.recordGeneration(len(out), time.Since(start))

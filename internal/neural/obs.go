@@ -36,6 +36,12 @@ type Instrumentation struct {
 	// state; KVCacheOccupancy is that as a fraction of the context window.
 	KVCachePositions *observe.Gauge
 	KVCacheOccupancy *observe.Gauge
+	// DecodeSteps counts incremental decode steps (one per token fed through
+	// the cached step kernel; a batched step of B rows counts B).
+	// StepDuration times one step kernel invocation — a single row for
+	// step, a whole batch for stepBatch.
+	DecodeSteps  *observe.Counter
+	StepDuration *observe.Histogram
 }
 
 // NewInstrumentation registers the standard wisdom_* metric names on reg
@@ -67,6 +73,11 @@ func NewInstrumentation(reg *observe.Registry) *Instrumentation {
 			"Positions held by the most recent KV-cache decode state."),
 		KVCacheOccupancy: reg.Gauge("wisdom_kvcache_occupancy_ratio",
 			"KV-cache positions as a fraction of the context window."),
+		DecodeSteps: reg.Counter("wisdom_decode_steps_total",
+			"Incremental decode steps (token-rows fed through the step kernels)."),
+		StepDuration: reg.Histogram("wisdom_decode_step_seconds",
+			"Duration of one decode step kernel invocation.",
+			observe.ExponentialBuckets(1e-6, 4, 12)),
 	}
 }
 

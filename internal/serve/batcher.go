@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// BatchPredictor is implemented by models that can answer several
+// independent requests in one decode (*wisdom.Model with a transformer LM).
+// PredictBatch must return one suggestion per request, each identical to
+// what a serial Predict call would produce.
+type BatchPredictor interface {
+	Predictor
+	PredictBatch(contexts, prompts []string) []string
+}
+
+// batchItem is one request waiting in the micro-batch gatherer.
+type batchItem struct {
+	req  Request
+	val  string
+	err  error
+	done chan struct{} // closed once val/err are set
+}
+
+// batcher gathers concurrent non-identical requests into one batched model
+// invocation. The first request of a batch arms a window timer; requests
+// arriving inside the window join the batch, and the batch flushes when the
+// window elapses or maxBatch requests have gathered, whichever comes first.
+// Identical requests never reach the batcher — the singleflight group in
+// front of it coalesces them into one row.
+//
+// A lone request therefore pays up to one window of extra latency in
+// exchange for amortising the model's weight traversal across every
+// concurrent request — the standard micro-batching trade, tuned by
+// -batch-window and -max-batch.
+type batcher struct {
+	window   time.Duration
+	maxBatch int
+	exec     func([]Request) ([]string, error)
+
+	mu      sync.Mutex
+	pending []*batchItem
+	// gen counts flushes. The window timer captures the generation it was
+	// armed for and gives up if the batch already flushed on the size
+	// trigger — without this a stale timer would flush the NEXT batch early.
+	gen uint64
+}
+
+func newBatcher(window time.Duration, maxBatch int, exec func([]Request) ([]string, error)) *batcher {
+	return &batcher{window: window, maxBatch: maxBatch, exec: exec}
+}
+
+// do submits one request and blocks until its batch has been decoded or ctx
+// expires. On ctx expiry the batch still runs — other waiters need it — but
+// this caller stops waiting for the result.
+func (b *batcher) do(ctx context.Context, req Request) (string, error) {
+	it := &batchItem{req: req, done: make(chan struct{})}
+	b.mu.Lock()
+	b.pending = append(b.pending, it)
+	switch n := len(b.pending); {
+	case n >= b.maxBatch:
+		items := b.takeLocked()
+		b.mu.Unlock()
+		b.flush(items) // size trigger: decode on this caller's goroutine
+	case n == 1:
+		gen := b.gen
+		b.mu.Unlock()
+		time.AfterFunc(b.window, func() { b.flushTimer(gen) })
+	default:
+		b.mu.Unlock()
+	}
+	select {
+	case <-it.done:
+		return it.val, it.err
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+// takeLocked detaches the pending batch; the caller must hold mu.
+func (b *batcher) takeLocked() []*batchItem {
+	items := b.pending
+	b.pending = nil
+	b.gen++
+	return items
+}
+
+// flushTimer is the window-elapsed trigger.
+func (b *batcher) flushTimer(gen uint64) {
+	b.mu.Lock()
+	if b.gen != gen || len(b.pending) == 0 {
+		b.mu.Unlock()
+		return // this batch already flushed on the size trigger
+	}
+	items := b.takeLocked()
+	b.mu.Unlock()
+	b.flush(items)
+}
+
+// flush decodes one detached batch and fans the results out to the waiters.
+func (b *batcher) flush(items []*batchItem) {
+	reqs := make([]Request, len(items))
+	for i, it := range items {
+		reqs[i] = it.req
+	}
+	vals, err := b.exec(reqs)
+	for i, it := range items {
+		if err != nil {
+			it.err = err
+		} else {
+			it.val = vals[i]
+		}
+		close(it.done)
+	}
+}

@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wisdom/internal/observe"
+)
+
+// batchEchoModel implements BatchPredictor and records the batch sizes its
+// PredictBatch/Predict calls saw.
+type batchEchoModel struct {
+	mu     sync.Mutex
+	sizes  []int
+	nCalls atomic.Int64
+}
+
+func (m *batchEchoModel) answerOne(context, prompt string) string {
+	return "- name: " + prompt
+}
+
+func (m *batchEchoModel) Predict(context, prompt string) string {
+	m.record(1)
+	return m.answerOne(context, prompt)
+}
+
+func (m *batchEchoModel) PredictBatch(contexts, prompts []string) []string {
+	m.record(len(prompts))
+	out := make([]string, len(prompts))
+	for i := range prompts {
+		out[i] = m.answerOne(contexts[i], prompts[i])
+	}
+	return out
+}
+
+func (m *batchEchoModel) record(n int) {
+	m.nCalls.Add(1)
+	m.mu.Lock()
+	m.sizes = append(m.sizes, n)
+	m.mu.Unlock()
+}
+
+func (m *batchEchoModel) batchSizes() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]int(nil), m.sizes...)
+}
+
+// TestBatcherGathersConcurrentRequests drives more distinct concurrent
+// requests than maxBatch through a batching server and checks that every
+// caller gets its own correct answer and that at least one model call
+// served multiple requests.
+func TestBatcherGathersConcurrentRequests(t *testing.T) {
+	model := &batchEchoModel{}
+	s := NewServerWithOptions(model, "batch-test", Options{
+		CacheSize:   0,
+		Workers:     2,
+		BatchWindow: 20 * time.Millisecond,
+		MaxBatch:    4,
+	})
+	if s.batcher == nil {
+		t.Fatal("batcher not enabled")
+	}
+	const N = 12
+	results := make([]string, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.predict(context.Background(),
+				Request{Prompt: fmt.Sprintf("task %d", i)}, "http")
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			results[i] = resp.Suggestion
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if want := fmt.Sprintf("- name: task %d", i); got != want {
+			t.Errorf("request %d got %q, want %q", i, got, want)
+		}
+	}
+	multi := false
+	for _, n := range model.batchSizes() {
+		if n > s.batcher.maxBatch {
+			t.Errorf("batch of %d exceeds maxBatch %d", n, s.batcher.maxBatch)
+		}
+		if n > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Error("no request was ever batched with another")
+	}
+}
+
+// TestBatcherSizeTriggerFlushesEarly checks that a full batch decodes
+// without waiting out the window.
+func TestBatcherSizeTriggerFlushesEarly(t *testing.T) {
+	model := &batchEchoModel{}
+	s := NewServerWithOptions(model, "batch-test", Options{
+		Workers:     1,
+		BatchWindow: 10 * time.Second, // would time the test out if waited on
+		MaxBatch:    2,
+	})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.predict(context.Background(),
+				Request{Prompt: fmt.Sprintf("p%d", i)}, "http"); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("size-triggered flush took %v; the window timer must not gate a full batch", elapsed)
+	}
+}
+
+// TestBatcherWindowTriggerFlushesLoneRequest checks that a lone request is
+// answered after one window even when the batch never fills.
+func TestBatcherWindowTriggerFlushesLoneRequest(t *testing.T) {
+	model := &batchEchoModel{}
+	s := NewServerWithOptions(model, "batch-test", Options{
+		Workers:     1,
+		BatchWindow: 5 * time.Millisecond,
+		MaxBatch:    8,
+	})
+	resp, err := s.predict(context.Background(), Request{Prompt: "alone"}, "http")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Suggestion != "- name: alone" {
+		t.Errorf("lone batched request answered %q", resp.Suggestion)
+	}
+}
+
+// errExec simulates a batch decode failure (e.g. pool admission timeout).
+func TestBatcherErrorFansOutToAllWaiters(t *testing.T) {
+	boom := errors.New("decode failed")
+	b := newBatcher(5*time.Millisecond, 4, func(reqs []Request) ([]string, error) {
+		return nil, boom
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.do(context.Background(), Request{Prompt: fmt.Sprintf("p%d", i)}); !errors.Is(err, boom) {
+				t.Errorf("waiter %d got %v, want the exec error", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestBatcherCallerContextExpiry checks that an impatient caller gets its
+// context error while the batch still completes for the others.
+func TestBatcherCallerContextExpiry(t *testing.T) {
+	release := make(chan struct{})
+	b := newBatcher(time.Millisecond, 8, func(reqs []Request) ([]string, error) {
+		<-release
+		out := make([]string, len(reqs))
+		for i, r := range reqs {
+			out[i] = r.Prompt
+		}
+		return out, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	impatient := make(chan error, 1)
+	go func() {
+		_, err := b.do(ctx, Request{Prompt: "impatient"})
+		impatient <- err
+	}()
+	patient := make(chan string, 1)
+	go func() {
+		v, _ := b.do(context.Background(), Request{Prompt: "patient"})
+		patient <- v
+	}()
+	time.Sleep(10 * time.Millisecond) // let both join and the window fire
+	cancel()
+	if err := <-impatient; !errors.Is(err, context.Canceled) {
+		t.Errorf("impatient caller got %v, want context.Canceled", err)
+	}
+	close(release)
+	if v := <-patient; v != "patient" {
+		t.Errorf("patient caller got %q", v)
+	}
+}
+
+// TestBatcherDisabledByDefault: the zero Options keep the per-request path
+// even for a batch-capable model.
+func TestBatcherDisabledByDefault(t *testing.T) {
+	s := NewServerWithOptions(&batchEchoModel{}, "m", Options{Workers: 1})
+	if s.batcher != nil {
+		t.Error("batcher enabled without BatchWindow/MaxBatch")
+	}
+	// And a non-batching model never gets one, whatever the options say.
+	s = NewServerWithOptions(&echoModel{}, "m", Options{
+		Workers: 1, BatchWindow: time.Millisecond, MaxBatch: 4,
+	})
+	if s.batcher != nil {
+		t.Error("batcher enabled for a model without PredictBatch")
+	}
+}
+
+// TestBatchSizeMetricRecorded checks the wisdom_batch_size histogram counts
+// one observation per flushed batch.
+func TestBatchSizeMetricRecorded(t *testing.T) {
+	model := &batchEchoModel{}
+	s := NewServerWithOptions(model, "batch-test", Options{
+		Workers:     1,
+		BatchWindow: 5 * time.Millisecond,
+		MaxBatch:    4,
+	})
+	reg := observe.NewRegistry()
+	s.Instrument(reg)
+	if _, err := s.predict(context.Background(), Request{Prompt: "one"}, "http"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	if !strings.Contains(body, "wisdom_batch_size_count 1") {
+		t.Errorf("wisdom_batch_size did not record the flush:\n%s", body)
+	}
+}
+
+// TestBatchedResultsCached checks the batching path still feeds the LRU.
+func TestBatchedResultsCached(t *testing.T) {
+	model := &batchEchoModel{}
+	s := NewServerWithOptions(model, "batch-test", Options{
+		CacheSize:   8,
+		Workers:     1,
+		BatchWindow: time.Millisecond,
+		MaxBatch:    4,
+	})
+	first, err := s.predict(context.Background(), Request{Prompt: "cache me"}, "http")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.predict(context.Background(), Request{Prompt: "cache me"}, "http")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("repeat request missed the cache")
+	}
+	if second.Suggestion != first.Suggestion {
+		t.Errorf("cached answer %q differs from original %q", second.Suggestion, first.Suggestion)
+	}
+	if n := model.nCalls.Load(); n != 1 {
+		t.Errorf("model invoked %d times, want 1", n)
+	}
+}

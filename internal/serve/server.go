@@ -122,6 +122,13 @@ type Options struct {
 	// MaxBodyBytes caps an HTTP request body (<= 0: 1 MiB, matching the
 	// RPC frame limit).
 	MaxBodyBytes int64
+	// BatchWindow is how long the micro-batcher holds the first request of
+	// a batch to gather concurrent non-identical requests into one decode.
+	// Zero disables micro-batching (the default).
+	BatchWindow time.Duration
+	// MaxBatch caps how many requests decode together; reaching it flushes
+	// the batch immediately. <= 1 disables micro-batching.
+	MaxBatch int
 }
 
 // DefaultQueueTimeout is the admission deadline used when Options leave
@@ -162,6 +169,7 @@ type Server struct {
 	// request's admission wait (queueing plus coalesced waiting).
 	flight     *flightGroup
 	pool       *Pool
+	batcher    *batcher
 	reqTimeout time.Duration
 	maxBody    int64
 
@@ -200,7 +208,50 @@ func NewServerWithOptions(model Predictor, modelName string, opts Options) *Serv
 	if opts.CacheSize > 0 {
 		s.cache = NewCache(opts.CacheSize)
 	}
+	// Micro-batching needs a model with a batched decode path; models
+	// without one keep the per-request pipeline regardless of the options.
+	if opts.MaxBatch > 1 && opts.BatchWindow > 0 {
+		if bp, ok := model.(BatchPredictor); ok {
+			s.batcher = newBatcher(opts.BatchWindow, opts.MaxBatch, s.execBatch(bp))
+		}
+	}
 	return s
+}
+
+// execBatch returns the batcher's decode function: admit the whole batch
+// through ONE worker-pool slot, record its size, and run the model's
+// batched prediction. One slot per batch (not per request) keeps pool
+// occupancy meaning "concurrent decodes"; fairness against unbatched
+// deployments is unchanged because a batch does the work of its requests
+// in one pass. Admission uses a fresh context bounded by the request
+// timeout: the batch must run even if the submitting caller gave up.
+func (s *Server) execBatch(bp BatchPredictor) func([]Request) ([]string, error) {
+	return func(reqs []Request) ([]string, error) {
+		ctx := context.Background()
+		if s.reqTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
+			defer cancel()
+		}
+		if s.pool != nil {
+			if err := s.pool.Acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer s.pool.Release()
+		}
+		if m := s.met; m != nil {
+			m.batchSize.Observe(float64(len(reqs)))
+		}
+		if len(reqs) == 1 {
+			return []string{bp.Predict(reqs[0].Context, reqs[0].Prompt)}, nil
+		}
+		contexts := make([]string, len(reqs))
+		prompts := make([]string, len(reqs))
+		for i, r := range reqs {
+			contexts[i], prompts[i] = r.Context, r.Prompt
+		}
+		return bp.PredictBatch(contexts, prompts), nil
+	}
 }
 
 // Requests returns the number of predictions served (both protocols).
@@ -228,6 +279,7 @@ type serverMetrics struct {
 	shedRPC        *observe.Counter
 	servedTokens   *observe.Counter
 	tokensPerSec   *observe.Gauge
+	batchSize      *observe.Histogram
 }
 
 func (m *serverMetrics) requestsFor(proto string) *observe.Counter {
@@ -281,6 +333,9 @@ func (s *Server) Instrument(reg *observe.Registry) {
 			"Whitespace-delimited tokens in served suggestions."),
 		tokensPerSec: reg.Gauge("wisdom_served_tokens_per_second",
 			"Generation rate of the most recent uncached prediction."),
+		batchSize: reg.Histogram("wisdom_batch_size",
+			"Requests decoded together per micro-batch.",
+			[]float64{1, 2, 4, 8, 16, 32}),
 	}
 	p := s.pool
 	reg.GaugeFunc("wisdom_pool_workers",
@@ -380,6 +435,19 @@ func (s *Server) answer(ctx context.Context, req Request) (Response, error) {
 		}
 	}
 	invoke := func() (string, error) {
+		if s.batcher != nil {
+			// Micro-batching path: the batcher gathers concurrent keys and
+			// its exec function admits the whole batch through one pool
+			// slot, so no slot is taken here.
+			v, err := s.batcher.do(ctx, req)
+			if err != nil {
+				return "", err
+			}
+			if s.cache != nil {
+				s.cache.Put(key, v)
+			}
+			return v, nil
+		}
 		if s.pool != nil {
 			if err := s.pool.Acquire(ctx); err != nil {
 				return "", err

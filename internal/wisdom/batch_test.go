@@ -1,0 +1,84 @@
+package wisdom
+
+import (
+	"testing"
+
+	"wisdom/internal/dataset"
+	"wisdom/internal/neural"
+	"wisdom/internal/tokenizer"
+)
+
+// neuralBatchModel builds a small trained transformer-backed wisdom model
+// for batch-equivalence tests.
+func neuralBatchModel(t *testing.T) *Model {
+	t.Helper()
+	texts := []string{
+		"- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n",
+		"- name: Start ssh\n  ansible.builtin.service:\n    name: ssh\n    state: started\n",
+		"- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n",
+		"- name: Start ssh\n  ansible.builtin.service:\n    name: ssh\n    state: started\n",
+	}
+	tok, err := tokenizer.Train(texts, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ctx = 64
+	nm, err := neural.NewModel(neural.Config{
+		Vocab: tok.VocabSize(), Ctx: ctx, Dim: 32, Heads: 2, Layers: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := dataset.PackFiles(tok, texts, ctx)
+	nm.Train(seqs, neural.TrainConfig{Epochs: 60, LR: 3e-3, BatchSize: 4, Seed: 1})
+	return &Model{
+		Name:       "neural-batch-test",
+		Tok:        tok,
+		LM:         &NeuralLM{Model: nm},
+		CtxWindow:  ctx,
+		Style:      dataset.NameCompletion,
+		MaxNewTask: 24,
+	}
+}
+
+// TestPredictBatchMatchesPredict pins the batched serving path to the
+// serial one: every row of PredictBatch must equal its Predict twin.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	m := neuralBatchModel(t)
+	contexts := []string{"", "", ""}
+	prompts := []string{"Install nginx", "Start ssh", "Install nginx"}
+	batched := m.PredictBatch(contexts, prompts)
+	if len(batched) != len(prompts) {
+		t.Fatalf("PredictBatch returned %d results for %d prompts", len(batched), len(prompts))
+	}
+	for i := range prompts {
+		want := m.Predict(contexts[i], prompts[i])
+		if batched[i] != want {
+			t.Errorf("row %d:\nbatched %q\nserial  %q", i, batched[i], want)
+		}
+	}
+}
+
+// TestGenerateSamplesMatchesSerial checks the evaluation-side batch entry
+// point, including the serial fallback for non-batching generators.
+func TestGenerateSamplesMatchesSerial(t *testing.T) {
+	m := neuralBatchModel(t)
+	samples := []dataset.Sample{
+		{Type: dataset.NLtoT, Prompt: "Install nginx", NameLine: "- name: Install nginx"},
+		{Type: dataset.NLtoT, Prompt: "Start ssh", NameLine: "- name: Start ssh"},
+	}
+	batched := m.GenerateSamples(samples)
+	for i, s := range samples {
+		if want := m.GenerateSample(s); batched[i] != want {
+			t.Errorf("sample %d:\nbatched %q\nserial  %q", i, batched[i], want)
+		}
+	}
+
+	// A generator without CompleteBatch takes the serial loop.
+	r := getRig(t)
+	ng := pretrain(t, r, CodeGenNL)
+	outs := ng.GenerateSamples(samples[:1])
+	if len(outs) != 1 || outs[0] != ng.GenerateSample(samples[0]) {
+		t.Error("serial-fallback GenerateSamples diverged from GenerateSample")
+	}
+}

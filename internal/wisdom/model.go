@@ -33,6 +33,16 @@ type Generator interface {
 	Complete(prefix, prompt []int, maxNew int, stop func(generated []int) bool, stopToken int) []int
 }
 
+// BatchGenerator is implemented by generators that can decode several
+// sequences together (the transformer's batched step kernels). All slices
+// are indexed per sequence; each row must produce exactly what a serial
+// Complete call with the same arguments would. Rows may have different
+// prefixes, budgets, and stop functions.
+type BatchGenerator interface {
+	Generator
+	CompleteBatch(prefixes, prompts [][]int, maxNew []int, stops []func(generated []int) bool, stopToken int) [][]int
+}
+
 // promptTokens encodes a natural-language prompt for the lexical channel:
 // the original tokens plus, when different, the lower-cased tokens, so
 // "Start SSH server" associates with bodies written as "ssh" while exact
@@ -259,6 +269,25 @@ func (g *NeuralLM) Complete(prefix, _ []int, maxNew int, stop func([]int) bool, 
 	return g.Model.GenerateCached(prefix, maxNew, opts)
 }
 
+// CompleteBatch implements BatchGenerator on the transformer's batched
+// decode engine. Each row gets its own sampling source seeded exactly as a
+// serial Complete call would, so batched and serial outputs are identical
+// row for row.
+func (g *NeuralLM) CompleteBatch(prefixes, _ [][]int, maxNew []int, stops []func([]int) bool, stopToken int) [][]int {
+	reqs := make([]neural.BatchRequest, len(prefixes))
+	for i := range prefixes {
+		opts := neural.GenOptions{StopToken: stopToken, Temperature: g.Temperature, TopK: g.TopK}
+		if stops != nil {
+			opts.Stop = stops[i]
+		}
+		if g.Temperature > 0 {
+			opts.Rand = rand.New(rand.NewSource(g.Seed))
+		}
+		reqs[i] = neural.BatchRequest{Prefix: prefixes[i], MaxNew: maxNew[i], Opts: opts}
+	}
+	return g.Model.GenerateBatch(reqs)
+}
+
 // Model is one NL→Ansible generation system: a tokenizer, a language model,
 // an optional retrieval component, and the prompt/window policy.
 //
@@ -306,10 +335,22 @@ func (m *Model) defaults() (maxTask, maxPB int) {
 	return maxTask, maxPB
 }
 
-// GenerateSample produces the completion text for one evaluation sample:
-// the body the model writes after the name line (or after the prefix-style
-// prompt). The output is raw; use dataset.TruncateFirstTask for task types.
-func (m *Model) GenerateSample(s dataset.Sample) string {
+// genPlan is the resolved decoding work of one sample: either a completion
+// already answered without the LM (retrieval hit) or the Complete call that
+// still has to run.
+type genPlan struct {
+	done      bool
+	text      string // valid when done
+	prefix    []int
+	prompt    []int
+	maxNew    int
+	stop      func([]int) bool
+	stopToken int
+}
+
+// planSample runs everything in GenerateSample that precedes the LM call:
+// prompt rendering, the retrieval channel, and context truncation.
+func (m *Model) planSample(s dataset.Sample) genPlan {
 	maxTask, maxPB := m.defaults()
 	maxNew := maxTask
 	if s.Type == dataset.NLtoPB {
@@ -328,7 +369,8 @@ func (m *Model) GenerateSample(s dataset.Sample) string {
 		ctxIDs := dataset.LeftTruncate(m.Tok.Encode(s.Context), m.CtxWindow/2)
 		if val, srcIndent, ok := m.Retr.Lookup(promptIDs, ctxIDs, m.RetrThreshold); ok {
 			body := m.Tok.Decode(val)
-			return dataset.ShiftIndent(body, srcIndent, dataset.NameLineIndent(s.NameLine))
+			return genPlan{done: true,
+				text: dataset.ShiftIndent(body, srcIndent, dataset.NameLineIndent(s.NameLine))}
 		}
 	}
 
@@ -340,12 +382,74 @@ func (m *Model) GenerateSample(s dataset.Sample) string {
 	ids = dataset.LeftTruncate(ids, budget)
 
 	indent := dataset.NameLineIndent(s.NameLine)
-	prompt := promptTokens(m.Tok, s.Prompt)
-	out := m.LM.Complete(ids, prompt, maxNew, m.stopFunc(s.Type, indent), m.Tok.Sep())
+	return genPlan{
+		prefix:    ids,
+		prompt:    promptTokens(m.Tok, s.Prompt),
+		maxNew:    maxNew,
+		stop:      m.stopFunc(s.Type, indent),
+		stopToken: m.Tok.Sep(),
+	}
+}
+
+// finishSample turns the LM's raw token output into completion text.
+func (m *Model) finishSample(out []int) string {
 	text := m.Tok.Decode(out)
 	text = strings.TrimSuffix(text, tokenizer.SepToken)
 	text = strings.TrimSuffix(text, tokenizer.EndToken)
 	return CutRepeatedLines(text)
+}
+
+// GenerateSample produces the completion text for one evaluation sample:
+// the body the model writes after the name line (or after the prefix-style
+// prompt). The output is raw; use dataset.TruncateFirstTask for task types.
+func (m *Model) GenerateSample(s dataset.Sample) string {
+	p := m.planSample(s)
+	if p.done {
+		return p.text
+	}
+	return m.finishSample(m.LM.Complete(p.prefix, p.prompt, p.maxNew, p.stop, p.stopToken))
+}
+
+// GenerateSamples resolves a batch of samples in one call. Samples answered
+// by retrieval return immediately; the rest decode together through the
+// LM's batched path when it implements BatchGenerator (the transformer),
+// and serially otherwise (the n-gram zoo). Outputs are identical to calling
+// GenerateSample per sample, in order.
+func (m *Model) GenerateSamples(samples []dataset.Sample) []string {
+	res := make([]string, len(samples))
+	plans := make([]genPlan, len(samples))
+	var pending []int
+	for i, s := range samples {
+		plans[i] = m.planSample(s)
+		if plans[i].done {
+			res[i] = plans[i].text
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == 0 {
+		return res
+	}
+	if bg, ok := m.LM.(BatchGenerator); ok && len(pending) > 1 {
+		prefixes := make([][]int, len(pending))
+		prompts := make([][]int, len(pending))
+		maxNew := make([]int, len(pending))
+		stops := make([]func([]int) bool, len(pending))
+		for j, i := range pending {
+			p := &plans[i]
+			prefixes[j], prompts[j], maxNew[j], stops[j] = p.prefix, p.prompt, p.maxNew, p.stop
+		}
+		outs := bg.CompleteBatch(prefixes, prompts, maxNew, stops, plans[pending[0]].stopToken)
+		for j, i := range pending {
+			res[i] = m.finishSample(outs[j])
+		}
+		return res
+	}
+	for _, i := range pending {
+		p := &plans[i]
+		res[i] = m.finishSample(m.LM.Complete(p.prefix, p.prompt, p.maxNew, p.stop, p.stopToken))
+	}
+	return res
 }
 
 // CutRepeatedLines truncates a completion at the first exactly-repeated
@@ -491,6 +595,32 @@ func (m *Model) stopFunc(t dataset.GenType, indent int) func([]int) bool {
 // body is empty or fails the strict schema, the nearest memorised
 // completion is offered instead, if one exists at all.
 func (m *Model) Predict(context, prompt string) string {
+	s, nameLine, indent := m.predictSample(context, prompt)
+	return m.finishPredict(s, nameLine, indent, m.GenerateSample(s))
+}
+
+// PredictBatch answers several independent requests in one decode: the
+// underlying sequences advance together through the transformer's batched
+// step kernels (serial per request for non-batching LMs). Outputs are
+// identical to calling Predict per request, in order. contexts and prompts
+// must have equal length.
+func (m *Model) PredictBatch(contexts, prompts []string) []string {
+	samples := make([]dataset.Sample, len(prompts))
+	nameLines := make([]string, len(prompts))
+	indents := make([]int, len(prompts))
+	for i := range prompts {
+		samples[i], nameLines[i], indents[i] = m.predictSample(contexts[i], prompts[i])
+	}
+	raws := m.GenerateSamples(samples)
+	res := make([]string, len(prompts))
+	for i := range raws {
+		res[i] = m.finishPredict(samples[i], nameLines[i], indents[i], raws[i])
+	}
+	return res
+}
+
+// predictSample builds the evaluation sample behind one Predict request.
+func (m *Model) predictSample(context, prompt string) (dataset.Sample, string, int) {
 	indent := 0
 	if strings.Contains(context, "tasks:") {
 		indent = 4
@@ -505,7 +635,14 @@ func (m *Model) Predict(context, prompt string) string {
 	if context == "" {
 		s.Type = dataset.NLtoT
 	}
-	body := dataset.TruncateFirstTask(m.GenerateSample(s), indent)
+	return s, nameLine, indent
+}
+
+// finishPredict applies Predict's product post-processing to a raw sampled
+// completion: first-task truncation, schema validation, and the memorised
+// fallback for invalid bodies.
+func (m *Model) finishPredict(s dataset.Sample, nameLine string, indent int, raw string) string {
+	body := dataset.TruncateFirstTask(raw, indent)
 	if !m.bodyValid(nameLine, body, indent) {
 		if fallback, ok := m.nearestBody(s, indent); ok && m.bodyValid(nameLine, fallback, indent) {
 			body = fallback
