@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-decode fmt clean
+.PHONY: all build test race vet check fuzz bench bench-decode fmt clean
 
 all: check
 
@@ -22,6 +22,15 @@ vet:
 # check is the gate this repository holds itself to (see scripts/check.sh).
 check:
 	./scripts/check.sh
+
+# fuzz runs each fuzz target for FUZZTIME (default 30s here; CI uses 10s
+# via check.sh).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzParseYAML$$' -fuzztime=$(FUZZTIME) ./internal/yaml
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeFrame$$' -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -run='^$$' -fuzz='^FuzzEncodeFrame$$' -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -run='^$$' -fuzz='^FuzzEncode$$' -fuzztime=$(FUZZTIME) ./internal/tokenizer
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -6,17 +6,24 @@
 //	wisdom-gen -prompt "install nginx and start it"
 //	wisdom-gen -prompt "restart postgresql" -context tasks.yml
 //	wisdom-gen -prompt "open port 443" -variant wisdom-yaml-multi -few-shot
+//	wisdom-gen -prompt "install nginx" -server localhost:8081
 //
-// The model is trained on startup from the seeded synthetic corpora (a few
-// seconds at the default scale); -quick shrinks the corpora further.
+// Without -server the model is trained locally on startup from the seeded
+// synthetic corpora (a few seconds at the default scale); -quick shrinks
+// the corpora further. With -server the prompt is sent to a running
+// wisdom-serve RPC endpoint instead, through a retrying client: transient
+// transport failures and overload sheds are retried up to -retries times
+// with exponentially backed-off, jittered waits starting at -backoff.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"wisdom/internal/experiments"
+	"wisdom/internal/serve"
 	"wisdom/internal/wisdom"
 )
 
@@ -26,6 +33,9 @@ func main() {
 	variant := flag.String("variant", string(wisdom.WisdomAnsibleMulti), "model variant (see wisdom-bench -table 2)")
 	fewShot := flag.Bool("few-shot", false, "skip fine-tuning (paper's few-shot setting)")
 	quick := flag.Bool("quick", false, "use the reduced training configuration")
+	server := flag.String("server", "", "wisdom-serve RPC address; query it instead of training locally")
+	retries := flag.Int("retries", 2, "extra attempts after a failed request (with -server)")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "base backoff before the first retry (with -server)")
 	flag.Parse()
 
 	if *prompt == "" {
@@ -40,6 +50,23 @@ func main() {
 			fatal(err)
 		}
 		context = string(data)
+	}
+
+	if *server != "" {
+		rc := serve.NewRetryClient(*server, serve.RetryOptions{
+			Retries: *retries,
+			Backoff: *backoff,
+		})
+		defer rc.Close()
+		resp, err := rc.Predict(serve.Request{Prompt: *prompt, Context: context})
+		if err != nil {
+			fatal(err)
+		}
+		if resp.Degraded {
+			fmt.Fprintln(os.Stderr, "wisdom-gen: note: degraded answer (server fell back to a lower tier)")
+		}
+		fmt.Print(resp.Suggestion)
+		return
 	}
 
 	cfg := experiments.Default()

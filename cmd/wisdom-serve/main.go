@@ -31,6 +31,7 @@ import (
 
 	"wisdom/internal/experiments"
 	"wisdom/internal/observe"
+	"wisdom/internal/resilience"
 	"wisdom/internal/serve"
 	"wisdom/internal/wisdom"
 )
@@ -53,6 +54,11 @@ func main() {
 	metricsOn := flag.Bool("metrics", true, "record runtime metrics and serve them at /metrics")
 	traceOn := flag.Bool("trace", false, "log stage span timings to stderr")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	degrade := flag.Bool("degrade", false, "serve through the degradation chain (primary -> n-gram fallback -> retrieval)")
+	degradeTimeout := flag.Duration("degrade-timeout", time.Second, "per-tier prediction deadline before falling to the next tier")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive primary failures that open the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before probing the primary")
+	breakerProbes := flag.Int("breaker-probes", 1, "concurrent probe requests allowed while half-open")
 	flag.Parse()
 
 	var reg *observe.Registry
@@ -64,13 +70,37 @@ func main() {
 		tracer = observe.NewTracer(reg, os.Stderr)
 	}
 
-	model := buildModel(*loadPath, *savePath, *variant, *quick, tracer)
+	model, fallback := buildModel(*loadPath, *savePath, *variant, *quick, tracer)
+
+	// The served predictor is either the raw model or, with -degrade, the
+	// degradation chain around it: the fine-tuned model as primary, the
+	// pre-trained model (when this process trained one) as the generative
+	// fallback, the retrieval memory as last resort, a circuit breaker
+	// guarding the primary.
+	var predictor serve.Predictor = model
+	if *degrade {
+		b := resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: *breakerThreshold,
+			Cooldown:         *breakerCooldown,
+			HalfOpenProbes:   *breakerProbes,
+		})
+		chain := wisdom.NewModelChain(model, fallback, wisdom.ChainConfig{
+			Timeout: *degradeTimeout,
+			Breaker: b,
+		})
+		if reg != nil {
+			resilience.InstrumentBreaker(reg, "primary", b)
+		}
+		predictor = chain
+		fmt.Fprintf(os.Stderr, "degradation chain on: tier timeout %s, breaker %d failures / %s cooldown\n",
+			*degradeTimeout, *breakerThreshold, *breakerCooldown)
+	}
 
 	qt := *queueTimeout
 	if qt == 0 {
 		qt = -1 // flag 0 means "no admission deadline"
 	}
-	srv := serve.NewServerWithOptions(model, model.Name, serve.Options{
+	srv := serve.NewServerWithOptions(predictor, model.Name, serve.Options{
 		CacheSize:    *cacheSize,
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
@@ -105,10 +135,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rpc listening on %s\n", ln.Addr())
 		go func() { errc <- srv.ServeRPC(ln) }()
 	}
-	httpSrv := &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
+	// The HTTP listener is opened here (not inside ListenAndServe) so the
+	// resolved address is printed — ":0" gets a real port, which is what
+	// the e2e tests parse.
+	httpLn, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	go func() {
-		fmt.Fprintf(os.Stderr, "rest listening on %s\n", *httpAddr)
-		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "rest listening on %s\n", httpLn.Addr())
+		if err := httpSrv.Serve(httpLn); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
 	}()
@@ -139,8 +176,11 @@ func main() {
 }
 
 // buildModel loads a saved model or trains one from the seeded corpora.
-func buildModel(loadPath, savePath, variant string, quick bool, tracer *observe.Tracer) *wisdom.Model {
-	var model *wisdom.Model
+// When this process trains, the pre-trained (not fine-tuned) model is also
+// returned as the degradation chain's generative fallback tier; a loaded
+// model has no such sibling, so fallback is nil and the chain degrades
+// straight to retrieval.
+func buildModel(loadPath, savePath, variant string, quick bool, tracer *observe.Tracer) (model, fallback *wisdom.Model) {
 	if loadPath != "" {
 		sp := tracer.Start("serve.load_model")
 		f, err := os.Open(loadPath)
@@ -174,6 +214,7 @@ func buildModel(loadPath, savePath, variant string, quick bool, tracer *observe.
 			fatal(err)
 		}
 		sp.End()
+		fallback = pre
 	}
 	if savePath != "" {
 		f, err := os.Create(savePath)
@@ -188,7 +229,7 @@ func buildModel(loadPath, savePath, variant string, quick bool, tracer *observe.
 		}
 		fmt.Fprintf(os.Stderr, "saved model to %s\n", savePath)
 	}
-	return model
+	return model, fallback
 }
 
 func fatal(err error) {

@@ -1,0 +1,189 @@
+// Package resilience implements the failure-path building blocks of the
+// serving stack: a deterministic, seedable fault-injection layer for testing
+// the transport, a retrier with exponential backoff and full jitter, and a
+// three-state circuit breaker. The serve package wires them into the RPC
+// client and the wisdom package into the predictor degradation chain; every
+// failure mode those layers claim to handle is provable on demand by
+// replaying a fault script through these injectors in a -race test.
+//
+// The package is deliberately policy-only: nothing here knows about frames,
+// predictors or HTTP. That keeps each piece independently testable with a
+// fake clock and a scripted fault sequence, and lets the same breaker guard
+// a remote backend (serve.RetryClient) and a local one (wisdom.Chain).
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position. The numeric values are stable and
+// exported as the wisdom_breaker_state gauge: higher means less healthy.
+type State int32
+
+const (
+	// Closed passes every request through; consecutive failures are counted.
+	Closed State = 0
+	// HalfOpen admits a bounded number of trial requests after the cooldown;
+	// their outcomes decide between Closed and Open.
+	HalfOpen State = 1
+	// Open fails every request fast until the cooldown elapses.
+	Open State = 2
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return "unknown"
+}
+
+// ErrBreakerOpen is returned (or surfaced by callers) when the breaker
+// refuses a request without attempting the backend.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerConfig tunes a Breaker. The zero value of each field selects the
+// documented default.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the breaker
+	// from Closed to Open (default 5).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays Open before admitting
+	// half-open trial requests (default 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes bounds concurrent trial requests while HalfOpen
+	// (default 1).
+	HalfOpenProbes int
+	// SuccessThreshold is how many trial successes close the breaker again
+	// (default 1).
+	SuccessThreshold int
+	// Now is the clock; tests inject a fake one. Default time.Now.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.SuccessThreshold <= 0 {
+		c.SuccessThreshold = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a three-state circuit breaker guarding one backend. It is safe
+// for concurrent use. The protocol is: call Allow before the backend call;
+// when Allow returns true, the call must be followed by exactly one Record
+// with the outcome. When Allow returns false the backend must not be
+// called (fail fast, typically degrading or returning ErrBreakerOpen).
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     State
+	fails     int // consecutive failures while Closed
+	successes int // trial successes while HalfOpen
+	probes    int // trial requests in flight while HalfOpen
+	openedAt  time.Time
+}
+
+// NewBreaker builds a breaker in the Closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may proceed to the backend. While Open it
+// returns false until the cooldown elapses, at which point the breaker
+// half-opens and admits up to HalfOpenProbes trial requests.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = HalfOpen
+		b.successes = 0
+		b.probes = 1
+		return true
+	default: // HalfOpen
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return false
+		}
+		b.probes++
+		return true
+	}
+}
+
+// Record reports the outcome of a call previously admitted by Allow. A nil
+// err counts as success. Outcomes of calls admitted before the breaker
+// tripped (late results arriving while Open) are discarded so they cannot
+// shorten or extend the cooldown.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if err == nil {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if err != nil {
+			b.trip()
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.SuccessThreshold {
+			b.state = Closed
+			b.fails = 0
+		}
+	case Open:
+		// Late result from before the trip: ignore.
+	}
+}
+
+// trip moves to Open and stamps the cooldown start; callers hold mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.cfg.Now()
+	b.fails = 0
+	b.probes = 0
+	b.successes = 0
+}
+
+// State returns the breaker's current position. An Open breaker whose
+// cooldown has elapsed still reports Open until the next Allow call
+// half-opens it — state transitions happen on the request path, never on a
+// timer.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

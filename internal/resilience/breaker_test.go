@@ -1,0 +1,186 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker cooldown tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+var errBackend = errors.New("backend down")
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Minute,
+		Now:              clk.Now,
+	})
+
+	if b.State() != Closed {
+		t.Fatalf("initial state = %v, want closed", b.State())
+	}
+
+	// Two failures and a success: the consecutive counter resets.
+	for _, err := range []error{errBackend, errBackend, nil} {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused a request")
+		}
+		b.Record(err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after recovery = %v, want closed", b.State())
+	}
+
+	// Three consecutive failures trip it.
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Record(errBackend)
+	}
+	if b.State() != Open {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	clk.Advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("breaker did not half-open after the cooldown")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state after first post-cooldown Allow = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe fails: back to open, a fresh cooldown starts.
+	b.Record(errBackend)
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	clk.Advance(30 * time.Second)
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a request before the new cooldown elapsed")
+	}
+
+	// Second cooldown elapses; this probe succeeds and the breaker closes.
+	clk.Advance(31 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not half-open after the second cooldown")
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("recovered breaker refused a request")
+	}
+	b.Record(nil)
+}
+
+func TestBreakerHalfOpenProbeBudget(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		Cooldown:         time.Second,
+		HalfOpenProbes:   2,
+		SuccessThreshold: 2,
+		Now:              clk.Now,
+	})
+	b.Allow()
+	b.Record(errBackend)
+	clk.Advance(time.Second)
+
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open breaker refused probes inside the budget")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker exceeded the probe budget")
+	}
+	b.Record(nil)
+	if b.State() != HalfOpen {
+		t.Fatalf("state after 1/2 successes = %v, want half-open", b.State())
+	}
+	// The finished probe frees a slot for another trial request.
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused a probe after one completed")
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state after 2 successes = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerIgnoresLateResultsWhileOpen(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second, Now: clk.Now})
+	b.Allow()
+	b.Allow() // two calls in flight
+	b.Record(errBackend)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	b.Record(nil) // late success from the second call must not close it
+	if b.State() != Open {
+		t.Fatalf("late success changed state to %v", b.State())
+	}
+}
+
+// TestBreakerConcurrent hammers Allow/Record from many goroutines so the
+// race detector sees every lock path; the invariant checked is just that the
+// final state is a legal one.
+func TestBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 4, Cooldown: time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if b.Allow() {
+					if (g+i)%3 == 0 {
+						b.Record(errBackend)
+					} else {
+						b.Record(nil)
+					}
+				}
+				b.State()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := b.State(); s != Closed && s != Open && s != HalfOpen {
+		t.Fatalf("illegal final state %d", s)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Closed: "closed", HalfOpen: "half-open", Open: "open", State(9): "unknown"} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package resilience
+
+import "wisdom/internal/observe"
+
+// InstrumentBreaker exposes a breaker's state on the registry as the
+// wisdom_breaker_state gauge, labelled by backend: 0 closed, 1 half-open,
+// 2 open (higher = less healthy). A nil registry or breaker is a no-op.
+func InstrumentBreaker(reg *observe.Registry, backend string, b *Breaker) {
+	if reg == nil || b == nil {
+		return
+	}
+	reg.GaugeFunc("wisdom_breaker_state",
+		"Circuit breaker position: 0 closed, 1 half-open, 2 open.",
+		func() float64 { return float64(b.State()) },
+		observe.Label{Key: "backend", Value: backend})
+}

@@ -1,0 +1,130 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy tunes a Retrier. The zero value of each field selects the
+// documented default.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, the first included
+	// (default 3; 1 means no retrying).
+	MaxAttempts int
+	// BaseDelay is the backoff ceiling before the first retry; the ceiling
+	// doubles each further attempt (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling (default 2s).
+	MaxDelay time.Duration
+	// AttemptTimeout bounds each individual attempt via the context handed
+	// to the operation (0: attempts inherit the caller's deadline only).
+	AttemptTimeout time.Duration
+	// Seed seeds the jitter source, making delay sequences reproducible.
+	Seed int64
+	// Retryable classifies errors; a nil function retries everything.
+	// Non-retryable errors are returned immediately.
+	Retryable func(error) bool
+	// OnRetry, when set, observes every scheduled retry (metrics hook).
+	OnRetry func(attempt int, delay time.Duration, err error)
+	// Sleep is the delay function; tests inject a recorder. Defaults to a
+	// context-aware sleep.
+	Sleep func(context.Context, time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Retrier runs operations under a RetryPolicy with exponential backoff and
+// full jitter: before attempt n the delay is uniform in [0, min(MaxDelay,
+// BaseDelay·2ⁿ⁻¹)]. Full jitter decorrelates the retry storms that
+// synchronized backoff creates when many clients fail at once — the
+// standard result from the AWS architecture blog the policy is named after.
+// A Retrier is safe for concurrent use; the jitter source is shared and
+// seeded, so a single-goroutine test sees a reproducible delay sequence.
+type Retrier struct {
+	pol RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetrier builds a retrier from the policy.
+func NewRetrier(pol RetryPolicy) *Retrier {
+	pol = pol.withDefaults()
+	return &Retrier{pol: pol, rng: rand.New(rand.NewSource(pol.Seed))}
+}
+
+// jitter draws the delay before the retry numbered attempt (1-based).
+func (r *Retrier) jitter(attempt int) time.Duration {
+	ceil := r.pol.BaseDelay << (attempt - 1)
+	if ceil > r.pol.MaxDelay || ceil <= 0 { // <= 0: shift overflow
+		ceil = r.pol.MaxDelay
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.rng.Int63n(int64(ceil) + 1))
+}
+
+// Do runs op until it succeeds, fails terminally, or the attempt budget is
+// spent. Each attempt receives a context bounded by AttemptTimeout (when
+// set) under the caller's ctx; between attempts Do backs off with full
+// jitter. The error of the last attempt is returned. Do stops early when
+// ctx itself ends, returning ctx.Err() if no attempt error is available.
+func (r *Retrier) Do(ctx context.Context, op func(context.Context) error) error {
+	var last error
+	for attempt := 1; ; attempt++ {
+		actx := ctx
+		var cancel context.CancelFunc
+		if r.pol.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, r.pol.AttemptTimeout)
+		}
+		last = op(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if last == nil {
+			return nil
+		}
+		if attempt >= r.pol.MaxAttempts {
+			return last
+		}
+		if r.pol.Retryable != nil && !r.pol.Retryable(last) {
+			return last
+		}
+		if ctx.Err() != nil {
+			return last
+		}
+		d := r.jitter(attempt)
+		if r.pol.OnRetry != nil {
+			r.pol.OnRetry(attempt, d, last)
+		}
+		r.pol.Sleep(ctx, d)
+		if ctx.Err() != nil {
+			return last
+		}
+	}
+}

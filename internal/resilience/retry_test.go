@@ -1,0 +1,162 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errTransient = errors.New("transient")
+
+func TestRetrierSucceedsAfterTransientError(t *testing.T) {
+	var slept []time.Duration
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		Seed:        1,
+		Sleep:       func(_ context.Context, d time.Duration) { slept = append(slept, d) },
+	})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errTransient
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want success", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("backoffs = %d, want 2", len(slept))
+	}
+	// Full jitter: each delay is within [0, BaseDelay·2ⁿ⁻¹].
+	for i, d := range slept {
+		ceil := 10 * time.Millisecond << i
+		if d < 0 || d > ceil {
+			t.Errorf("backoff %d = %v, want within [0, %v]", i, d, ceil)
+		}
+	}
+}
+
+func TestRetrierExhaustsAttempts(t *testing.T) {
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts: 3,
+		Sleep:       func(context.Context, time.Duration) {},
+	})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error { calls++; return errTransient })
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("Do = %v, want last attempt's error", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetrierStopsOnTerminalError(t *testing.T) {
+	terminal := errors.New("bad request")
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts: 5,
+		Retryable:   func(err error) bool { return !errors.Is(err, terminal) },
+		Sleep:       func(context.Context, time.Duration) {},
+	})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error { calls++; return terminal })
+	if !errors.Is(err, terminal) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want terminal error after 1", err, calls)
+	}
+}
+
+func TestRetrierDeterministicJitter(t *testing.T) {
+	seq := func() []time.Duration {
+		var slept []time.Duration
+		r := NewRetrier(RetryPolicy{
+			MaxAttempts: 5,
+			BaseDelay:   time.Millisecond,
+			Seed:        42,
+			Sleep:       func(_ context.Context, d time.Duration) { slept = append(slept, d) },
+		})
+		r.Do(context.Background(), func(context.Context) error { return errTransient })
+		return slept
+	}
+	a, b := seq(), seq()
+	if len(a) != 4 {
+		t.Fatalf("backoffs = %d, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at backoff %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRetrierJitterCeilingCapped(t *testing.T) {
+	r := NewRetrier(RetryPolicy{BaseDelay: time.Second, MaxDelay: 2 * time.Second, Seed: 7})
+	for attempt := 1; attempt < 70; attempt++ { // far past shift overflow
+		if d := r.jitter(attempt); d < 0 || d > 2*time.Second {
+			t.Fatalf("jitter(%d) = %v, want within [0, 2s]", attempt, d)
+		}
+	}
+}
+
+func TestRetrierHonorsCallerContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts: 10,
+		Sleep:       func(context.Context, time.Duration) {},
+	})
+	calls := 0
+	err := r.Do(ctx, func(context.Context) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return errTransient
+	})
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("Do = %v, want the attempt error", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (stop when ctx ends)", calls)
+	}
+}
+
+func TestRetrierAttemptTimeout(t *testing.T) {
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts:    2,
+		AttemptTimeout: 5 * time.Millisecond,
+		Sleep:          func(context.Context, time.Duration) {},
+	})
+	deadlines := 0
+	err := r.Do(context.Background(), func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			deadlines++
+		}
+		<-ctx.Done() // simulate an attempt that outlives its budget
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want deadline exceeded", err)
+	}
+	if deadlines != 2 {
+		t.Fatalf("attempts with a deadline = %d, want 2", deadlines)
+	}
+}
+
+func TestRetrierOnRetryObserves(t *testing.T) {
+	var attempts []int
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts: 3,
+		OnRetry:     func(attempt int, _ time.Duration, err error) { attempts = append(attempts, attempt) },
+		Sleep:       func(context.Context, time.Duration) {},
+	})
+	r.Do(context.Background(), func(context.Context) error { return errTransient })
+	if len(attempts) != 2 || attempts[0] != 1 || attempts[1] != 2 {
+		t.Fatalf("OnRetry attempts = %v, want [1 2]", attempts)
+	}
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// misbehavingServer accepts one connection, reads the client's request
+// frame, then answers with whatever bytes the case script says before
+// closing the connection.
+func misbehavingServer(t *testing.T, respond func(conn net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Consume the request frame so the client's write completes.
+		var req Request
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		respond(conn)
+	}()
+	return ln.Addr().String()
+}
+
+// frameHeader returns a length prefix declaring n payload bytes.
+func frameHeader(n uint32) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], n)
+	return hdr[:]
+}
+
+// TestClientErrorPaths pins the fail-fast contract: any mid-exchange
+// transport failure yields an error on the call that hit it, marks the
+// client broken, and every later call fails with ErrClientBroken without
+// touching the network.
+func TestClientErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		respond func(conn net.Conn)
+	}{
+		{
+			// The server dies before writing anything: the client's read
+			// sees EOF mid-exchange.
+			name:    "conn closed before response",
+			respond: func(conn net.Conn) {},
+		},
+		{
+			// Half a length prefix, then close: short read inside the
+			// header.
+			name: "short header read",
+			respond: func(conn net.Conn) {
+				conn.Write(frameHeader(64)[:2])
+			},
+		},
+		{
+			// A complete header promising 64 bytes, then close: short read
+			// inside the payload.
+			name: "truncated frame payload",
+			respond: func(conn net.Conn) {
+				conn.Write(frameHeader(64))
+				conn.Write([]byte(`{"suggestion":`))
+			},
+		},
+		{
+			// Connection dropped halfway through an otherwise valid
+			// response body.
+			name: "drop mid-response",
+			respond: func(conn net.Conn) {
+				payload := []byte(`{"suggestion":"- name: x","model":"m"}`)
+				conn.Write(frameHeader(uint32(len(payload))))
+				conn.Write(payload[:10])
+			},
+		},
+		{
+			// A length prefix past the frame limit: rejected before any
+			// allocation.
+			name: "oversized response header",
+			respond: func(conn net.Conn) {
+				conn.Write(frameHeader(maxFrame + 1))
+			},
+		},
+		{
+			// Well-framed garbage: the JSON decode fails after a complete
+			// read, which still leaves the exchange unusable.
+			name: "malformed json payload",
+			respond: func(conn net.Conn) {
+				payload := []byte(`not json at all`)
+				conn.Write(frameHeader(uint32(len(payload))))
+				conn.Write(payload)
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := misbehavingServer(t, tc.respond)
+			c, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			c.SetTimeout(2 * time.Second)
+
+			if _, err := c.Predict(Request{Prompt: "p"}); err == nil {
+				t.Fatal("predict over a failing transport reported success")
+			} else if errors.Is(err, ErrClientBroken) {
+				t.Fatalf("first failure returned ErrClientBroken (%v); that sentinel is reserved for reuse", err)
+			}
+			if !c.Broken() {
+				t.Fatal("client not marked broken after mid-exchange failure")
+			}
+			// Reuse fails fast with the sentinel — no network I/O, so this
+			// holds even though the server side is gone.
+			for i := 0; i < 2; i++ {
+				if _, err := c.Predict(Request{Prompt: "again"}); !errors.Is(err, ErrClientBroken) {
+					t.Fatalf("reuse %d: err = %v, want ErrClientBroken", i, err)
+				}
+			}
+			if _, err := c.Health(); !errors.Is(err, ErrClientBroken) {
+				t.Fatalf("health on broken client: err = %v, want ErrClientBroken", err)
+			}
+		})
+	}
+}
+
+// TestClientTimeoutBreaks: a server that answers too slowly trips the
+// per-round-trip deadline, and the deadline failure condemns the
+// connection like any other mid-exchange error.
+func TestClientTimeoutBreaks(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	addr := misbehavingServer(t, func(conn net.Conn) {
+		<-release // hold the response past the client's deadline
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(50 * time.Millisecond)
+
+	start := time.Now()
+	_, err = c.Predict(Request{Prompt: "slow"})
+	if err == nil {
+		t.Fatal("hung server reported success")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	if !c.Broken() {
+		t.Fatal("timeout did not break the client")
+	}
+	if _, err := c.Predict(Request{Prompt: "x"}); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("reuse after timeout: err = %v, want ErrClientBroken", err)
+	}
+}

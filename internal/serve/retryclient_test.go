@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wisdom/internal/observe"
+	"wisdom/internal/resilience"
+)
+
+// startRPCServer spins an RPC server on a loopback port and returns its
+// address. The listener and server are torn down with the test.
+func startRPCServer(t *testing.T, srv *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() { _ = srv.ServeRPC(ln) }()
+	return ln.Addr().String()
+}
+
+// noSleep collapses backoff waits so retry tests run at full speed.
+func noSleep(context.Context, time.Duration) {}
+
+// TestRetryClientTransientErrorRecovers is the acceptance scenario: the
+// first connection carries an injected transport error, the retry redials a
+// clean connection, and the request succeeds — with the retry counted.
+func TestRetryClientTransientErrorRecovers(t *testing.T) {
+	srv := NewServer(&echoModel{}, "m", 0)
+	addr := startRPCServer(t, srv)
+
+	// The first dialed connection fails its first exchange; every later
+	// connection is clean.
+	inj := resilience.NewScript(resilience.FaultError)
+	var dials int
+	var mu sync.Mutex
+	rc := NewRetryClient(addr, RetryOptions{
+		Retries: 2,
+		Seed:    1,
+		Sleep:   noSleep,
+		Wrap: func(c net.Conn) net.Conn {
+			mu.Lock()
+			dials++
+			mu.Unlock()
+			return inj.WrapConn(c)
+		},
+	})
+	defer rc.Close()
+	reg := observe.NewRegistry()
+	rc.Instrument(reg)
+
+	resp, err := rc.Predict(Request{Prompt: "install nginx"})
+	if err != nil {
+		t.Fatalf("Predict through transient fault: %v", err)
+	}
+	if !strings.Contains(resp.Suggestion, "install nginx") {
+		t.Errorf("suggestion = %q", resp.Suggestion)
+	}
+	if rc.Retries() != 1 {
+		t.Errorf("retries = %d, want 1", rc.Retries())
+	}
+	mu.Lock()
+	if dials != 2 {
+		t.Errorf("dials = %d, want 2 (broken connection replaced)", dials)
+	}
+	mu.Unlock()
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wisdom_retries_total 1") {
+		t.Errorf("metrics missing retry count:\n%s", buf.String())
+	}
+}
+
+// TestRetryClientCorruptFrameRecovers: a corrupted response frame breaks
+// the connection mid-exchange; the retry must treat it as transport-level
+// (not a server rejection) and succeed on a fresh connection.
+func TestRetryClientCorruptFrameRecovers(t *testing.T) {
+	srv := NewServer(&echoModel{}, "m", 0)
+	addr := startRPCServer(t, srv)
+
+	inj := resilience.NewScript(resilience.FaultCorrupt)
+	first := true
+	rc := NewRetryClient(addr, RetryOptions{
+		Retries:        2,
+		Seed:           1,
+		Sleep:          noSleep,
+		AttemptTimeout: 2 * time.Second,
+		Wrap: func(c net.Conn) net.Conn {
+			if first {
+				first = false
+				return inj.WrapConn(c)
+			}
+			return c
+		},
+	})
+	defer rc.Close()
+
+	resp, err := rc.Predict(Request{Prompt: "restart sshd"})
+	if err != nil {
+		t.Fatalf("Predict through corrupt frame: %v", err)
+	}
+	if !strings.Contains(resp.Suggestion, "restart sshd") {
+		t.Errorf("suggestion = %q", resp.Suggestion)
+	}
+	if rc.Retries() == 0 {
+		t.Error("corrupt frame did not register a retry")
+	}
+}
+
+// TestRetryClientExhaustsAttempts: a backend that fails every exchange
+// exhausts the attempt budget and surfaces the last transport error.
+func TestRetryClientExhaustsAttempts(t *testing.T) {
+	srv := NewServer(&echoModel{}, "m", 0)
+	addr := startRPCServer(t, srv)
+
+	inj := resilience.NewScript(
+		resilience.FaultError, resilience.FaultError, resilience.FaultError)
+	rc := NewRetryClient(addr, RetryOptions{
+		Retries: 2,
+		Seed:    1,
+		Sleep:   noSleep,
+		Wrap:    inj.WrapConn,
+	})
+	defer rc.Close()
+
+	_, err := rc.Predict(Request{Prompt: "x"})
+	if err == nil {
+		t.Fatal("three faulted attempts reported success")
+	}
+	if !errors.Is(err, resilience.ErrInjected) {
+		t.Errorf("err = %v, want wrapped ErrInjected", err)
+	}
+	if rc.Retries() != 2 {
+		t.Errorf("retries = %d, want 2", rc.Retries())
+	}
+}
+
+// TestRetryClientTerminalErrorNotRetried: a server-delivered rejection over
+// a healthy connection (an unknown op) must not burn retry attempts.
+func TestRetryClientTerminalErrorNotRetried(t *testing.T) {
+	srv := NewServer(&echoModel{}, "m", 0)
+	addr := startRPCServer(t, srv)
+
+	rc := NewRetryClient(addr, RetryOptions{Retries: 3, Seed: 1, Sleep: noSleep})
+	defer rc.Close()
+
+	_, err := rc.Predict(Request{Op: "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("err = %v, want server's unknown-op rejection", err)
+	}
+	if rc.Retries() != 0 {
+		t.Errorf("terminal error retried %d times", rc.Retries())
+	}
+	// The connection stayed healthy, so a good request reuses it.
+	if _, err := rc.Predict(Request{Prompt: "ok now"}); err != nil {
+		t.Fatalf("client unusable after terminal error: %v", err)
+	}
+}
+
+// TestRetryClientBreakerOpensOnDeadBackend: repeated dial failures trip the
+// per-backend breaker; once open, calls fail fast with ErrBreakerOpen
+// before any dial is attempted.
+func TestRetryClientBreakerOpensOnDeadBackend(t *testing.T) {
+	// A listener that is immediately closed: dials fail fast.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	b := resilience.NewBreaker(resilience.BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Hour, // no recovery during the test
+	})
+	var dials int
+	var mu sync.Mutex
+	rc := NewRetryClient(addr, RetryOptions{
+		Retries: 2,
+		Seed:    1,
+		Sleep:   noSleep,
+		Breaker: b,
+		Dial: func() (*Client, error) {
+			mu.Lock()
+			dials++
+			mu.Unlock()
+			return DialWith(addr, nil)
+		},
+	})
+	defer rc.Close()
+
+	// One call = three attempts = three dial failures = breaker trips.
+	if _, err := rc.Predict(Request{Prompt: "x"}); err == nil {
+		t.Fatal("dead backend reported success")
+	}
+	if b.State() != resilience.Open {
+		t.Fatalf("breaker = %v after repeated dial failures, want open", b.State())
+	}
+	mu.Lock()
+	before := dials
+	mu.Unlock()
+
+	_, err = rc.Predict(Request{Prompt: "y"})
+	if !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	mu.Lock()
+	if dials != before {
+		t.Errorf("open breaker still dialed (%d -> %d)", before, dials)
+	}
+	mu.Unlock()
+}
+
+// TestRetryClientConcurrent hammers one RetryClient from many goroutines
+// through an intermittently faulty transport under -race.
+func TestRetryClientConcurrent(t *testing.T) {
+	srv := NewServer(&echoModel{}, "m", 64)
+	addr := startRPCServer(t, srv)
+
+	inj := resilience.NewRandom(7, resilience.FaultConfig{PError: 0.2})
+	rc := NewRetryClient(addr, RetryOptions{
+		Retries:        4,
+		Seed:           7,
+		Sleep:          noSleep,
+		AttemptTimeout: 2 * time.Second,
+		Wrap:           inj.WrapConn,
+	})
+	defer rc.Close()
+
+	var wg sync.WaitGroup
+	var ok atomic.Int64
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := rc.Predict(Request{Prompt: "shared prompt"}); err != nil {
+					errs <- err
+				} else {
+					ok.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	// A call sharing a connection that a concurrent call just broke can
+	// legitimately exhaust its budget, so errors are tolerated — but every
+	// one must be transport-level (never a server rejection or a silent
+	// misclassification), and most calls must get through.
+	for err := range errs {
+		var te *transportError
+		if !errors.As(err, &te) {
+			t.Errorf("non-transport error under contention: %v", err)
+		}
+	}
+	if ok.Load() < 32 {
+		t.Errorf("only %d/64 calls succeeded through p=0.2 faults with 4 retries", ok.Load())
+	}
+}
+
+// TestRetryClientContextCancel: a cancelled context stops the attempt loop
+// promptly instead of burning the full budget.
+func TestRetryClientContextCancel(t *testing.T) {
+	// Dead backend: every attempt fails.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rc := NewRetryClient(addr, RetryOptions{Retries: 5, Seed: 1, Sleep: noSleep})
+	defer rc.Close()
+	_, err = rc.PredictContext(ctx, Request{Prompt: "x"})
+	if err == nil {
+		t.Fatal("cancelled context reported success")
+	}
+	if rc.Retries() > 1 {
+		t.Errorf("cancelled context still retried %d times", rc.Retries())
+	}
+}

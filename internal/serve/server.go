@@ -49,9 +49,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -65,6 +68,18 @@ import (
 // the server runs up to Options.Workers of them in parallel.
 type Predictor interface {
 	Predict(context, prompt string) string
+}
+
+// DegradingPredictor is implemented by predictors that can degrade under
+// failure (*wisdom.Chain): PredictDegraded reports whether the answer came
+// from a fallback tier rather than the primary model. The server surfaces
+// the flag as "degraded":true, counts it on
+// wisdom_degraded_responses_total, and keeps degraded answers out of the
+// response cache so a recovered primary is not shadowed by stale
+// best-effort suggestions.
+type DegradingPredictor interface {
+	Predictor
+	PredictDegraded(context, prompt string) (suggestion string, degraded bool)
 }
 
 // Request is one completion request: the natural-language intent plus the
@@ -89,6 +104,10 @@ type Response struct {
 	// Coalesced reports whether the suggestion was shared from a
 	// concurrent identical request's model invocation.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Degraded reports that the suggestion came from a fallback tier of the
+	// degradation chain (the primary model timed out or its circuit breaker
+	// is open); it is best-effort quality and never cached.
+	Degraded bool `json:"degraded,omitempty"`
 	// LatencyMS is the server-side handling time in milliseconds.
 	LatencyMS float64 `json:"latency_ms"`
 	// Model names the serving model.
@@ -129,6 +148,11 @@ type Options struct {
 	// MaxBatch caps how many requests decode together; reaching it flushes
 	// the batch immediately. <= 1 disables micro-batching.
 	MaxBatch int
+	// ConnHook, when set, wraps every accepted RPC connection before the
+	// server reads from it — the transport seam the resilience package's
+	// fault injector plugs into (resilience.Injector.WrapConn). Production
+	// deployments leave it nil.
+	ConnHook func(net.Conn) net.Conn
 }
 
 // DefaultQueueTimeout is the admission deadline used when Options leave
@@ -160,9 +184,11 @@ func (o Options) withDefaults() Options {
 // Server serves predictions over HTTP and the binary RPC protocol.
 type Server struct {
 	model     Predictor
+	degrade   DegradingPredictor // non-nil when model can degrade
 	modelName string
 	cache     *Cache
 	requests  atomic.Int64 // predictions served, both protocols
+	connHook  func(net.Conn) net.Conn
 
 	// Concurrency control: flight coalesces identical in-flight requests,
 	// pool bounds concurrent Predict calls. reqTimeout bounds one
@@ -198,12 +224,16 @@ func NewServerWithOptions(model Predictor, modelName string, opts Options) *Serv
 	s := &Server{
 		model:      model,
 		modelName:  modelName,
+		connHook:   opts.ConnHook,
 		flight:     newFlightGroup(),
 		pool:       NewPool(opts.Workers, opts.QueueDepth, opts.QueueTimeout),
 		reqTimeout: opts.QueueTimeout,
 		maxBody:    opts.MaxBodyBytes,
 		lns:        make(map[net.Listener]struct{}),
 		conns:      make(map[net.Conn]struct{}),
+	}
+	if dp, ok := model.(DegradingPredictor); ok {
+		s.degrade = dp
 	}
 	if opts.CacheSize > 0 {
 		s.cache = NewCache(opts.CacheSize)
@@ -280,6 +310,7 @@ type serverMetrics struct {
 	servedTokens   *observe.Counter
 	tokensPerSec   *observe.Gauge
 	batchSize      *observe.Histogram
+	degradedTotal  *observe.Counter
 }
 
 func (m *serverMetrics) requestsFor(proto string) *observe.Counter {
@@ -336,6 +367,8 @@ func (s *Server) Instrument(reg *observe.Registry) {
 		batchSize: reg.Histogram("wisdom_batch_size",
 			"Requests decoded together per micro-batch.",
 			[]float64{1, 2, 4, 8, 16, 32}),
+		degradedTotal: reg.Counter("wisdom_degraded_responses_total",
+			"Predictions answered by a degradation-chain fallback tier."),
 	}
 	p := s.pool
 	reg.GaugeFunc("wisdom_pool_workers",
@@ -410,6 +443,9 @@ func (s *Server) predict(ctx context.Context, req Request, proto string) (Respon
 		m.durationFor(proto).Observe(elapsed)
 		toks := len(strings.Fields(resp.Suggestion))
 		m.servedTokens.Add(toks)
+		if resp.Degraded {
+			m.degradedTotal.Inc()
+		}
 		switch {
 		case resp.Cached:
 			m.cachedTotal.Inc()
@@ -434,47 +470,79 @@ func (s *Server) answer(ctx context.Context, req Request) (Response, error) {
 			return Response{Suggestion: v, Cached: true}, nil
 		}
 	}
-	invoke := func() (string, error) {
+	invoke := func() (string, bool, error) {
 		if s.batcher != nil {
 			// Micro-batching path: the batcher gathers concurrent keys and
 			// its exec function admits the whole batch through one pool
 			// slot, so no slot is taken here.
 			v, err := s.batcher.do(ctx, req)
 			if err != nil {
-				return "", err
+				return "", false, err
 			}
 			if s.cache != nil {
 				s.cache.Put(key, v)
 			}
-			return v, nil
+			return v, false, nil
 		}
 		if s.pool != nil {
 			if err := s.pool.Acquire(ctx); err != nil {
-				return "", err
+				return "", false, err
 			}
 			defer s.pool.Release()
 		}
-		suggestion := s.model.Predict(req.Context, req.Prompt)
-		if s.cache != nil {
+		var suggestion string
+		var degraded bool
+		if s.degrade != nil {
+			suggestion, degraded = s.degrade.PredictDegraded(req.Context, req.Prompt)
+		} else {
+			suggestion = s.model.Predict(req.Context, req.Prompt)
+		}
+		// Degraded answers stay out of the cache: they are best-effort, and
+		// caching one would keep serving it after the primary recovers.
+		if s.cache != nil && !degraded {
 			s.cache.Put(key, suggestion)
 		}
-		return suggestion, nil
+		return suggestion, degraded, nil
 	}
 	if s.flight == nil { // coalescing disabled (benchmark baseline)
-		v, err := invoke()
+		v, degraded, err := invoke()
 		if err != nil {
 			return Response{}, err
 		}
-		return Response{Suggestion: v}, nil
+		return Response{Suggestion: v, Degraded: degraded}, nil
 	}
-	v, coalesced, err := s.flight.Do(ctx, key, invoke)
+	v, degraded, coalesced, err := s.flight.do(ctx, key, invoke)
 	if err != nil {
 		return Response{}, err
 	}
-	return Response{Suggestion: v, Coalesced: coalesced}, nil
+	return Response{Suggestion: v, Coalesced: coalesced, Degraded: degraded}, nil
 }
 
 func ms(start time.Time) float64 { return float64(time.Since(start).Microseconds()) / 1000 }
+
+// retryAfter derives the Retry-After guidance for a shed request from the
+// server's current load instead of a hardcoded constant: the advised wait
+// scales with how full the admission queue is, from 1s when the queue is
+// empty (a transient spike — the client may come straight back) up to the
+// full admission deadline when the queue is saturated (coming back sooner
+// than that would only time out in the queue again).
+func (s *Server) retryAfter() string {
+	secs := 1.0
+	if cap := s.pool.QueueCap(); cap > 0 {
+		frac := float64(s.pool.Queued()) / float64(cap)
+		if frac > 1 {
+			frac = 1
+		}
+		if deadline := s.reqTimeout.Seconds(); deadline > 1 {
+			secs += frac * (deadline - 1)
+		}
+	} else if deadline := s.reqTimeout.Seconds(); deadline > 1 {
+		// No queue: a busy pool sheds instantly, so advise one admission
+		// deadline — the bound on how long the running work can take.
+		secs = deadline
+	}
+	return strconv.Itoa(int(math.Ceil(secs)))
+}
 
 // ---- REST ----
 
@@ -517,7 +585,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		resp, err := s.predict(r.Context(), req, "http")
 		if err != nil {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
 			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusServiceUnavailable)
 			return
 		}
@@ -601,8 +669,9 @@ func (s *Server) ListenHTTP(addr string) error {
 
 const maxFrame = 1 << 20 // 1 MiB per frame is far beyond any playbook
 
-// writeFrame writes one length-prefixed JSON frame.
-func writeFrame(conn net.Conn, v any) error {
+// writeFrame writes one length-prefixed JSON frame. It takes an io.Writer
+// (not a net.Conn) so the codec is fuzzable and transport hooks compose.
+func writeFrame(w io.Writer, v any) error {
 	payload, err := json.Marshal(v)
 	if err != nil {
 		return err
@@ -611,17 +680,17 @@ func writeFrame(conn net.Conn, v any) error {
 		return fmt.Errorf("serve: frame of %d bytes exceeds limit", len(payload))
 	}
 	hdr := []byte{byte(len(payload) >> 24), byte(len(payload) >> 16), byte(len(payload) >> 8), byte(len(payload))}
-	if _, err := conn.Write(hdr); err != nil {
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	_, err = conn.Write(payload)
+	_, err = w.Write(payload)
 	return err
 }
 
 // readFrame reads one length-prefixed JSON frame into v.
-func readFrame(conn net.Conn, v any) error {
+func readFrame(r io.Reader, v any) error {
 	hdr := make([]byte, 4)
-	if _, err := readFull(conn, hdr); err != nil {
+	if _, err := readFull(r, hdr); err != nil {
 		return err
 	}
 	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
@@ -629,16 +698,16 @@ func readFrame(conn net.Conn, v any) error {
 		return fmt.Errorf("serve: invalid frame length %d", n)
 	}
 	payload := make([]byte, n)
-	if _, err := readFull(conn, payload); err != nil {
+	if _, err := readFull(r, payload); err != nil {
 		return err
 	}
 	return json.Unmarshal(payload, v)
 }
 
-func readFull(conn net.Conn, buf []byte) (int, error) {
+func readFull(r io.Reader, buf []byte) (int, error) {
 	total := 0
 	for total < len(buf) {
-		n, err := conn.Read(buf[total:])
+		n, err := r.Read(buf[total:])
 		total += n
 		if err != nil {
 			return total, err
@@ -670,6 +739,9 @@ func (s *Server) ServeRPC(ln net.Listener) error {
 				return nil
 			}
 			return err
+		}
+		if s.connHook != nil {
+			conn = s.connHook(conn)
 		}
 		s.lifeMu.Lock()
 		if s.draining {
@@ -785,18 +857,46 @@ var ErrClientBroken = errors.New("serve: client connection broken by a previous 
 
 // Client is an RPC client holding one persistent connection.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	broken bool
+	mu      sync.Mutex
+	conn    net.Conn
+	broken  bool
+	timeout time.Duration // per-round-trip I/O deadline; 0 = none
 }
 
 // Dial connects an RPC client to addr.
 func Dial(addr string) (*Client, error) {
+	return DialWith(addr, nil)
+}
+
+// DialWith connects an RPC client to addr and, when wrap is non-nil, runs
+// the connection through it before use — the client-side transport seam for
+// the resilience package's fault injector.
+func DialWith(addr string, wrap func(net.Conn) net.Conn) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	if wrap != nil {
+		conn = wrap(conn)
+	}
 	return &Client{conn: conn}, nil
+}
+
+// SetTimeout bounds every subsequent round trip's I/O (write + read) by d.
+// A round trip that exceeds it fails with a deadline error and, like any
+// other mid-exchange failure, breaks the client. Zero disables the bound.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// Broken reports whether a previous I/O failure has condemned the
+// connection (every later call fails fast with ErrClientBroken).
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
 }
 
 // roundTrip performs one framed exchange. Any failure mid-exchange leaves
@@ -807,6 +907,9 @@ func (c *Client) roundTrip(req Request, resp any) error {
 	defer c.mu.Unlock()
 	if c.broken {
 		return ErrClientBroken
+	}
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
 	}
 	if err := writeFrame(c.conn, req); err != nil {
 		c.broken = true

@@ -20,10 +20,11 @@ type flightGroup struct {
 
 // flightCall is one in-flight computation.
 type flightCall struct {
-	done    chan struct{} // closed when val/err are final
-	val     string
-	err     error
-	waiters atomic.Int64 // coalesced callers currently blocked on done
+	done     chan struct{} // closed when val/err are final
+	val      string
+	degraded bool
+	err      error
+	waiters  atomic.Int64 // coalesced callers currently blocked on done
 }
 
 func newFlightGroup() *flightGroup {
@@ -38,6 +39,17 @@ func newFlightGroup() *flightGroup {
 // (e.g. pool shed) fans out to every waiter, which is the behaviour that
 // keeps an overloaded key from multiplying into one model call per waiter.
 func (g *flightGroup) Do(ctx context.Context, key string, fn func() (string, error)) (val string, coalesced bool, err error) {
+	val, _, coalesced, err = g.do(ctx, key, func() (string, bool, error) {
+		v, err := fn()
+		return v, false, err
+	})
+	return val, coalesced, err
+}
+
+// do is Do with a degradation flag threaded through: the leader's flag fans
+// out to every waiter alongside the value, so a coalesced caller sharing a
+// degraded answer reports it degraded too.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (string, bool, error)) (val string, degraded, coalesced bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
 		c.waiters.Add(1)
@@ -45,22 +57,22 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() (string, err
 		defer c.waiters.Add(-1)
 		select {
 		case <-c.done:
-			return c.val, true, c.err
+			return c.val, c.degraded, true, c.err
 		case <-ctx.Done():
-			return "", true, ctx.Err()
+			return "", false, true, ctx.Err()
 		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
+	c.val, c.degraded, c.err = fn()
 
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()
 	close(c.done)
-	return c.val, false, c.err
+	return c.val, c.degraded, false, c.err
 }
 
 // pending returns the number of callers currently waiting on key's leader

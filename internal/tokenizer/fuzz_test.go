@@ -1,0 +1,50 @@
+package tokenizer
+
+import (
+	"sync"
+	"testing"
+)
+
+// fuzzTok trains one small tokenizer shared by every fuzz execution: BPE
+// training is deterministic, so sharing it keeps the target fast without
+// losing coverage.
+var fuzzTok = sync.OnceValue(func() *Tokenizer {
+	corpus := []string{
+		"- name: install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n",
+		"- name: start service\n  ansible.builtin.service:\n    name: nginx\n    state: started\n",
+		"- name: open firewall port\n  ansible.posix.firewalld:\n    port: 443/tcp\n",
+	}
+	t, err := Train(corpus, 300)
+	if err != nil {
+		panic(err)
+	}
+	return t
+})
+
+// FuzzEncode asserts the byte-level BPE invariants on arbitrary input: the
+// 256-byte base vocabulary makes Decode(Encode(s)) == s for every string,
+// and every emitted id must be a real vocabulary entry.
+func FuzzEncode(f *testing.F) {
+	f.Add("- name: install nginx\n  ansible.builtin.apt:\n    name: nginx\n")
+	f.Add("")
+	f.Add(" leading and trailing spaces ")
+	f.Add("unicode: καλημέρα 世界 🚀")
+	f.Add("\x00\x01\xfe\xff raw bytes")
+	f.Add("tabs\tand\r\nwindows line endings")
+	f.Add("port: 443/tcp state=present enabled=yes")
+	f.Fuzz(func(t *testing.T, s string) {
+		tok := fuzzTok()
+		ids := tok.Encode(s)
+		for i, id := range ids {
+			if id < 0 || id >= tok.VocabSize() {
+				t.Fatalf("id %d at %d out of vocab [0,%d)", id, i, tok.VocabSize())
+			}
+			if tok.IsSpecial(id) {
+				t.Fatalf("Encode emitted special token %d for plain text", id)
+			}
+		}
+		if got := tok.Decode(ids); got != s {
+			t.Fatalf("round trip changed the text:\n in: %q\nout: %q", s, got)
+		}
+	})
+}

@@ -1,0 +1,265 @@
+package wisdom
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wisdom/internal/resilience"
+)
+
+// stubPredictor is a controllable tier: it answers with its fixed text, and
+// can be made to block (simulating a hung or over-budget primary) or panic.
+type stubPredictor struct {
+	text  string
+	block atomic.Bool
+	panik atomic.Bool
+	calls atomic.Int64
+	gate  chan struct{} // blocked calls wait here
+}
+
+func newStub(text string) *stubPredictor {
+	return &stubPredictor{text: text, gate: make(chan struct{})}
+}
+
+func (s *stubPredictor) Predict(context, prompt string) string {
+	s.calls.Add(1)
+	if s.panik.Load() {
+		panic("stub predictor forced panic")
+	}
+	if s.block.Load() {
+		<-s.gate
+	}
+	return s.text + ": " + prompt
+}
+
+func TestChainHealthyPrimaryNotDegraded(t *testing.T) {
+	primary, fallback := newStub("neural"), newStub("ngram")
+	c := NewChain(primary, fallback, nil, ChainConfig{Timeout: 100 * time.Millisecond})
+	out, degraded := c.PredictDegraded("", "install nginx")
+	if degraded {
+		t.Fatal("healthy primary answer tagged degraded")
+	}
+	if out != "neural: install nginx" {
+		t.Fatalf("out = %q", out)
+	}
+	if fallback.calls.Load() != 0 {
+		t.Fatal("fallback ran although the primary answered")
+	}
+}
+
+func TestChainPrimaryTimeoutFallsBack(t *testing.T) {
+	primary, fallback := newStub("neural"), newStub("ngram")
+	primary.block.Store(true)
+	defer close(primary.gate)
+	var tiers []string
+	c := NewChain(primary, fallback, nil, ChainConfig{
+		Timeout:   10 * time.Millisecond,
+		OnDegrade: func(tier string) { tiers = append(tiers, tier) },
+	})
+	out, degraded := c.PredictDegraded("", "restart sshd")
+	if !degraded {
+		t.Fatal("fallback answer not tagged degraded")
+	}
+	if out != "ngram: restart sshd" {
+		t.Fatalf("out = %q", out)
+	}
+	if len(tiers) != 1 || tiers[0] != "fallback" {
+		t.Fatalf("OnDegrade tiers = %v, want [fallback]", tiers)
+	}
+}
+
+func TestChainPrimaryPanicFallsBack(t *testing.T) {
+	primary, fallback := newStub("neural"), newStub("ngram")
+	primary.panik.Store(true)
+	c := NewChain(primary, fallback, nil, ChainConfig{Timeout: 100 * time.Millisecond})
+	out, degraded := c.PredictDegraded("", "x")
+	if !degraded || out != "ngram: x" {
+		t.Fatalf("out = %q degraded = %v, want fallback answer degraded", out, degraded)
+	}
+}
+
+func TestChainRetrievalLastResort(t *testing.T) {
+	primary := newStub("neural")
+	primary.block.Store(true)
+	defer close(primary.gate)
+	var tier string
+	c := NewChain(primary, nil, func(context, prompt string) (string, bool) {
+		return "- name: " + prompt + "\n  memorised: true", true
+	}, ChainConfig{Timeout: 10 * time.Millisecond, OnDegrade: func(s string) { tier = s }})
+	out, degraded := c.PredictDegraded("", "open port 443")
+	if !degraded || !strings.Contains(out, "memorised") {
+		t.Fatalf("out = %q degraded = %v", out, degraded)
+	}
+	if tier != "retrieval" {
+		t.Fatalf("tier = %q, want retrieval", tier)
+	}
+}
+
+func TestChainAllTiersExhausted(t *testing.T) {
+	primary := newStub("neural")
+	primary.block.Store(true)
+	defer close(primary.gate)
+	var tier string
+	c := NewChain(primary, nil, nil, ChainConfig{Timeout: 5 * time.Millisecond, OnDegrade: func(s string) { tier = s }})
+	out, degraded := c.PredictDegraded("", "x")
+	if out != "" || !degraded || tier != "none" {
+		t.Fatalf("out=%q degraded=%v tier=%q, want empty degraded none", out, degraded, tier)
+	}
+}
+
+// TestChainBreakerOpensAndRecovers is the acceptance scenario: repeated
+// primary failures open the breaker (requests served degraded without
+// touching the primary), the breaker half-opens after the cooldown, a
+// successful probe closes it, and primary answers resume undegraded.
+func TestChainBreakerOpensAndRecovers(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	primary, fallback := newStub("neural"), newStub("ngram")
+	b := resilience.NewBreaker(resilience.BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Minute,
+		Now:              clock,
+	})
+	c := NewChain(primary, fallback, nil, ChainConfig{Timeout: 10 * time.Millisecond, Breaker: b})
+
+	// Phase 1: the primary hangs; three timeouts trip the breaker.
+	primary.block.Store(true)
+	for i := 0; i < 3; i++ {
+		out, degraded := c.PredictDegraded("", "p")
+		if !degraded || out != "ngram: p" {
+			t.Fatalf("request %d: out=%q degraded=%v, want degraded fallback", i, out, degraded)
+		}
+	}
+	if b.State() != resilience.Open {
+		t.Fatalf("breaker = %v after %d timeouts, want open", b.State(), 3)
+	}
+
+	// Phase 2: while open, the primary is never called; answers stay
+	// degraded even though the primary has recovered.
+	close(primary.gate)
+	primary.block.Store(false)
+	before := primary.calls.Load()
+	for i := 0; i < 5; i++ {
+		if _, degraded := c.PredictDegraded("", "q"); !degraded {
+			t.Fatalf("request %d served undegraded through an open breaker", i)
+		}
+	}
+	if got := primary.calls.Load(); got != before {
+		t.Fatalf("open breaker let %d calls through to the primary", got-before)
+	}
+
+	// Phase 3: cooldown elapses; the half-open probe reaches the healthy
+	// primary, succeeds, and closes the breaker.
+	advance(time.Minute)
+	out, degraded := c.PredictDegraded("", "r")
+	if degraded || out != "neural: r" {
+		t.Fatalf("probe: out=%q degraded=%v, want undegraded primary", out, degraded)
+	}
+	if b.State() != resilience.Closed {
+		t.Fatalf("breaker = %v after successful probe, want closed", b.State())
+	}
+	out, degraded = c.PredictDegraded("", "s")
+	if degraded || out != "neural: s" {
+		t.Fatalf("post-recovery: out=%q degraded=%v", out, degraded)
+	}
+}
+
+// TestChainConcurrent drives a chain whose primary intermittently hangs from
+// many goroutines under -race: every answer must come from a legal tier.
+func TestChainConcurrent(t *testing.T) {
+	primary, fallback := newStub("neural"), newStub("ngram")
+	b := resilience.NewBreaker(resilience.BreakerConfig{FailureThreshold: 2, Cooldown: time.Millisecond})
+	c := NewChain(primary, fallback, nil, ChainConfig{Timeout: 5 * time.Millisecond, Breaker: b})
+
+	var flip atomic.Int64
+	done := make(chan struct{})
+	go func() { // toggle primary health while requests are in flight
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			primary.block.Store(i%2 == 0)
+			flip.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}
+		primary.block.Store(false)
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				out, degraded := c.PredictDegraded("", "t")
+				switch {
+				case !degraded && out != "neural: t":
+					t.Errorf("undegraded answer %q not from primary", out)
+				case degraded && out != "ngram: t" && out != "":
+					t.Errorf("degraded answer %q not from fallback", out)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	close(primary.gate) // release any still-blocked abandoned goroutines
+}
+
+// TestModelChainRealTiers exercises NewModelChain with real models: a
+// hanging primary wrapper around a trained model degrades to the trained
+// n-gram fallback, and the retrieval tier answers when both generative
+// tiers are out.
+func TestModelChainRealTiers(t *testing.T) {
+	r := getRig(t)
+	pre := pretrain(t, r, WisdomAnsibleMulti)
+	primary, err := Finetune(pre, r.pipe.Train, FinetuneConfig{Window: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback := primary
+
+	// Healthy chain: primary (here the fine-tuned n-gram standing in for
+	// the transformer tier) answers undegraded.
+	c := NewModelChain(primary, fallback, ChainConfig{Timeout: 5 * time.Second})
+	out, degraded := c.PredictDegraded("", "install nginx")
+	if degraded {
+		t.Fatal("healthy model chain degraded")
+	}
+	if !strings.HasPrefix(out, "- name: install nginx") {
+		t.Fatalf("out = %q", out)
+	}
+
+	// Same chain with the primary hung: the fallback model answers, tagged
+	// degraded, with the same shape of suggestion.
+	hung := newStub("never")
+	hung.block.Store(true)
+	defer close(hung.gate)
+	c2 := NewChain(hung, fallback, primary.RetrievalPredict, ChainConfig{Timeout: 10 * time.Millisecond})
+	out2, degraded2 := c2.PredictDegraded("", "install nginx")
+	if !degraded2 {
+		t.Fatal("fallback answer not degraded")
+	}
+	if !strings.HasPrefix(out2, "- name: install nginx") {
+		t.Fatalf("degraded out = %q", out2)
+	}
+	if out2 != out {
+		// Both tiers are the same trained model here, so the degraded
+		// answer must match the healthy one token for token.
+		t.Fatalf("fallback diverged from identical model: %q vs %q", out2, out)
+	}
+
+	// Retrieval-only last resort: no generative tier at all.
+	c3 := NewChain(hung, nil, primary.RetrievalPredict, ChainConfig{Timeout: 10 * time.Millisecond})
+	out3, degraded3 := c3.PredictDegraded("", "install nginx")
+	if !degraded3 {
+		t.Fatal("retrieval answer not degraded")
+	}
+	if out3 != "" && !strings.HasPrefix(out3, "- name: install nginx") {
+		t.Fatalf("retrieval out = %q", out3)
+	}
+}

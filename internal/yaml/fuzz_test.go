@@ -1,0 +1,40 @@
+package yaml
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseYAML drives the parser with arbitrary input: it must never
+// panic, and any document it accepts must survive an encode/re-parse round
+// trip — the serving layer marshals parsed suggestions back to text, so an
+// accepted-but-unencodable node would corrupt output downstream.
+func FuzzParseYAML(f *testing.F) {
+	f.Add("- name: install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n")
+	f.Add("key: value\nlist:\n  - 1\n  - 2\n")
+	f.Add("a: {b: [1, 2], c: \"d\"}\n")
+	f.Add("---\ndoc: 1\n---\ndoc: 2\n")
+	f.Add("text: |\n  line one\n  line two\n")
+	f.Add("empty:\n")
+	f.Add(": novalue\n")
+	f.Add("\t tab indent\n")
+	f.Add("a: 'unclosed\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil || n == nil {
+			return
+		}
+		out := Marshal(n)
+		if !utf8.ValidString(src) {
+			// Encoding only promises round-trippable text for valid UTF-8
+			// input; raw bytes may be quoted lossily.
+			return
+		}
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("re-parse of encoded output failed: %v\ninput: %q\nencoded: %q", err, src, out)
+		}
+		_, _ = ParseAll(src) // multi-document path must not panic either
+		_ = strings.TrimSpace(out)
+	})
+}

@@ -775,6 +775,16 @@ func (p *parser) parseFlowMap(text string, ln line) (*Node, string, error) {
 		} else {
 			val = NullScalar()
 		}
+		// Same duplicate-key rule as block mappings; without it a flow
+		// document like {a, a} parses but re-encodes to an invalid block
+		// mapping.
+		if key.Kind == ScalarNode && key.Value != mergeKey {
+			for _, k := range m.Keys {
+				if k.Kind == ScalarNode && k.Value == key.Value {
+					return nil, "", &SyntaxError{Line: ln.num, Msg: fmt.Sprintf("duplicate mapping key %q", key.Value)}
+				}
+			}
+		}
 		m.Keys = append(m.Keys, key)
 		m.Values = append(m.Values, val)
 		switch {

@@ -1,10 +1,18 @@
 #!/bin/sh
 # The repository's verification gate: formatting, static analysis, build,
-# and the full test suite under the race detector. Run from the repo root
-# (or via `make check`).
+# the full test suite under the race detector, a short fuzz smoke per fuzz
+# target, and a coverage floor. Run from the repo root (or via `make check`).
+#
+# FUZZTIME=0 skips the fuzz smoke (local iteration); the default 10s per
+# target matches the CI budget.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+# Statement-coverage floor for the -short suite. Raise it when coverage
+# grows; never lower it to make a failing change pass.
+COVER_FLOOR=76
 
 echo "== gofmt"
 unformatted=$(gofmt -l .)
@@ -22,5 +30,25 @@ go build ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== coverage floor (${COVER_FLOOR}%)"
+go test -short -count=1 -coverprofile=coverage.out ./... >/dev/null
+total=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+rm -f coverage.out
+echo "total statement coverage: ${total}%"
+awk -v got="$total" -v floor="$COVER_FLOOR" 'BEGIN {
+    if (got + 0 < floor + 0) {
+        printf "coverage %.1f%% is below the %.0f%% floor\n", got, floor > "/dev/stderr"
+        exit 1
+    }
+}'
+
+if [ "$FUZZTIME" != "0" ]; then
+    echo "== fuzz smoke (${FUZZTIME} per target)"
+    go test -run='^$' -fuzz='^FuzzParseYAML$' -fuzztime="$FUZZTIME" ./internal/yaml
+    go test -run='^$' -fuzz='^FuzzDecodeFrame$' -fuzztime="$FUZZTIME" ./internal/serve
+    go test -run='^$' -fuzz='^FuzzEncodeFrame$' -fuzztime="$FUZZTIME" ./internal/serve
+    go test -run='^$' -fuzz='^FuzzEncode$' -fuzztime="$FUZZTIME" ./internal/tokenizer
+fi
 
 echo "OK"
