@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check fuzz bench bench-decode fmt clean
+.PHONY: all build test race vet check fuzz bench bench-decode bench-stream fmt clean
 
 all: check
 
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzParseYAML$$' -fuzztime=$(FUZZTIME) ./internal/yaml
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeFrame$$' -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run='^$$' -fuzz='^FuzzEncodeFrame$$' -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeStreamFrame$$' -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run='^$$' -fuzz='^FuzzEncode$$' -fuzztime=$(FUZZTIME) ./internal/tokenizer
 
 bench:
@@ -40,6 +41,13 @@ bench:
 bench-decode:
 	$(GO) test ./internal/neural/ -run XXX -benchmem -benchtime 2s \
 		-bench 'BenchmarkStep$$|BenchmarkStepBatch8|BenchmarkBeamDecode|BenchmarkGenerateBatch8|BenchmarkGenerateFullForward|BenchmarkGenerateKVCached'
+
+# bench-stream runs the streaming-latency microbenchmarks that back
+# BENCH_PR6.json: time-to-first-delta (reported as ttft-ns/op) against the
+# total generation latency of the streamed and unary prediction paths.
+bench-stream:
+	$(GO) test ./internal/wisdom/ -run XXX -benchtime 20x \
+		-bench 'BenchmarkPredictStream$$|BenchmarkPredictUnary$$'
 
 fmt:
 	gofmt -l -w .

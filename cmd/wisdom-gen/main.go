@@ -7,6 +7,7 @@
 //	wisdom-gen -prompt "restart postgresql" -context tasks.yml
 //	wisdom-gen -prompt "open port 443" -variant wisdom-yaml-multi -few-shot
 //	wisdom-gen -prompt "install nginx" -server localhost:8081
+//	wisdom-gen -prompt "install nginx" -server localhost:8081 -stream
 //
 // Without -server the model is trained locally on startup from the seeded
 // synthetic corpora (a few seconds at the default scale); -quick shrinks
@@ -14,9 +15,17 @@
 // wisdom-serve RPC endpoint instead, through a retrying client: transient
 // transport failures and overload sheds are retried up to -retries times
 // with exponentially backed-off, jittered waits starting at -backoff.
+//
+// -stream prints the suggestion incrementally as the server (or the local
+// decode loop) produces it, instead of waiting for the full answer. The
+// printed bytes are identical either way; in the rare case where the
+// server's final validation pass rewrites the streamed text (the response's
+// "replaced" flag), the corrected answer is printed in full after a
+// separator note on stderr.
 package main
 
 import (
+	contextpkg "context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +45,7 @@ func main() {
 	server := flag.String("server", "", "wisdom-serve RPC address; query it instead of training locally")
 	retries := flag.Int("retries", 2, "extra attempts after a failed request (with -server)")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "base backoff before the first retry (with -server)")
+	stream := flag.Bool("stream", false, "print the suggestion incrementally as it is generated")
 	flag.Parse()
 
 	if *prompt == "" {
@@ -58,12 +68,30 @@ func main() {
 			Backoff: *backoff,
 		})
 		defer rc.Close()
-		resp, err := rc.Predict(serve.Request{Prompt: *prompt, Context: context})
+		req := serve.Request{Prompt: *prompt, Context: context}
+		var resp serve.Response
+		var err error
+		if *stream {
+			resp, err = rc.PredictStream(req, func(delta string) {
+				fmt.Print(delta)
+			})
+		} else {
+			resp, err = rc.Predict(req)
+		}
 		if err != nil {
 			fatal(err)
 		}
 		if resp.Degraded {
 			fmt.Fprintln(os.Stderr, "wisdom-gen: note: degraded answer (server fell back to a lower tier)")
+		}
+		if *stream {
+			if resp.Replaced {
+				// The final validation pass rewrote the streamed text: the
+				// authoritative answer follows in full.
+				fmt.Fprintln(os.Stderr, "wisdom-gen: note: streamed text was superseded; corrected answer follows")
+				fmt.Print(resp.Suggestion)
+			}
+			return
 		}
 		fmt.Print(resp.Suggestion)
 		return
@@ -87,6 +115,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *stream {
+		sent := ""
+		final := model.PredictStream(contextpkg.Background(), context, *prompt, func(delta string) {
+			sent += delta
+			fmt.Print(delta)
+		})
+		if sent != final {
+			fmt.Fprintln(os.Stderr, "wisdom-gen: note: streamed text was superseded; corrected answer follows")
+			fmt.Print(final)
+		}
+		return
 	}
 	fmt.Print(model.Predict(context, *prompt))
 }

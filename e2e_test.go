@@ -339,3 +339,88 @@ func TestE2EGenAgainstServer(t *testing.T) {
 		t.Errorf("SIGTERM exit: %v", err)
 	}
 }
+
+// TestE2EStreaming drives the streaming path end to end against the real
+// binaries: wisdom-gen -stream over RPC must print byte-identical output to
+// the unary call, and the SSE endpoint must deliver the same answer as
+// incremental delta events.
+func TestE2EStreaming(t *testing.T) {
+	p := startServe(t, "-load", e2eModelPath(t))
+	gen := buildTool(t, "wisdom-gen")
+
+	// Distinct prompts so the streamed run is not a cache hit of the unary
+	// one (a cached answer arrives as a single delta, which would weaken
+	// the equivalence check); the same prompt streamed twice then exercises
+	// the cache-hit stream.
+	unary, err := exec.Command(gen, "-server", p.rpcAddr, "-prompt", "install nginx").Output()
+	if err != nil {
+		t.Fatalf("unary wisdom-gen: %v", err)
+	}
+	streamed, err := exec.Command(gen, "-server", p.rpcAddr, "-prompt", "install nginx", "-stream").Output()
+	if err != nil {
+		t.Fatalf("wisdom-gen -stream: %v", err)
+	}
+	if !bytes.Equal(unary, streamed) {
+		t.Errorf("streamed output differs from unary:\nunary:    %q\nstreamed: %q", unary, streamed)
+	}
+
+	// SSE over the HTTP listener: deltas must concatenate to the done
+	// event's suggestion (or the done event must say "replaced").
+	body, _ := json.Marshal(serve.Request{Prompt: "start redis"})
+	resp, err := http.Post("http://"+p.httpAddr+"/v1/completions/stream",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var sb strings.Builder
+	var final serve.Response
+	done := false
+	event := ""
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "delta":
+				var d struct {
+					Text string `json:"text"`
+				}
+				if err := json.Unmarshal([]byte(data), &d); err != nil {
+					t.Fatalf("bad delta payload %q: %v", data, err)
+				}
+				sb.WriteString(d.Text)
+			case "done":
+				if err := json.Unmarshal([]byte(data), &final); err != nil {
+					t.Fatalf("bad done payload %q: %v", data, err)
+				}
+				done = true
+			case "error":
+				t.Fatalf("stream error event: %s", data)
+			}
+		}
+	}
+	if !done {
+		t.Fatal("stream ended without a done event")
+	}
+	if !final.Replaced && sb.String() != final.Suggestion {
+		t.Errorf("concatenated deltas = %q, final suggestion = %q", sb.String(), final.Suggestion)
+	}
+	if !strings.HasPrefix(final.Suggestion, "- name: start redis") {
+		t.Errorf("suggestion = %q", final.Suggestion)
+	}
+
+	if err := p.terminate(t); err != nil {
+		t.Errorf("SIGTERM exit: %v", err)
+	}
+}

@@ -3,10 +3,12 @@
 // the binary RPC protocol; a simulated editor session types task names into
 // a playbook, requests completions on Enter, and accepts or rejects the
 // suggestions — including the repeated-request case that exercises the
-// response cache.
+// response cache and the streaming variants of both protocols (the typing
+// effect a real editor renders while the decode loop is still running).
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -90,9 +92,85 @@ func main() {
 	}
 	fmt.Printf("[rpc answered in %.1f ms]\n%s", rpcResp.LatencyMS, rpcResp.Suggestion)
 
+	// Streaming turns: the editor renders the suggestion as it is decoded
+	// instead of waiting for the full answer — SSE over HTTP, then the
+	// frame-sequence variant over RPC. Deltas concatenate to exactly the
+	// unary answer (the terminal response's "replaced" flag marks the rare
+	// post-processing rewrite).
+	fmt.Println("\n--- streaming over SSE: suggestion renders as it decodes")
+	streamed, final := sseComplete(rest.URL, rest.Client(),
+		serve.Request{Prompt: "Copy application config", Context: buffer})
+	fmt.Printf("[%d deltas; replaced=%v; byte-identical=%v]\n",
+		streamed, final.Replaced, !final.Replaced)
+
+	fmt.Println("\n--- streaming over RPC frames")
+	deltas := 0
+	rpcFinal, err := rpc.PredictStream(
+		serve.Request{Prompt: "Remove temporary files", Context: buffer},
+		func(delta string) {
+			deltas++
+			fmt.Print(delta)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[%d delta frames; replaced=%v]\n", deltas, rpcFinal.Replaced)
+
 	fmt.Println("\nfinal playbook:")
 	fmt.Println(strings.TrimRight(buffer, "\n"))
 	fmt.Printf("\nserver handled %d predictions\n", srv.Requests())
+}
+
+// sseComplete drives one POST /v1/completions/stream exchange, printing
+// delta text as the events arrive and returning the delta count plus the
+// terminal done event's Response.
+func sseComplete(url string, client *http.Client, req serve.Request) (int, serve.Response) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpResp, err := client.Post(url+"/v1/completions/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		log.Fatalf("stream rejected: %s", httpResp.Status)
+	}
+
+	deltas := 0
+	var final serve.Response
+	event := ""
+	sc := bufio.NewScanner(httpResp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "delta":
+				var d struct {
+					Text string `json:"text"`
+				}
+				if err := json.Unmarshal([]byte(data), &d); err != nil {
+					log.Fatal(err)
+				}
+				deltas++
+				fmt.Print(d.Text)
+			case "done":
+				if err := json.Unmarshal([]byte(data), &final); err != nil {
+					log.Fatal(err)
+				}
+				return deltas, final
+			case "error":
+				log.Fatalf("stream error event: %s", data)
+			}
+		}
+	}
+	log.Fatal("stream ended without a done event")
+	return deltas, final
 }
 
 func restComplete(url string, client *http.Client, req serve.Request) serve.Response {

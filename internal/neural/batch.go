@@ -147,8 +147,11 @@ type batchRow struct {
 
 // GenerateBatch decodes every request together, advancing all live rows one
 // token per stepBatch call. Requests prime and finish independently — mixed
-// prefix lengths, MaxNew budgets, stop conditions, and sampling options
-// (each row consumes only its own Opts.Rand) batch fine, and each row's
+// prefix lengths, MaxNew budgets, stop conditions, sampling options
+// (each row consumes only its own Opts.Rand) and streaming hooks (each
+// row's Opts.OnToken fires as its token is picked, and a row whose
+// Opts.Cancel closes retires alone while the rest keep decoding) batch
+// fine, and each row's
 // output is token-for-token what GenerateCached would have produced alone
 // (see TestGenerateBatchMatchesSerial). Rows that cannot decode purely in
 // cache — an empty prefix, a non-positive MaxNew, or prefix+MaxNew
@@ -194,14 +197,23 @@ func (m *Model) GenerateBatch(reqs []BatchRequest) [][]int {
 		live := active[:0]
 		for _, row := range active {
 			row.fed++
+			opts := row.req.Opts
+			// A cancelled row retires with the tokens it has produced; the
+			// remaining rows keep decoding (their batch just gets narrower).
+			if opts.cancelled() {
+				row.finish(outs, &total)
+				continue
+			}
 			if row.fed < len(row.req.Prefix) {
 				row.next = row.req.Prefix[row.fed]
 				live = append(live, row)
 				continue
 			}
-			opts := row.req.Opts
 			tok := pickToken(row.st.logits, opts)
 			row.out = append(row.out, tok)
+			if opts.OnToken != nil {
+				opts.OnToken(tok)
+			}
 			if opts.StopToken > 0 && tok == opts.StopToken {
 				row.finish(outs, &total)
 				continue

@@ -240,15 +240,21 @@ func (m *Model) GenerateCached(prefix []int, maxNew int, opts GenOptions) []int 
 		prime = prime[len(prime)-ctx:]
 	}
 	for _, tok := range prime {
+		if opts.cancelled() {
+			return nil
+		}
 		logits = st.step(tok)
 	}
 
 	var out []int
-	for len(out) < maxNew {
+	for len(out) < maxNew && !opts.cancelled() {
 		tok := pickToken(logits, opts)
 		out = append(out, tok)
 		if windowed {
 			seq = append(seq, tok)
+		}
+		if opts.OnToken != nil {
+			opts.OnToken(tok)
 		}
 		if opts.StopToken > 0 && tok == opts.StopToken {
 			break

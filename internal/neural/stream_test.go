@@ -1,0 +1,151 @@
+package neural
+
+import (
+	"testing"
+)
+
+// TestOnTokenMatchesOutput: the streaming hook receives exactly the
+// returned tokens, in order, on both decode paths — streaming observes the
+// generation, it never changes it.
+func TestOnTokenMatchesOutput(t *testing.T) {
+	m, err := NewModel(Config{Vocab: 24, Ctx: 32, Dim: 16, Heads: 2, Layers: 2, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []int{1, 2, 3}
+
+	var seen []int
+	opts := GenOptions{OnToken: func(tok int) { seen = append(seen, tok) }}
+	out := m.GenerateCached(prefix, 12, opts)
+	if len(out) == 0 {
+		t.Fatal("no tokens generated")
+	}
+	if len(seen) != len(out) {
+		t.Fatalf("hook saw %d tokens, output has %d", len(seen), len(out))
+	}
+	for i := range out {
+		if seen[i] != out[i] {
+			t.Fatalf("hook token %d = %d, output %d", i, seen[i], out[i])
+		}
+	}
+
+	// The hook must not perturb the generation relative to a hook-less run.
+	plain := m.GenerateCached(prefix, 12, GenOptions{})
+	if len(plain) != len(out) {
+		t.Fatalf("hooked run length %d != plain %d", len(out), len(plain))
+	}
+	for i := range out {
+		if plain[i] != out[i] {
+			t.Fatalf("hooked generation diverged at %d", i)
+		}
+	}
+}
+
+// TestOnTokenWindowedDecode covers the hook through the overflow regime,
+// where the cache re-primes mid-generation.
+func TestOnTokenWindowedDecode(t *testing.T) {
+	m, err := NewModel(Config{Vocab: 16, Ctx: 12, Dim: 8, Heads: 2, Layers: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []int
+	out := m.GenerateCached([]int{1, 2, 3, 4}, 20, GenOptions{
+		OnToken: func(tok int) { seen = append(seen, tok) },
+	})
+	if len(seen) != len(out) {
+		t.Fatalf("hook saw %d tokens across re-primes, output has %d", len(seen), len(out))
+	}
+	for i := range out {
+		if seen[i] != out[i] {
+			t.Fatalf("windowed hook token %d = %d, output %d", i, seen[i], out[i])
+		}
+	}
+}
+
+// TestGenerateCancel: closing the cancel channel stops the decode early,
+// with the tokens produced so far observed by the hook.
+func TestGenerateCancel(t *testing.T) {
+	m, err := NewModel(Config{Vocab: 24, Ctx: 32, Dim: 16, Heads: 2, Layers: 2, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	var seen []int
+	out := m.GenerateCached([]int{1, 2, 3}, 20, GenOptions{
+		Cancel: cancel,
+		OnToken: func(tok int) {
+			seen = append(seen, tok)
+			if len(seen) == 3 {
+				close(cancel)
+			}
+		},
+	})
+	if len(out) >= 20 {
+		t.Fatalf("cancel ignored: %d tokens generated", len(out))
+	}
+	if len(out) < 3 {
+		t.Fatalf("decode stopped before the cancelling token: %d", len(out))
+	}
+	if len(seen) != len(out) {
+		t.Fatalf("hook saw %d, output %d", len(seen), len(out))
+	}
+}
+
+// TestGenerateCancelBeforeStart: a pre-closed channel aborts before any
+// token is produced, including during prefix priming.
+func TestGenerateCancelBeforeStart(t *testing.T) {
+	m, err := NewModel(Config{Vocab: 16, Ctx: 16, Dim: 8, Heads: 2, Layers: 1, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	close(cancel)
+	if out := m.GenerateCached([]int{1, 2, 3}, 10, GenOptions{Cancel: cancel}); len(out) != 0 {
+		t.Fatalf("pre-cancelled generation produced %d tokens", len(out))
+	}
+	if out := m.Generate([]int{1, 2, 3}, 10, GenOptions{Cancel: cancel}); len(out) != 0 {
+		t.Fatalf("pre-cancelled Generate produced %d tokens", len(out))
+	}
+}
+
+// TestGenerateBatchPerRowHooks: each batched row's hook sees its own tokens
+// only, and cancelling one row retires it while the others decode on.
+func TestGenerateBatchPerRowHooks(t *testing.T) {
+	m, err := NewModel(Config{Vocab: 24, Ctx: 32, Dim: 16, Heads: 2, Layers: 2, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	seen := make([][]int, 3)
+	reqs := []BatchRequest{
+		{Prefix: []int{1, 2}, MaxNew: 10, Opts: GenOptions{
+			OnToken: func(tok int) { seen[0] = append(seen[0], tok) }}},
+		{Prefix: []int{3, 4}, MaxNew: 10, Opts: GenOptions{
+			Cancel: cancel,
+			OnToken: func(tok int) {
+				seen[1] = append(seen[1], tok)
+				if len(seen[1]) == 2 {
+					close(cancel)
+				}
+			}}},
+		{Prefix: []int{5, 6}, MaxNew: 10, Opts: GenOptions{
+			OnToken: func(tok int) { seen[2] = append(seen[2], tok) }}},
+	}
+	outs := m.GenerateBatch(reqs)
+	for i, out := range outs {
+		if len(seen[i]) != len(out) {
+			t.Fatalf("row %d: hook saw %d tokens, output has %d", i, len(seen[i]), len(out))
+		}
+		for j := range out {
+			if seen[i][j] != out[j] {
+				t.Fatalf("row %d token %d: hook %d, output %d", i, j, seen[i][j], out[j])
+			}
+		}
+	}
+	if len(outs[1]) >= 10 {
+		t.Errorf("cancelled row ran to completion: %d tokens", len(outs[1]))
+	}
+	if len(outs[0]) != 10 || len(outs[2]) != 10 {
+		t.Errorf("uncancelled rows cut short: %d and %d tokens", len(outs[0]), len(outs[2]))
+	}
+}

@@ -238,6 +238,30 @@ type GenOptions struct {
 	Stop func(generated []int) bool
 	// Rand supplies randomness; nil forces greedy decoding.
 	Rand *rand.Rand
+	// OnToken, when set, receives every generated token id the moment it is
+	// chosen — before the next decode step runs — so callers can stream
+	// output while generation is still in flight. The hook runs on the
+	// decoding goroutine and must not block; it never changes which tokens
+	// are produced (streamed and buffered output are identical).
+	OnToken func(tok int)
+	// Cancel, when non-nil, aborts generation as soon as it is closed: the
+	// decode loop checks it before every step and returns the tokens
+	// produced so far. This is how a dropped client connection stops an
+	// in-flight generation from burning a worker slot.
+	Cancel <-chan struct{}
+}
+
+// cancelled reports whether the options' cancel channel has been closed.
+func (o *GenOptions) cancelled() bool {
+	if o.Cancel == nil {
+		return false
+	}
+	select {
+	case <-o.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // Generate extends prefix by up to maxNew tokens and returns the new tokens.
@@ -250,7 +274,7 @@ func (m *Model) Generate(prefix []int, maxNew int, opts GenOptions) []int {
 	}
 	seq := append([]int(nil), prefix...)
 	var out []int
-	for len(out) < maxNew {
+	for len(out) < maxNew && !opts.cancelled() {
 		window := seq
 		if len(window) > m.cfg.Ctx {
 			window = window[len(window)-m.cfg.Ctx:]
@@ -263,6 +287,9 @@ func (m *Model) Generate(prefix []int, maxNew int, opts GenOptions) []int {
 		tok := pickToken(logits, opts)
 		out = append(out, tok)
 		seq = append(seq, tok)
+		if opts.OnToken != nil {
+			opts.OnToken(tok)
+		}
 		if opts.StopToken > 0 && tok == opts.StopToken {
 			break
 		}

@@ -152,6 +152,9 @@ type faultConn struct {
 	closed    chan struct{}
 }
 
+// Write consults the injector at the start of each exchange (the first
+// write after a read) and applies the drawn fault: error closes the
+// connection, latency sleeps once, corrupt flips a byte of the first frame.
 func (fc *faultConn) Write(b []byte) (int, error) {
 	fc.mu.Lock()
 	if !fc.writing {
@@ -180,6 +183,9 @@ func (fc *faultConn) Write(b []byte) (int, error) {
 	return fc.Conn.Write(b)
 }
 
+// Read delivers the peer's bytes unless the exchange drew FaultHang, in
+// which case the response never arrives: the read blocks until the
+// connection closes or its deadline expires.
 func (fc *faultConn) Read(b []byte) (int, error) {
 	fc.mu.Lock()
 	fc.writing = false
@@ -212,6 +218,8 @@ func (fc *faultConn) setPending(f Fault) {
 	fc.mu.Unlock()
 }
 
+// SetDeadline records the read half for hang emulation and forwards to the
+// wrapped connection.
 func (fc *faultConn) SetDeadline(t time.Time) error {
 	fc.mu.Lock()
 	fc.readDeadline = t
@@ -219,6 +227,8 @@ func (fc *faultConn) SetDeadline(t time.Time) error {
 	return fc.Conn.SetDeadline(t)
 }
 
+// SetReadDeadline records the deadline for hang emulation and forwards to
+// the wrapped connection.
 func (fc *faultConn) SetReadDeadline(t time.Time) error {
 	fc.mu.Lock()
 	fc.readDeadline = t
@@ -226,6 +236,8 @@ func (fc *faultConn) SetReadDeadline(t time.Time) error {
 	return fc.Conn.SetReadDeadline(t)
 }
 
+// Close releases any hung reads and closes the wrapped connection exactly
+// once; later calls are no-ops.
 func (fc *faultConn) Close() error {
 	var err error
 	fc.closeOnce.Do(func() {

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/binary"
+	"reflect"
 	"testing"
 	"unicode/utf8"
 )
@@ -24,6 +25,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{0, 0})                         // truncated header
 	f.Add(frame(nil))                           // zero-length frame
 	f.Add(append(frame([]byte(`{}`)), 0, 0, 0)) // trailing garbage
+	// Streaming frames ride the same codec: request, delta, terminal and
+	// error frames all must survive the decoder.
+	f.Add(frame([]byte(`{"prompt":"install nginx","op":"stream"}`)))
+	f.Add(frame([]byte(`{"type":"delta","seq":0,"delta":"- name: x\n"}`)))
+	f.Add(frame([]byte(`{"type":"done","seq":3,"final":{"suggestion":"- name: x\n","model":"m","replaced":true}}`)))
+	f.Add(frame([]byte(`{"type":"error","seq":0,"error":"serve: overloaded"}`)))
+	f.Add(frame([]byte(`{"type":"done","seq":1}`))) // done without final: protocol violation, must still decode
+	f.Add(frame([]byte(`{"type":"delta","seq":-1,"delta":""}`)))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var req Request
 		if err := readFrame(bytes.NewReader(data), &req); err != nil {
@@ -68,6 +77,43 @@ func FuzzEncodeFrame(f *testing.F) {
 		}
 		if got != req {
 			t.Fatalf("round trip changed the request: %+v vs %+v", req, got)
+		}
+	})
+}
+
+// FuzzDecodeStreamFrame drives the decoder through the streaming frame
+// shape (which nests a *Response): arbitrary bytes must never panic, and
+// any accepted StreamFrame must round-trip through the encoder unchanged.
+func FuzzDecodeStreamFrame(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		return append(hdr[:], payload...)
+	}
+	f.Add(frame([]byte(`{"type":"delta","seq":0,"delta":"- name: install nginx\n"}`)))
+	f.Add(frame([]byte(`{"type":"done","seq":5,"final":{"suggestion":"s","cached":true,"latency_ms":1.5,"model":"m"}}`)))
+	f.Add(frame([]byte(`{"type":"done","seq":2,"final":{"suggestion":"s","degraded":true,"replaced":true,"model":"m"}}`)))
+	f.Add(frame([]byte(`{"type":"error","seq":0,"error":"serve: overloaded: worker pool and queue full"}`)))
+	f.Add(frame([]byte(`{"type":"","seq":0}`)))
+	f.Add(frame([]byte(`{"final":{}}`)))
+	f.Add(frame([]byte(`not json`)))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr StreamFrame
+		if err := readFrame(bytes.NewReader(data), &fr); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, fr); err != nil {
+			t.Fatalf("re-encode of accepted stream frame failed: %v", err)
+		}
+		var again StreamFrame
+		if err := readFrame(bytes.NewReader(buf.Bytes()), &again); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		// StreamFrame nests a pointer, so equality is structural.
+		if !reflect.DeepEqual(again, fr) {
+			t.Fatalf("round trip changed the frame: %+v vs %+v", fr, again)
 		}
 	})
 }

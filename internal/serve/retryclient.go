@@ -188,7 +188,10 @@ func (rc *RetryClient) attempt(req Request) (Response, error) {
 // messages: the Broken() flag at the failure site already made the call.
 type transportError struct{ err error }
 
+// Error prefixes the underlying failure so logs show the layer that failed.
 func (e *transportError) Error() string { return "serve: transport failure: " + e.err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As chains.
 func (e *transportError) Unwrap() error { return e.err }
 
 // conn returns the live connection, dialing one if needed.
@@ -248,6 +251,9 @@ func retryablePredictError(err error) bool {
 	}
 	var te *transportError
 	switch {
+	case errors.Is(err, errStreamInterrupted):
+		// A stream that failed after its first delta cannot be replayed.
+		return false
 	case errors.As(err, &te):
 		return true
 	case errors.Is(err, resilience.ErrBreakerOpen):

@@ -36,6 +36,33 @@
 // "metrics" op (Client.Metrics), so a deployment that only exposes the RPC
 // port can still be scraped.
 //
+// # Streaming
+//
+// Both protocols have a streaming variant that delivers the suggestion
+// incrementally while the decode loop is still running: POST
+// /v1/completions/stream answers with Server-Sent Events (delta events as
+// text is produced, a terminal done event carrying the full Response), and
+// the RPC op "stream" answers one request frame with a sequence of
+// StreamFrame frames. Streams bypass the singleflight group and the
+// micro-batcher — their deltas belong to one client — but share the cache
+// and the worker pool, and admission happens before the first byte is
+// written so overload sheds a stream as a clean 503/error frame, never a
+// torn half-stream. A client that disconnects mid-stream cancels the decode
+// loop within one token, freeing its worker slot. See predictStream and
+// docs/PROTOCOL.md.
+//
+// # Wire protocol
+//
+// The RPC transport is length-prefixed JSON frames over TCP: a 4-byte
+// big-endian payload length followed by that many bytes of JSON, in both
+// directions, with a 1 MiB frame cap. A unary exchange is one Request frame
+// answered by one Response (or OpResponse) frame; a streaming exchange is
+// one Request frame answered by delta StreamFrames and exactly one terminal
+// frame. Frames never interleave between requests — a connection carries
+// one exchange at a time. docs/PROTOCOL.md is the normative specification;
+// writeFrame/readFrame are the only codec implementation and are fuzzed
+// (FuzzDecodeFrame).
+//
 // # Lifecycle
 //
 // Shutdown drains the RPC side gracefully: listeners stop accepting,
@@ -89,9 +116,10 @@ type Request struct {
 	Prompt string `json:"prompt"`
 	// Context is the file content above the prompt (may be empty).
 	Context string `json:"context,omitempty"`
-	// Op selects a non-prediction RPC operation: "" (predict), "metrics"
-	// (Prometheus text dump) or "health". HTTP ignores it — the REST API
-	// routes by path.
+	// Op selects the RPC operation: "" (unary predict), "stream" (streamed
+	// predict, answered with StreamFrames), "metrics" (Prometheus text
+	// dump) or "health". HTTP ignores it — the REST API routes by path.
+	// docs/PROTOCOL.md is the normative op table.
 	Op string `json:"op,omitempty"`
 }
 
@@ -112,6 +140,11 @@ type Response struct {
 	LatencyMS float64 `json:"latency_ms"`
 	// Model names the serving model.
 	Model string `json:"model"`
+	// Replaced is set on streamed responses whose final post-processing
+	// rewrote already-streamed text (the schema-validation fallback): the
+	// concatenated deltas are stale and the client should re-render from
+	// Suggestion. Unary responses never set it.
+	Replaced bool `json:"replaced,omitempty"`
 	// Error is set (and Suggestion empty) when the request was rejected,
 	// e.g. shed under overload. RPC clients surface it as an error.
 	Error string `json:"error,omitempty"`
@@ -183,12 +216,19 @@ func (o Options) withDefaults() Options {
 
 // Server serves predictions over HTTP and the binary RPC protocol.
 type Server struct {
-	model     Predictor
-	degrade   DegradingPredictor // non-nil when model can degrade
-	modelName string
-	cache     *Cache
-	requests  atomic.Int64 // predictions served, both protocols
-	connHook  func(net.Conn) net.Conn
+	model         Predictor
+	degrade       DegradingPredictor          // non-nil when model can degrade
+	stream        StreamingPredictor          // non-nil when model can stream
+	streamDegrade StreamingDegradingPredictor // non-nil when model streams and degrades
+	modelName     string
+	cache         *Cache
+	requests      atomic.Int64 // predictions served, both protocols
+	connHook      func(net.Conn) net.Conn
+
+	// Streaming accounting (live regardless of instrumentation, so tests
+	// and /v1/stats can observe stream lifecycles directly).
+	activeStreams    atomic.Int64
+	cancelledStreams atomic.Uint64
 
 	// Concurrency control: flight coalesces identical in-flight requests,
 	// pool bounds concurrent Predict calls. reqTimeout bounds one
@@ -234,6 +274,12 @@ func NewServerWithOptions(model Predictor, modelName string, opts Options) *Serv
 	}
 	if dp, ok := model.(DegradingPredictor); ok {
 		s.degrade = dp
+	}
+	if sp, ok := model.(StreamingPredictor); ok {
+		s.stream = sp
+	}
+	if sdp, ok := model.(StreamingDegradingPredictor); ok {
+		s.streamDegrade = sdp
 	}
 	if opts.CacheSize > 0 {
 		s.cache = NewCache(opts.CacheSize)
@@ -292,6 +338,13 @@ func (s *Server) Requests() int {
 // Pool returns the server's admission pool (occupancy introspection).
 func (s *Server) Pool() *Pool { return s.pool }
 
+// ActiveStreams returns how many streamed predictions are in flight.
+func (s *Server) ActiveStreams() int { return int(s.activeStreams.Load()) }
+
+// CancelledStreams returns how many streams were abandoned before their
+// terminal frame (client disconnects and failed writes).
+func (s *Server) CancelledStreams() uint64 { return s.cancelledStreams.Load() }
+
 // ---- metrics ----
 
 // serverMetrics holds the instruments recorded on the request hot path.
@@ -311,6 +364,12 @@ type serverMetrics struct {
 	tokensPerSec   *observe.Gauge
 	batchSize      *observe.Histogram
 	degradedTotal  *observe.Counter
+
+	streamTTFT          *observe.Histogram
+	streamRequestsHTTP  *observe.Counter
+	streamRequestsRPC   *observe.Counter
+	streamCancelledHTTP *observe.Counter
+	streamCancelledRPC  *observe.Counter
 }
 
 func (m *serverMetrics) requestsFor(proto string) *observe.Counter {
@@ -332,6 +391,20 @@ func (m *serverMetrics) shedFor(proto string) *observe.Counter {
 		return m.shedRPC
 	}
 	return m.shedHTTP
+}
+
+func (m *serverMetrics) streamRequestsFor(proto string) *observe.Counter {
+	if proto == "rpc" {
+		return m.streamRequestsRPC
+	}
+	return m.streamRequestsHTTP
+}
+
+func (m *serverMetrics) streamCancelledFor(proto string) *observe.Counter {
+	if proto == "rpc" {
+		return m.streamCancelledRPC
+	}
+	return m.streamCancelledHTTP
 }
 
 // Instrument registers the server's metrics on reg and makes Handler serve
@@ -369,7 +442,21 @@ func (s *Server) Instrument(reg *observe.Registry) {
 			[]float64{1, 2, 4, 8, 16, 32}),
 		degradedTotal: reg.Counter("wisdom_degraded_responses_total",
 			"Predictions answered by a degradation-chain fallback tier."),
+		streamTTFT: reg.Histogram("wisdom_stream_ttft_seconds",
+			"Time from stream request arrival to its first delta (time to first token).",
+			observe.DefBuckets),
+		streamRequestsHTTP: reg.Counter("wisdom_stream_requests_total",
+			"Streamed prediction requests started.", proto("http")),
+		streamRequestsRPC: reg.Counter("wisdom_stream_requests_total",
+			"Streamed prediction requests started.", proto("rpc")),
+		streamCancelledHTTP: reg.Counter("wisdom_stream_cancelled_total",
+			"Streams abandoned before completion (client disconnect or failed write).", proto("http")),
+		streamCancelledRPC: reg.Counter("wisdom_stream_cancelled_total",
+			"Streams abandoned before completion (client disconnect or failed write).", proto("rpc")),
 	}
+	reg.GaugeFunc("wisdom_stream_active",
+		"Streamed predictions currently in flight.",
+		func() float64 { return float64(s.activeStreams.Load()) })
 	p := s.pool
 	reg.GaugeFunc("wisdom_pool_workers",
 		"Size of the inference worker pool.", func() float64 { return float64(p.Workers()) })
@@ -548,39 +635,21 @@ func (s *Server) retryAfter() string {
 
 // Handler returns the HTTP handler exposing the REST API:
 //
-//	POST /v1/completions  {"prompt": ..., "context": ...} -> Response
+//	POST /v1/completions         {"prompt": ..., "context": ...} -> Response
+//	POST /v1/completions/stream  same body -> Server-Sent Events stream
 //	GET  /v1/health       -> {"status": "ok", "model": ...}
 //	GET  /healthz         -> {"status": "ok", "model": ...}   (liveness probe)
 //	GET  /v1/stats        -> Stats
 //	GET  /metrics         -> Prometheus text format (requires Instrument)
 //
 // Oversized request bodies are rejected with 413; requests shed under
-// overload get 503 with a Retry-After header.
+// overload get 503 with a Retry-After header (on both endpoints — a shed
+// stream is rejected before any SSE byte is written).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/completions", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			s.countError("http", "method_not_allowed")
-			http.Error(w, `{"error":"method not allowed"}`, http.StatusMethodNotAllowed)
-			return
-		}
-		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-		var req Request
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			var tooLarge *http.MaxBytesError
-			if errors.As(err, &tooLarge) {
-				s.countError("http", "body_too_large")
-				http.Error(w, fmt.Sprintf(`{"error":"request body exceeds %d bytes"}`, tooLarge.Limit),
-					http.StatusRequestEntityTooLarge)
-				return
-			}
-			s.countError("http", "bad_json")
-			http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
-			return
-		}
-		if strings.TrimSpace(req.Prompt) == "" {
-			s.countError("http", "empty_prompt")
-			http.Error(w, `{"error":"prompt is required"}`, http.StatusBadRequest)
+		req, ok := s.decodeHTTPRequest(w, r)
+		if !ok {
 			return
 		}
 		resp, err := s.predict(r.Context(), req, "http")
@@ -595,6 +664,7 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 	})
+	mux.HandleFunc("/v1/completions/stream", s.handleStreamHTTP)
 	health := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"status":"ok","model":%q,"requests":%d}`+"\n", s.modelName, s.Requests())
@@ -625,6 +695,8 @@ type Stats struct {
 	PoolActive     int     `json:"pool_active"`
 	PoolQueued     int     `json:"pool_queued"`
 	ShedRequests   uint64  `json:"shed_requests"`
+	ActiveStreams  int     `json:"active_streams"`
+	CancelledStrms uint64  `json:"cancelled_streams"`
 	CacheEnabled   bool    `json:"cache_enabled"`
 	CacheEntries   int     `json:"cache_entries"`
 	CacheHits      int     `json:"cache_hits"`
@@ -636,12 +708,14 @@ type Stats struct {
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Model:        s.modelName,
-		Requests:     s.Requests(),
-		PoolWorkers:  s.pool.Workers(),
-		PoolActive:   s.pool.Active(),
-		PoolQueued:   s.pool.Queued(),
-		ShedRequests: s.pool.Shed(),
+		Model:          s.modelName,
+		Requests:       s.Requests(),
+		PoolWorkers:    s.pool.Workers(),
+		PoolActive:     s.pool.Active(),
+		PoolQueued:     s.pool.Queued(),
+		ShedRequests:   s.pool.Shed(),
+		ActiveStreams:  s.ActiveStreams(),
+		CancelledStrms: s.CancelledStreams(),
 	}
 	if s.cache != nil {
 		st.CacheEnabled = true
@@ -770,8 +844,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		if !s.beginRequest() {
 			return // draining: the client sees the connection close
 		}
-		resp := s.handleRPC(req)
-		err := writeFrame(conn, resp)
+		var err error
+		if req.Op == OpStream {
+			err = s.serveStreamRPC(conn, req)
+		} else {
+			err = writeFrame(conn, s.handleRPC(req))
+		}
 		s.inflight.Done()
 		if err != nil {
 			return

@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// streamStub is a StreamingPredictor with scriptable behaviour: it emits
+// lines as separate deltas, optionally parks mid-stream until its context
+// is cancelled (prompt "hang"), and optionally returns a final answer that
+// differs from the emitted deltas (prompt "rewrite").
+type streamStub struct {
+	mu      sync.Mutex
+	calls   int
+	started chan struct{} // closed when the first delta of a "hang" call is out
+}
+
+func (s *streamStub) finalFor(prompt string) string {
+	return "- name: " + prompt + "\n  ansible.builtin.debug:\n    msg: ok\n"
+}
+
+func (s *streamStub) Predict(c, prompt string) string { return s.finalFor(prompt) }
+
+func (s *streamStub) PredictStream(ctx context.Context, c, prompt string, emit func(string)) string {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	final := s.finalFor(prompt)
+	if prompt == "rewrite" {
+		emit("- name: rewrite\n")
+		return final // emitted text is not a prefix of the final answer
+	}
+	lines := strings.SplitAfter(final, "\n")
+	for i, l := range lines {
+		if l == "" {
+			continue
+		}
+		if ctx.Err() != nil {
+			return final
+		}
+		emit(l)
+		if i == 0 && prompt == "hang" {
+			if s.started != nil {
+				close(s.started)
+			}
+			<-ctx.Done() // park until the client goes away
+			return final
+		}
+	}
+	return final
+}
+
+// sseEvent is one parsed SSE event.
+type sseEvent struct {
+	event string
+	data  string
+}
+
+// readSSE parses every event from an SSE body.
+func readSSE(t *testing.T, r io.Reader) []sseEvent {
+	t.Helper()
+	var evs []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.event != "" {
+				evs = append(evs, cur)
+				cur = sseEvent{}
+			}
+		}
+	}
+	return evs
+}
+
+func postStream(t *testing.T, ts *httptest.Server, req Request) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := ts.Client().Post(ts.URL+"/v1/completions/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestStreamSSEEquivalence: the concatenated delta events are byte-identical
+// to the unary endpoint's suggestion, and the done event carries the full
+// response metadata.
+func TestStreamSSEEquivalence(t *testing.T) {
+	stub := &streamStub{}
+	srv := NewServer(stub, "stream-model", 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	unary := stub.Predict("", "install nginx")
+
+	resp := postStream(t, ts, Request{Prompt: "install nginx"})
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	evs := readSSE(t, resp.Body)
+	if len(evs) < 2 {
+		t.Fatalf("got %d events, want deltas plus done", len(evs))
+	}
+	var sb strings.Builder
+	for _, ev := range evs[:len(evs)-1] {
+		if ev.event != StreamDelta {
+			t.Fatalf("unexpected event %q before terminal", ev.event)
+		}
+		var d sseDelta
+		if err := json.Unmarshal([]byte(ev.data), &d); err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(d.Text)
+	}
+	last := evs[len(evs)-1]
+	if last.event != StreamDone {
+		t.Fatalf("terminal event = %q, want done", last.event)
+	}
+	var final Response
+	if err := json.Unmarshal([]byte(last.data), &final); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != unary {
+		t.Errorf("concatenated deltas = %q, want unary answer %q", sb.String(), unary)
+	}
+	if final.Suggestion != unary || final.Replaced || final.Model != "stream-model" {
+		t.Errorf("done response = %+v", final)
+	}
+	if len(evs) < 3 {
+		t.Errorf("multi-line answer arrived in %d deltas; want per-line streaming", len(evs)-1)
+	}
+}
+
+// TestStreamRPCEquivalence: the same invariant over the framed protocol.
+func TestStreamRPCEquivalence(t *testing.T) {
+	stub := &streamStub{}
+	srv := NewServer(stub, "m", 0)
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go srv.ServeRPC(ln)
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	unary := stub.Predict("", "start redis")
+	var sb strings.Builder
+	deltas := 0
+	final, err := c.PredictStream(Request{Prompt: "start redis"}, func(d string) {
+		deltas++
+		sb.WriteString(d)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != unary || final.Suggestion != unary {
+		t.Errorf("deltas %q / final %q, want %q", sb.String(), final.Suggestion, unary)
+	}
+	if deltas < 2 {
+		t.Errorf("got %d delta frames, want per-line streaming", deltas)
+	}
+	if final.Replaced {
+		t.Error("equivalent stream flagged replaced")
+	}
+	// The connection stays healthy for further calls, unary included.
+	if _, err := c.Predict(Request{Prompt: "again"}); err != nil {
+		t.Errorf("unary call after stream failed: %v", err)
+	}
+}
+
+// TestStreamReplacedFlag: when the final answer rewrites streamed text, the
+// terminal response is flagged so clients re-render from Suggestion.
+func TestStreamReplacedFlag(t *testing.T) {
+	stub := &streamStub{}
+	srv := NewServer(stub, "m", 0)
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go srv.ServeRPC(ln)
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	final, err := c.PredictStream(Request{Prompt: "rewrite"}, func(string) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Replaced {
+		t.Error("rewritten stream not flagged replaced")
+	}
+	if final.Suggestion != stub.finalFor("rewrite") {
+		t.Errorf("final suggestion = %q", final.Suggestion)
+	}
+}
+
+// TestStreamCacheHit: a cached answer streams as one delta flagged cached.
+func TestStreamCacheHit(t *testing.T) {
+	stub := &streamStub{}
+	srv := NewServer(stub, "m", 16)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	first := postStream(t, ts, Request{Prompt: "install nginx"})
+	io.Copy(io.Discard, first.Body)
+	first.Body.Close()
+
+	resp := postStream(t, ts, Request{Prompt: "install nginx"})
+	defer resp.Body.Close()
+	evs := readSSE(t, resp.Body)
+	if len(evs) != 2 {
+		t.Fatalf("cache hit produced %d events, want one delta plus done", len(evs))
+	}
+	var final Response
+	if err := json.Unmarshal([]byte(evs[1].data), &final); err != nil {
+		t.Fatal(err)
+	}
+	if !final.Cached {
+		t.Error("second identical stream not served from cache")
+	}
+	if stub.calls != 1 {
+		t.Errorf("model called %d times, want 1", stub.calls)
+	}
+}
+
+// TestStreamShedBeforeFirstByte: a stream shed under overload is a plain
+// HTTP 503 with Retry-After — SSE headers are never written, so there is no
+// torn stream to mislead a client-side SSE parser.
+func TestStreamShedBeforeFirstByte(t *testing.T) {
+	stub := &streamStub{started: make(chan struct{})}
+	srv := NewServerWithOptions(stub, "m", Options{
+		Workers: 1, QueueDepth: -1, QueueTimeout: 50 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Occupy the only worker slot with a parked stream.
+	hangCtx, cancelHang := context.WithCancel(context.Background())
+	defer cancelHang()
+	body, _ := json.Marshal(Request{Prompt: "hang"})
+	hangReq, _ := http.NewRequestWithContext(hangCtx, http.MethodPost,
+		ts.URL+"/v1/completions/stream", bytes.NewReader(body))
+	hangResp, err := ts.Client().Do(hangReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hangResp.Body.Close()
+	<-stub.started // the slot is now held
+
+	resp := postStream(t, ts, Request{Prompt: "shed me"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed stream missing Retry-After")
+	}
+	if ct := resp.Header.Get("Content-Type"); strings.Contains(ct, "event-stream") {
+		t.Errorf("shed stream advertised SSE Content-Type %q", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(raw), "event:") {
+		t.Errorf("shed response contains SSE bytes: %q", raw)
+	}
+}
+
+// TestStreamDisconnectFreesPoolSlot: a client that drops mid-stream cancels
+// the generation, frees its worker slot, and is counted cancelled.
+func TestStreamDisconnectFreesPoolSlot(t *testing.T) {
+	stub := &streamStub{started: make(chan struct{})}
+	srv := NewServerWithOptions(stub, "m", Options{Workers: 1, QueueDepth: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(Request{Prompt: "hang"})
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/completions/stream", bytes.NewReader(body))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-stub.started
+	if got := srv.Pool().Active(); got != 1 {
+		t.Fatalf("active workers = %d while streaming, want 1", got)
+	}
+	if got := srv.ActiveStreams(); got != 1 {
+		t.Fatalf("active streams = %d, want 1", got)
+	}
+
+	cancel() // the editor closes the connection mid-stream
+	resp.Body.Close()
+
+	deadline := time.After(2 * time.Second)
+	for srv.Pool().Active() != 0 || srv.ActiveStreams() != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("slot not freed after disconnect: active=%d streams=%d",
+				srv.Pool().Active(), srv.ActiveStreams())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if got := srv.CancelledStreams(); got != 1 {
+		t.Errorf("cancelled streams = %d, want 1", got)
+	}
+}
+
+// TestStreamRPCDisconnectFreesPoolSlot: the same invariant over RPC — a
+// dropped connection fails the next frame write, which cancels the decode.
+func TestStreamRPCDisconnectFreesPoolSlot(t *testing.T) {
+	stub := &streamStub{started: make(chan struct{})}
+	srv := NewServerWithOptions(stub, "m", Options{Workers: 1, QueueDepth: -1})
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go srv.ServeRPC(ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, Request{Prompt: "hang", Op: OpStream}); err != nil {
+		t.Fatal(err)
+	}
+	var fr StreamFrame
+	if err := readFrame(conn, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Type != StreamDelta {
+		t.Fatalf("first frame = %+v, want delta", fr)
+	}
+	<-stub.started
+	conn.Close() // client vanishes mid-stream
+
+	// The stub is parked between deltas, so no write will fail on its own:
+	// only the server's stream watchdog (which sees the closed connection
+	// on its read) can cancel the generation and free the slot.
+	deadline := time.After(5 * time.Second)
+	for srv.Pool().Active() != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("slot not freed after RPC disconnect: active=%d", srv.Pool().Active())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestStreamRPCShedErrorFrame: overload over RPC is one well-formed error
+// frame on a connection that stays framed and reusable.
+func TestStreamRPCShedErrorFrame(t *testing.T) {
+	stub := &streamStub{started: make(chan struct{})}
+	srv := NewServerWithOptions(stub, "m", Options{
+		Workers: 1, QueueDepth: -1, QueueTimeout: 50 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go srv.ServeRPC(ln)
+
+	// Park a stream over HTTP to hold the only slot.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	body, _ := json.Marshal(Request{Prompt: "hang"})
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/completions/stream", bytes.NewReader(body))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	<-stub.started
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.PredictStream(Request{Prompt: "shed me"}, func(d string) {
+		t.Errorf("shed stream delivered delta %q", d)
+	})
+	if err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("err = %v, want overload shed", err)
+	}
+	if c.Broken() {
+		t.Error("clean shed broke the client connection")
+	}
+	// Free the slot; the same connection must serve the next stream.
+	cancel()
+	resp.Body.Close()
+	deadline := time.After(2 * time.Second)
+	for srv.Pool().Active() != 0 {
+		select {
+		case <-deadline:
+			t.Fatal("slot never freed")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if _, err := c.PredictStream(Request{Prompt: "retry"}, func(string) {}); err != nil {
+		t.Errorf("stream after shed failed: %v", err)
+	}
+}
+
+// TestStreamUnaryFallbackPredictor: a predictor without a streaming path
+// still serves the stream endpoints — one delta through the full unary
+// pipeline.
+func TestStreamUnaryFallbackPredictor(t *testing.T) {
+	model := &echoModel{}
+	srv := NewServer(model, "m", 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := postStream(t, ts, Request{Prompt: "install nginx"})
+	defer resp.Body.Close()
+	evs := readSSE(t, resp.Body)
+	if len(evs) != 2 || evs[0].event != StreamDelta || evs[1].event != StreamDone {
+		t.Fatalf("events = %+v, want one delta plus done", evs)
+	}
+	var d sseDelta
+	if err := json.Unmarshal([]byte(evs[0].data), &d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d.Text, "- name: install nginx") {
+		t.Errorf("delta = %q", d.Text)
+	}
+}
+
+// TestRetryClientStreamRetriesShed: a shed arrives before any delta, so the
+// retrying client replays it like a unary shed and succeeds once capacity
+// returns.
+func TestRetryClientStreamRetriesShed(t *testing.T) {
+	stub := &streamStub{started: make(chan struct{})}
+	srv := NewServerWithOptions(stub, "m", Options{
+		Workers: 1, QueueDepth: -1, QueueTimeout: 20 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go srv.ServeRPC(ln)
+
+	// Hold the slot, then release it when the first attempt has been shed.
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(Request{Prompt: "hang"})
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/completions/stream", bytes.NewReader(body))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	<-stub.started
+
+	rc := NewRetryClient(ln.Addr().String(), RetryOptions{
+		Retries: 4, Backoff: 30 * time.Millisecond, Seed: 1,
+	})
+	defer rc.Close()
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		cancel()
+		resp.Body.Close()
+	}()
+	var sb strings.Builder
+	final, err := rc.PredictStream(Request{Prompt: "eventually"}, func(d string) {
+		sb.WriteString(d)
+	})
+	if err != nil {
+		t.Fatalf("retried stream failed: %v (retries=%d)", err, rc.Retries())
+	}
+	if rc.Retries() == 0 {
+		t.Error("stream succeeded without retrying through the shed")
+	}
+	if sb.String() != final.Suggestion {
+		t.Errorf("deltas %q != final %q", sb.String(), final.Suggestion)
+	}
+}
+
+// TestStreamInterruptedNotRetryable: the classifier refuses to replay a
+// stream that already delivered output.
+func TestStreamInterruptedNotRetryable(t *testing.T) {
+	err := &transportError{io.ErrUnexpectedEOF}
+	if !retryablePredictError(err) {
+		t.Fatal("transport error should be retryable")
+	}
+	wrapped := interruptedStreamError(err)
+	if retryablePredictError(wrapped) {
+		t.Error("mid-stream failure must not be retryable")
+	}
+}

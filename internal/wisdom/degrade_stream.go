@@ -1,0 +1,158 @@
+package wisdom
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// PredictStream implements StreamPredictor on the degradation chain,
+// discarding the degradation flag (callers that care use
+// PredictStreamDegraded).
+func (c *Chain) PredictStream(ctx context.Context, yamlCtx, prompt string, emit func(delta string)) string {
+	out, _ := c.PredictStreamDegraded(ctx, yamlCtx, prompt, emit)
+	return out
+}
+
+// PredictStreamDegraded streams one request through the chain: the tier
+// that answers is the tier that streams, and the returned flag tags the
+// stream degraded when that tier was not the primary.
+//
+// Tier hand-off interacts with streaming in one way the unary path never
+// sees: a tier that has already emitted deltas cannot be abandoned, because
+// its partial output is on the wire and a lower tier would answer with
+// different bytes. The per-tier timeout therefore bounds a tier's time to
+// FIRST output: a tier that times out silent is abandoned exactly like the
+// unary chain abandons it, while a tier that is already streaming owns the
+// request and the chain waits for it to finish (generation is finite
+// compute, and the caller's ctx still cancels the decode loop itself). A
+// tier that fails after streaming started poisons the stream — lower tiers
+// then answer unary-style, nothing more is emitted, and the caller's
+// delta/answer comparison surfaces the rewrite.
+func (c *Chain) PredictStreamDegraded(ctx context.Context, yamlCtx, prompt string, emit func(delta string)) (string, bool) {
+	clean := true // no tier has emitted and then failed
+	b := c.cfg.Breaker
+	if b == nil || b.Allow() {
+		out, started, err := callTierStream(ctx, c.primary, yamlCtx, prompt, c.cfg.Timeout, emit)
+		if b != nil {
+			b.Record(err)
+		}
+		if err == nil {
+			return out, false
+		}
+		if started {
+			clean = false
+		}
+	}
+	tierEmit := emit
+	if !clean {
+		tierEmit = func(string) {}
+	}
+	if c.fallback != nil {
+		out, started, err := callTierStream(ctx, c.fallback, yamlCtx, prompt, c.cfg.Timeout, tierEmit)
+		if err == nil {
+			c.degraded("fallback")
+			return out, true
+		}
+		if started {
+			clean = false
+			tierEmit = func(string) {}
+		}
+	}
+	if c.retrieve != nil {
+		if out, ok := c.retrieve(yamlCtx, prompt); ok {
+			c.degraded("retrieval")
+			// Retrieval is instantaneous: the whole answer goes out as one
+			// delta (when the stream is still clean).
+			tierEmit(out)
+			return out, true
+		}
+	}
+	c.degraded("none")
+	return "", true
+}
+
+// emitGate serialises a tier's emissions against the chain's abandonment
+// decision: once tryAbandon wins, every later delta from the abandoned
+// goroutine is discarded instead of interleaving with the next tier's
+// stream; once a delta has gone out, tryAbandon loses and the tier keeps
+// the request.
+type emitGate struct {
+	mu        sync.Mutex
+	started   bool
+	abandoned bool
+	emit      func(string)
+}
+
+func (g *emitGate) send(d string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.abandoned {
+		return
+	}
+	g.started = true
+	g.emit(d)
+}
+
+// tryAbandon marks the gate abandoned unless streaming already started,
+// reporting whether abandonment won.
+func (g *emitGate) tryAbandon() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.started {
+		return false
+	}
+	g.abandoned = true
+	return true
+}
+
+func (g *emitGate) hasStarted() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.started
+}
+
+// callTierStream runs one tier's streaming prediction bounded by the
+// timeout in the way the Chain doc describes: silent tiers are abandoned on
+// timeout (their late deltas discarded), streaming tiers are waited out.
+// Tiers without a streaming implementation run their unary Predict and emit
+// the whole answer as one delta on success. started reports whether any
+// delta reached the caller's emit.
+func callTierStream(ctx context.Context, p Predictor, yamlCtx, prompt string,
+	timeout time.Duration, emit func(string)) (out string, started bool, err error) {
+	type result struct {
+		out string
+		err error
+	}
+	gate := &emitGate{emit: emit}
+	ch := make(chan result, 1) // buffered: an abandoned tier still exits
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- result{err: errPanic}
+			}
+		}()
+		if sp, ok := p.(StreamPredictor); ok {
+			ch <- result{out: sp.PredictStream(ctx, yamlCtx, prompt, gate.send)}
+			return
+		}
+		o := p.Predict(yamlCtx, prompt)
+		gate.send(o)
+		ch <- result{out: o}
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	deadline := t.C
+	for {
+		select {
+		case r := <-ch:
+			return r.out, gate.hasStarted(), r.err
+		case <-deadline:
+			if gate.tryAbandon() {
+				return "", false, errTimeout
+			}
+			// The tier is mid-stream and owns the request; wait it out.
+			deadline = nil
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package wisdom
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// streamStubPredictor is a controllable streaming tier: it emits its answer
+// in per-line deltas, can park mid-stream, and can fail after starting.
+type streamStubPredictor struct {
+	text      string
+	delayHead time.Duration // wait before the first delta
+	parkAfter int           // park after N deltas until gate closes (0: never)
+	failAfter int           // panic after N deltas (0: never)
+	gate      chan struct{}
+	calls     atomic.Int64
+}
+
+func newStreamStub(text string) *streamStubPredictor {
+	return &streamStubPredictor{text: text, gate: make(chan struct{})}
+}
+
+func (s *streamStubPredictor) answer(prompt string) string {
+	return s.text + ": " + prompt + "\n  line2\n  line3\n"
+}
+
+func (s *streamStubPredictor) Predict(c, prompt string) string {
+	s.calls.Add(1)
+	return s.answer(prompt)
+}
+
+func (s *streamStubPredictor) PredictStream(ctx context.Context, c, prompt string, emit func(string)) string {
+	s.calls.Add(1)
+	if s.delayHead > 0 {
+		time.Sleep(s.delayHead)
+	}
+	final := s.answer(prompt)
+	n := 0
+	for _, l := range strings.SplitAfter(final, "\n") {
+		if l == "" {
+			continue
+		}
+		emit(l)
+		n++
+		if s.failAfter > 0 && n == s.failAfter {
+			panic("stream stub forced mid-stream failure")
+		}
+		if s.parkAfter > 0 && n == s.parkAfter {
+			<-s.gate
+		}
+	}
+	return final
+}
+
+func TestChainStreamHealthyPrimary(t *testing.T) {
+	primary, fallback := newStreamStub("neural"), newStreamStub("ngram")
+	c := NewChain(primary, fallback, nil, ChainConfig{Timeout: 200 * time.Millisecond})
+	var sb strings.Builder
+	out, degraded := c.PredictStreamDegraded(context.Background(), "", "install nginx",
+		func(d string) { sb.WriteString(d) })
+	if degraded {
+		t.Fatal("healthy primary stream tagged degraded")
+	}
+	if out != primary.answer("install nginx") {
+		t.Fatalf("out = %q", out)
+	}
+	if sb.String() != out {
+		t.Fatalf("deltas %q != final %q", sb.String(), out)
+	}
+	if fallback.calls.Load() != 0 {
+		t.Fatal("fallback ran although the primary streamed")
+	}
+}
+
+// TestChainStreamSilentTimeoutFallsBack: a primary that produces no delta
+// within the tier budget is abandoned; the fallback streams instead and the
+// answer is clean (nothing from the primary reached the wire).
+func TestChainStreamSilentTimeoutFallsBack(t *testing.T) {
+	primary, fallback := newStreamStub("neural"), newStreamStub("ngram")
+	primary.delayHead = time.Second
+	c := NewChain(primary, fallback, nil, ChainConfig{Timeout: 20 * time.Millisecond})
+	var sb strings.Builder
+	out, degraded := c.PredictStreamDegraded(context.Background(), "", "x",
+		func(d string) { sb.WriteString(d) })
+	if !degraded {
+		t.Fatal("fallback answer not tagged degraded")
+	}
+	if out != fallback.answer("x") {
+		t.Fatalf("out = %q", out)
+	}
+	if sb.String() != out {
+		t.Fatalf("deltas %q != final %q — late primary deltas leaked?", sb.String(), out)
+	}
+}
+
+// TestChainStreamStartedTierOwnsRequest: a primary that has emitted is
+// waited out past the tier timeout instead of being abandoned (its partial
+// answer is on the wire; switching tiers would interleave different text).
+func TestChainStreamStartedTierOwnsRequest(t *testing.T) {
+	primary, fallback := newStreamStub("neural"), newStreamStub("ngram")
+	primary.parkAfter = 1
+	c := NewChain(primary, fallback, nil, ChainConfig{Timeout: 20 * time.Millisecond})
+	go func() {
+		time.Sleep(80 * time.Millisecond) // well past the tier timeout
+		close(primary.gate)
+	}()
+	var sb strings.Builder
+	out, degraded := c.PredictStreamDegraded(context.Background(), "", "x",
+		func(d string) { sb.WriteString(d) })
+	if degraded {
+		t.Fatal("slow-but-streaming primary tagged degraded")
+	}
+	if out != primary.answer("x") || sb.String() != out {
+		t.Fatalf("out = %q, deltas = %q", out, sb.String())
+	}
+	if fallback.calls.Load() != 0 {
+		t.Fatal("fallback ran although the primary owned the stream")
+	}
+}
+
+// TestChainStreamMidStreamFailurePoisons: a primary that dies after
+// emitting poisons the stream — the fallback still answers (unary, nothing
+// more emitted) and the caller reconciles via the returned answer.
+func TestChainStreamMidStreamFailurePoisons(t *testing.T) {
+	primary, fallback := newStreamStub("neural"), newStreamStub("ngram")
+	primary.failAfter = 1
+	c := NewChain(primary, fallback, nil, ChainConfig{Timeout: 100 * time.Millisecond})
+	var sb strings.Builder
+	out, degraded := c.PredictStreamDegraded(context.Background(), "", "x",
+		func(d string) { sb.WriteString(d) })
+	if !degraded {
+		t.Fatal("fallback answer not tagged degraded")
+	}
+	if out != fallback.answer("x") {
+		t.Fatalf("out = %q, want the fallback's answer", out)
+	}
+	// The poisoned stream stops at the primary's first delta; the
+	// fallback's text must NOT have been appended to the stream.
+	if got := sb.String(); strings.Contains(got, "ngram") {
+		t.Fatalf("fallback text leaked into a poisoned stream: %q", got)
+	}
+	if !strings.HasPrefix(sb.String(), "neural: x\n") {
+		t.Fatalf("stream = %q", sb.String())
+	}
+}
+
+// TestChainStreamRetrievalTier: with both generative tiers down, retrieval
+// emits its whole answer as one delta.
+func TestChainStreamRetrievalTier(t *testing.T) {
+	primary := newStreamStub("neural")
+	primary.delayHead = time.Second
+	retr := func(c, p string) (string, bool) { return "- name: " + p + " (memorised)\n", true }
+	c := NewChain(primary, nil, retr, ChainConfig{Timeout: 10 * time.Millisecond})
+	var deltas []string
+	out, degraded := c.PredictStreamDegraded(context.Background(), "", "x",
+		func(d string) { deltas = append(deltas, d) })
+	if !degraded {
+		t.Fatal("retrieval answer not tagged degraded")
+	}
+	if len(deltas) != 1 || deltas[0] != out {
+		t.Fatalf("deltas = %q, want the whole retrieval answer at once", deltas)
+	}
+}
+
+// TestChainStreamUnaryPrimary: a tier without a streaming implementation
+// answers through its unary Predict and emits once on success.
+func TestChainStreamUnaryPrimary(t *testing.T) {
+	primary := newStub("neural")
+	c := NewChain(primary, nil, nil, ChainConfig{Timeout: 100 * time.Millisecond})
+	var deltas []string
+	out, degraded := c.PredictStreamDegraded(context.Background(), "", "x",
+		func(d string) { deltas = append(deltas, d) })
+	if degraded {
+		t.Fatal("healthy unary primary tagged degraded")
+	}
+	if len(deltas) != 1 || deltas[0] != out {
+		t.Fatalf("deltas = %q, out = %q", deltas, out)
+	}
+}

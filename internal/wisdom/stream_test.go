@@ -1,0 +1,124 @@
+package wisdom
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"wisdom/internal/dataset"
+	"wisdom/internal/neural"
+	"wisdom/internal/tokenizer"
+)
+
+// streamTestModel trains the tiny memorisable transformer used by
+// TestNeuralBackedModel: a model that reliably reproduces a multi-line task
+// body, which is what streaming tests (and the TTFT benchmarks) need.
+func streamTestModel(t testing.TB) *Model {
+	t.Helper()
+	task := "- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n"
+	texts := []string{task, task, task, task}
+	tok, err := tokenizer.Train(texts, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ctx = 64
+	nm, err := neural.NewModel(neural.Config{
+		Vocab: tok.VocabSize(), Ctx: ctx, Dim: 32, Heads: 2, Layers: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := dataset.PackFiles(tok, texts, ctx)
+	nm.Train(seqs, neural.TrainConfig{Epochs: 120, LR: 3e-3, BatchSize: 4, Seed: 1})
+	return &Model{
+		Name:       "neural-stream-test",
+		Tok:        tok,
+		LM:         &NeuralLM{Model: nm},
+		CtxWindow:  ctx,
+		Style:      dataset.NameCompletion,
+		MaxNewTask: 28,
+	}
+}
+
+// TestPredictStreamMatchesPredict is the core streaming invariant: the
+// concatenated deltas are byte-identical to the unary answer, and the
+// returned final equals Predict's output.
+func TestPredictStreamMatchesPredict(t *testing.T) {
+	m := streamTestModel(t)
+	want := m.Predict("", "Install nginx")
+
+	var sb strings.Builder
+	got := m.PredictStream(context.Background(), "", "Install nginx", func(d string) {
+		sb.WriteString(d)
+	})
+	if got != want {
+		t.Errorf("PredictStream final = %q, want Predict's %q", got, want)
+	}
+	if sb.String() != want {
+		t.Errorf("concatenated deltas = %q, want %q", sb.String(), want)
+	}
+}
+
+// TestPredictStreamIncremental asserts streaming is actually incremental:
+// a multi-line completion must arrive in more than two deltas (name line,
+// then committed body lines as the decode loop produces them) — two deltas
+// would mean everything was buffered until the end.
+func TestPredictStreamIncremental(t *testing.T) {
+	m := streamTestModel(t)
+	var deltas []string
+	final := m.PredictStream(context.Background(), "", "Install nginx", func(d string) {
+		deltas = append(deltas, d)
+	})
+	if n := strings.Count(final, "\n"); n < 3 {
+		t.Skipf("completion too short to observe incrementality: %q", final)
+	}
+	if len(deltas) <= 2 {
+		t.Errorf("multi-line completion arrived in %d deltas (%q); want per-line emission",
+			len(deltas), deltas)
+	}
+	// Every prefix of the delta sequence must be a prefix of the final
+	// answer (deltas are never retracted).
+	sent := ""
+	for _, d := range deltas {
+		sent += d
+		if !strings.HasPrefix(final, sent) {
+			t.Fatalf("emitted prefix %q is not a prefix of final %q", sent, final)
+		}
+	}
+}
+
+// TestPredictStreamCancel verifies a cancelled context stops generation:
+// the stream ends early and the decode loop does not run to completion.
+func TestPredictStreamCancel(t *testing.T) {
+	m := streamTestModel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var deltas int
+	m.PredictStream(ctx, "", "Install nginx", func(d string) {
+		deltas++
+		cancel() // first delta: the client hangs up
+	})
+	if deltas == 0 {
+		t.Fatal("no delta emitted before cancellation")
+	}
+	// The answer may be partial; the important property (the decode loop
+	// observed the cancel) is covered by the neural-layer cancel tests.
+	// Here we only require PredictStream to return at all after cancel.
+}
+
+// TestPredictStreamNonStreamingLM covers the n-gram fallback: a Generator
+// without CompleteStream still streams head + tail correctly.
+func TestPredictStreamNonStreamingLM(t *testing.T) {
+	r := getRig(t)
+	m := pretrain(t, r, WisdomAnsibleMulti)
+	want := m.Predict("", "Install nginx")
+	var sb strings.Builder
+	got := m.PredictStream(context.Background(), "", "Install nginx", func(d string) {
+		sb.WriteString(d)
+	})
+	if got != want {
+		t.Errorf("final = %q, want %q", got, want)
+	}
+	if sb.String() != want {
+		t.Errorf("concatenated deltas = %q, want %q", sb.String(), want)
+	}
+}

@@ -31,6 +31,9 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== docs freshness (exported identifiers documented)"
+go test -run '^TestDocGate$' -count=1 .
+
 echo "== coverage floor (${COVER_FLOOR}%)"
 go test -short -count=1 -coverprofile=coverage.out ./... >/dev/null
 total=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
@@ -48,6 +51,7 @@ if [ "$FUZZTIME" != "0" ]; then
     go test -run='^$' -fuzz='^FuzzParseYAML$' -fuzztime="$FUZZTIME" ./internal/yaml
     go test -run='^$' -fuzz='^FuzzDecodeFrame$' -fuzztime="$FUZZTIME" ./internal/serve
     go test -run='^$' -fuzz='^FuzzEncodeFrame$' -fuzztime="$FUZZTIME" ./internal/serve
+    go test -run='^$' -fuzz='^FuzzDecodeStreamFrame$' -fuzztime="$FUZZTIME" ./internal/serve
     go test -run='^$' -fuzz='^FuzzEncode$' -fuzztime="$FUZZTIME" ./internal/tokenizer
 fi
 
