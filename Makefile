@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check fuzz bench bench-decode bench-stream fmt clean
+.PHONY: all build test race vet check fuzz bench bench-decode bench-stream bench-session fmt clean
 
 all: check
 
@@ -48,6 +48,13 @@ bench-decode:
 bench-stream:
 	$(GO) test ./internal/wisdom/ -run XXX -benchtime 20x \
 		-bench 'BenchmarkPredictStream$$|BenchmarkPredictUnary$$'
+
+# bench-session runs the warm-vs-cold session benchmarks that back
+# BENCH_PR7.json: time-to-first-generated-delta (first-body-ns/op) of the
+# editor keystroke trace with and without per-session prefix KV reuse.
+bench-session:
+	$(GO) test ./internal/wisdom/ -run XXX -benchtime 50x \
+		-bench 'BenchmarkPredictSessionWarm$$|BenchmarkPredictSessionCold$$'
 
 fmt:
 	gofmt -l -w .

@@ -8,6 +8,7 @@
 //	wisdom-gen -prompt "open port 443" -variant wisdom-yaml-multi -few-shot
 //	wisdom-gen -prompt "install nginx" -server localhost:8081
 //	wisdom-gen -prompt "install nginx" -server localhost:8081 -stream
+//	wisdom-gen -prompt "install ngi" -server localhost:8081 -session editor-1
 //
 // Without -server the model is trained locally on startup from the seeded
 // synthetic corpora (a few seconds at the default scale); -quick shrinks
@@ -22,6 +23,11 @@
 // server's final validation pass rewrites the streamed text (the response's
 // "replaced" flag), the corrected answer is printed in full after a
 // separator note on stderr.
+//
+// -session names a decode session on the server: successive invocations
+// sharing the key reuse the server's retained prefix KV state, so a prompt
+// extending the previous one re-steps only the changed suffix. Output is
+// byte-identical either way; servers without session support ignore it.
 package main
 
 import (
@@ -46,6 +52,7 @@ func main() {
 	retries := flag.Int("retries", 2, "extra attempts after a failed request (with -server)")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "base backoff before the first retry (with -server)")
 	stream := flag.Bool("stream", false, "print the suggestion incrementally as it is generated")
+	session := flag.String("session", "", "decode-session key (with -server): successive requests sharing it reuse the server's prefix KV state")
 	flag.Parse()
 
 	if *prompt == "" {
@@ -68,7 +75,7 @@ func main() {
 			Backoff: *backoff,
 		})
 		defer rc.Close()
-		req := serve.Request{Prompt: *prompt, Context: context}
+		req := serve.Request{Prompt: *prompt, Context: context, SessionID: *session}
 		var resp serve.Response
 		var err error
 		if *stream {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"wisdom/internal/experiments"
+	"wisdom/internal/neural"
 	"wisdom/internal/observe"
 	"wisdom/internal/resilience"
 	"wisdom/internal/serve"
@@ -59,6 +60,9 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive primary failures that open the circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before probing the primary")
 	breakerProbes := flag.Int("breaker-probes", 1, "concurrent probe requests allowed while half-open")
+	sessions := flag.Int("sessions", 64, "max resident per-session prefix KV decode states (0 disables sessions)")
+	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "evict sessions idle longer than this (negative disables idle eviction)")
+	sessionMem := flag.Int64("session-mem", 0, "cap estimated session-state memory in bytes (0 = unbounded)")
 	flag.Parse()
 
 	var reg *observe.Registry
@@ -71,6 +75,27 @@ func main() {
 	}
 
 	model, fallback := buildModel(*loadPath, *savePath, *variant, *quick, tracer)
+
+	// Per-session prefix KV caching: only transformer-backed models hold
+	// reusable decode state (the n-gram zoo decodes from counts), and the
+	// degradation chain re-routes requests across tiers, which breaks
+	// session affinity — so sessions engage only on a neural model served
+	// directly.
+	if *sessions > 0 && !*degrade {
+		ttl := *sessionTTL
+		if ttl < 0 {
+			ttl = -1
+		}
+		if model.EnableSessions(neural.SessionCacheConfig{
+			MaxSessions: *sessions, TTL: ttl, MaxBytes: *sessionMem,
+		}) {
+			fmt.Fprintf(os.Stderr, "sessions on: %d max, ttl %s\n", *sessions, *sessionTTL)
+		} else {
+			fmt.Fprintf(os.Stderr, "sessions unavailable: %s has no per-session decode state (n-gram LM)\n", model.Name)
+		}
+	} else if *sessions > 0 && *degrade {
+		fmt.Fprintln(os.Stderr, "sessions unavailable: disabled under -degrade (the chain re-routes requests across tiers)")
+	}
 
 	// The served predictor is either the raw model or, with -degrade, the
 	// degradation chain around it: the fine-tuned model as primary, the

@@ -18,8 +18,11 @@ import (
 	"net/http/httptest"
 	"strings"
 
+	"wisdom/internal/dataset"
 	"wisdom/internal/experiments"
+	"wisdom/internal/neural"
 	"wisdom/internal/serve"
+	"wisdom/internal/tokenizer"
 	"wisdom/internal/wisdom"
 )
 
@@ -119,6 +122,95 @@ func main() {
 	fmt.Println("\nfinal playbook:")
 	fmt.Println(strings.TrimRight(buffer, "\n"))
 	fmt.Printf("\nserver handled %d predictions\n", srv.Requests())
+
+	sessionAct()
+}
+
+// sessionAct demonstrates per-session prefix KV reuse: a transformer-backed
+// model with sessions enabled answers a keystroke sequence — the user typing
+// a task name character by character, each keystroke a full request — and
+// every warm request re-steps only the tokens typed since the last one
+// instead of re-priming the whole rendered prompt.
+func sessionAct() {
+	fmt.Println("\n== session act: per-keystroke completion on a transformer ==")
+	fmt.Println("training a tiny transformer (the n-gram zoo holds no decode state)...")
+	task := "- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n"
+	texts := []string{task, task, task, task}
+	tok, err := tokenizer.Train(texts, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const ctx = 64
+	nm, err := neural.NewModel(neural.Config{
+		Vocab: tok.VocabSize(), Ctx: ctx, Dim: 32, Heads: 2, Layers: 2, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nm.Train(dataset.PackFiles(tok, texts, ctx), neural.TrainConfig{Epochs: 120, LR: 3e-3, BatchSize: 4, Seed: 1})
+	model := &wisdom.Model{
+		Name:       "wisdom-neural-demo",
+		Tok:        tok,
+		LM:         &wisdom.NeuralLM{Model: nm},
+		CtxWindow:  ctx,
+		Style:      dataset.NameCompletion,
+		MaxNewTask: 28,
+	}
+	model.EnableSessions(neural.SessionCacheConfig{})
+
+	// No response cache: every keystroke is a distinct request anyway, and
+	// the point here is the decode-state reuse underneath.
+	srv := serve.NewServerWithOptions(model, model.Name, serve.Options{})
+	rest := httptest.NewServer(srv.Handler())
+	defer rest.Close()
+
+	keystrokes := []string{"Insta", "Install ngi", "Install nginx"}
+	for i, typed := range keystrokes {
+		req := serve.Request{Prompt: typed}
+		warm := restCompleteSession(rest.URL, rest.Client(), req, "editor-42")
+		cold := restCompleteSession(rest.URL, rest.Client(), req, "")
+		fmt.Printf("keystroke %d %-15q warm %6.2f ms  cold %6.2f ms  identical=%v\n",
+			i+1, typed, warm.LatencyMS, cold.LatencyMS, warm.Suggestion == cold.Suggestion)
+	}
+
+	var stats serve.Stats
+	resp, err := rest.Client().Get(rest.URL + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sessions: enabled=%v active=%d prefix-reuse=%.0f%%\n",
+		stats.SessionsEnabled, stats.SessionsActive, 100*stats.SessionReuseRatio)
+}
+
+// restCompleteSession is restComplete with the session pinned through the
+// X-Wisdom-Session header (empty sessionID sends a stateless request).
+func restCompleteSession(url string, client *http.Client, req serve.Request, sessionID string) serve.Response {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, url+"/v1/completions", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if sessionID != "" {
+		httpReq.Header.Set(serve.SessionHeader, sessionID)
+	}
+	httpResp, err := client.Do(httpReq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var out serve.Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return out
 }
 
 // sseComplete drives one POST /v1/completions/stream exchange, printing

@@ -274,6 +274,13 @@ func (m *Model) GenerateCached(prefix []int, maxNew int, opts GenOptions) []int 
 				w = w[len(w)-keep:]
 			}
 			for _, t := range w {
+				// A disconnecting streamer must stop mid-re-prime too:
+				// without this check a cancel arriving here would keep
+				// stepping for up to keep tokens before the outer loop
+				// notices.
+				if opts.cancelled() {
+					break
+				}
 				logits = st.step(t)
 			}
 		} else {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -99,12 +100,19 @@ func (b *batcher) flushTimer(gen uint64) {
 }
 
 // flush decodes one detached batch and fans the results out to the waiters.
+// A predictor that returns the wrong number of results with a nil error is
+// treated as an error for the whole batch: every waiter gets a clear failure
+// instead of the serving goroutine panicking on the short slice and
+// stranding them all.
 func (b *batcher) flush(items []*batchItem) {
 	reqs := make([]Request, len(items))
 	for i, it := range items {
 		reqs[i] = it.req
 	}
 	vals, err := b.exec(reqs)
+	if err == nil && len(vals) != len(items) {
+		err = fmt.Errorf("serve: batch predictor returned %d results for %d requests", len(vals), len(items))
+	}
 	for i, it := range items {
 		if err != nil {
 			it.err = err

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatcherShortResultFansOutError pins the flush fan-out fix: a batch
+// predictor that returns fewer results than requests with a nil error must
+// produce a clear error on every waiter. Before the length check, flush
+// indexed vals[i] past the short slice and panicked on the caller's
+// goroutine, stranding every other waiter in the batch.
+func TestBatcherShortResultFansOutError(t *testing.T) {
+	b := newBatcher(time.Hour, 2, func(reqs []Request) ([]string, error) {
+		return make([]string, len(reqs)-1), nil // one row short, no error
+	})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct prompts, so the size trigger flushes at maxBatch=2.
+			_, errs[i] = b.do(context.Background(), Request{Prompt: string(rune('a' + i))})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("waiter %d: got nil error for short batch result", i)
+		}
+		if !strings.Contains(err.Error(), "1 results for 2 requests") {
+			t.Errorf("waiter %d: err = %v, want short-result message", i, err)
+		}
+	}
+}
+
+// TestBatcherLongResultFansOutError covers the other side of the length
+// validation: extra rows are just as much a contract violation as missing
+// ones, even though they never panicked.
+func TestBatcherLongResultFansOutError(t *testing.T) {
+	b := newBatcher(time.Millisecond, 8, func(reqs []Request) ([]string, error) {
+		return make([]string, len(reqs)+3), nil
+	})
+	if _, err := b.do(context.Background(), Request{Prompt: "p"}); err == nil {
+		t.Fatal("got nil error for oversized batch result")
+	}
+}
+
+// TestFlightAbandonedWaiterNotCoalesced pins the singleflight accounting fix:
+// a waiter whose ctx expires before the leader finishes must report
+// coalesced=false — it never received a shared answer — and must increment
+// the Abandoned counter instead of the coalesced-success metric.
+func TestFlightAbandonedWaiterNotCoalesced(t *testing.T) {
+	g := newFlightGroup()
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := g.Do(context.Background(), "k", func() (string, error) {
+			close(leaderIn)
+			<-release
+			return "v", nil
+		})
+		if err != nil {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the waiter's ctx is already dead when it joins the flight
+	val, coalesced, err := g.Do(ctx, "k", func() (string, error) {
+		t.Error("abandoned waiter ran fn")
+		return "", nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if coalesced {
+		t.Error("abandoned waiter reported coalesced=true")
+	}
+	if val != "" {
+		t.Errorf("abandoned waiter got val %q", val)
+	}
+	if got := g.Abandoned(); got != 1 {
+		t.Errorf("Abandoned() = %d, want 1", got)
+	}
+
+	close(release)
+	wg.Wait()
+
+	// A waiter that does receive the shared answer stays a plain coalesced
+	// success and leaves the abandoned count alone.
+	if got := g.Abandoned(); got != 1 {
+		t.Errorf("Abandoned() after leader done = %d, want 1", got)
+	}
+}

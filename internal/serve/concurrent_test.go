@@ -627,9 +627,11 @@ func TestFlightGroupWaiterContext(t *testing.T) {
 	<-started
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
+	// An expired waiter leaves without the shared answer: it is abandoned,
+	// not coalesced (see TestFlightAbandonedWaiterNotCoalesced).
 	_, coalesced, err := g.Do(ctx, "k", func() (string, error) { return "", nil })
-	if !coalesced || err != context.Canceled {
-		t.Errorf("coalesced=%v err=%v, want true/context.Canceled", coalesced, err)
+	if coalesced || err != context.Canceled {
+		t.Errorf("coalesced=%v err=%v, want false/context.Canceled", coalesced, err)
 	}
 	close(release)
 }

@@ -109,6 +109,27 @@ type DegradingPredictor interface {
 	PredictDegraded(context, prompt string) (suggestion string, degraded bool)
 }
 
+// SessionPredictor is implemented by predictors that keep per-session
+// prefix KV decode state (*wisdom.Model over a transformer with sessions
+// enabled): PredictSession answers exactly like Predict but reuses the
+// named session's retained state, and SessionStats exposes the cache's
+// health for metrics. enabled is false until sessions have been switched on
+// (wisdom.Model.EnableSessions), in which case the server routes session
+// requests through the ordinary unary path.
+type SessionPredictor interface {
+	Predictor
+	PredictSession(sessionID, context, prompt string) string
+	SessionStats() (enabled bool, active int, evictions uint64, reuseRatio float64)
+}
+
+// SessionStreamingPredictor is the streaming face of a session predictor:
+// PredictStreamSession follows PredictStream's emission contract while
+// reusing the named session's decode state.
+type SessionStreamingPredictor interface {
+	SessionPredictor
+	PredictStreamSession(ctx context.Context, sessionID, context, prompt string, emit func(delta string)) string
+}
+
 // Request is one completion request: the natural-language intent plus the
 // optional Ansible context preceding the cursor.
 type Request struct {
@@ -121,6 +142,15 @@ type Request struct {
 	// dump) or "health". HTTP ignores it — the REST API routes by path.
 	// docs/PROTOCOL.md is the normative op table.
 	Op string `json:"op,omitempty"`
+	// SessionID is an opaque client-chosen key naming a decode session.
+	// When set (and the model holds per-session prefix KV state), the
+	// request reuses the session's retained state so only the token suffix
+	// that changed since the session's last request is re-decoded. Over
+	// HTTP the X-Wisdom-Session header sets it when the JSON field is
+	// empty. It doubles as the affinity key a sharded frontend hashes to
+	// route the session to the replica holding its state. Unknown to old
+	// servers, which ignore it (see docs/PROTOCOL.md versioning).
+	SessionID string `json:"session_id,omitempty"`
 }
 
 // Response carries the suggestion back to the editor.
@@ -220,6 +250,8 @@ type Server struct {
 	degrade       DegradingPredictor          // non-nil when model can degrade
 	stream        StreamingPredictor          // non-nil when model can stream
 	streamDegrade StreamingDegradingPredictor // non-nil when model streams and degrades
+	session       SessionPredictor            // non-nil when model has sessions enabled
+	sessionStream SessionStreamingPredictor   // non-nil when session model also streams
 	modelName     string
 	cache         *Cache
 	requests      atomic.Int64 // predictions served, both protocols
@@ -280,6 +312,17 @@ func NewServerWithOptions(model Predictor, modelName string, opts Options) *Serv
 	}
 	if sdp, ok := model.(StreamingDegradingPredictor); ok {
 		s.streamDegrade = sdp
+	}
+	// Session routing only engages when the model actually holds session
+	// state: a model that merely implements the interface with sessions
+	// switched off keeps the ordinary stateless pipeline.
+	if sp, ok := model.(SessionPredictor); ok {
+		if enabled, _, _, _ := sp.SessionStats(); enabled {
+			s.session = sp
+			if ssp, ok := model.(SessionStreamingPredictor); ok {
+				s.sessionStream = ssp
+			}
+		}
 	}
 	if opts.CacheSize > 0 {
 		s.cache = NewCache(opts.CacheSize)
@@ -457,6 +500,22 @@ func (s *Server) Instrument(reg *observe.Registry) {
 	reg.GaugeFunc("wisdom_stream_active",
 		"Streamed predictions currently in flight.",
 		func() float64 { return float64(s.activeStreams.Load()) })
+	if fg := s.flight; fg != nil {
+		reg.CounterFunc("wisdom_coalesce_abandoned_total",
+			"Singleflight waiters whose context expired before the leader finished (never received a shared answer).",
+			func() float64 { return float64(fg.Abandoned()) })
+	}
+	if sp := s.session; sp != nil {
+		reg.GaugeFunc("wisdom_session_active",
+			"Live decode sessions (resident prefix KV states plus states checked out by in-flight generations).",
+			func() float64 { _, active, _, _ := sp.SessionStats(); return float64(active) })
+		reg.GaugeFunc("wisdom_session_prefix_reuse_ratio",
+			"Fraction of prefix positions served from retained session state instead of re-decoded.",
+			func() float64 { _, _, _, ratio := sp.SessionStats(); return ratio })
+		reg.CounterFunc("wisdom_session_evictions_total",
+			"Session states evicted (LRU bound, memory cap, or idle TTL).",
+			func() float64 { _, _, ev, _ := sp.SessionStats(); return float64(ev) })
+	}
 	p := s.pool
 	reg.GaugeFunc("wisdom_pool_workers",
 		"Size of the inference worker pool.", func() float64 { return float64(p.Workers()) })
@@ -556,6 +615,26 @@ func (s *Server) answer(ctx context.Context, req Request) (Response, error) {
 		if v, ok := s.cache.Get(key); ok {
 			return Response{Suggestion: v, Cached: true}, nil
 		}
+	}
+	// Session requests route around singleflight and the micro-batcher: the
+	// session's decode state is exclusive to one generation at a time, so
+	// neither sharing a leader's answer (whose decode advances a different
+	// session — or none) nor folding the request into a batch row preserves
+	// the state handoff. The worker pool still bounds concurrency, and the
+	// answer still lands in the response cache — session output is
+	// byte-identical to stateless output for the same request.
+	if req.SessionID != "" && s.session != nil {
+		if s.pool != nil {
+			if err := s.pool.Acquire(ctx); err != nil {
+				return Response{}, err
+			}
+			defer s.pool.Release()
+		}
+		v := s.session.PredictSession(req.SessionID, req.Context, req.Prompt)
+		if s.cache != nil {
+			s.cache.Put(key, v)
+		}
+		return Response{Suggestion: v}, nil
 	}
 	invoke := func() (string, bool, error) {
 		if s.batcher != nil {
@@ -703,6 +782,14 @@ type Stats struct {
 	CacheMisses    int     `json:"cache_misses"`
 	CacheEvictions int     `json:"cache_evictions"`
 	HitRate        float64 `json:"hit_rate"`
+	// Session-cache state (all zero when the model has no sessions).
+	SessionsEnabled   bool    `json:"sessions_enabled"`
+	SessionsActive    int     `json:"sessions_active,omitempty"`
+	SessionEvictions  uint64  `json:"session_evictions,omitempty"`
+	SessionReuseRatio float64 `json:"session_reuse_ratio,omitempty"`
+	// AbandonedWaiters counts singleflight waiters that timed out before
+	// the leader finished (they never received a shared answer).
+	AbandonedWaiters uint64 `json:"abandoned_waiters,omitempty"`
 }
 
 // Stats returns a snapshot of the server counters.
@@ -724,6 +811,12 @@ func (s *Server) Stats() Stats {
 		if total := st.CacheHits + st.CacheMisses; total > 0 {
 			st.HitRate = float64(st.CacheHits) / float64(total)
 		}
+	}
+	if s.flight != nil {
+		st.AbandonedWaiters = s.flight.Abandoned()
+	}
+	if s.session != nil {
+		st.SessionsEnabled, st.SessionsActive, st.SessionEvictions, st.SessionReuseRatio = s.session.SessionStats()
 	}
 	return st
 }

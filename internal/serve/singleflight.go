@@ -16,6 +16,10 @@ import (
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flightCall
+	// abandoned counts waiters whose ctx expired before the leader finished:
+	// they joined a flight but never received a shared answer, so they are
+	// not coalesced successes and must not inflate that metric.
+	abandoned atomic.Uint64
 }
 
 // flightCall is one in-flight computation.
@@ -59,7 +63,11 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (string, boo
 		case <-c.done:
 			return c.val, c.degraded, true, c.err
 		case <-ctx.Done():
-			return "", false, true, ctx.Err()
+			// The waiter leaves without a shared answer: count it as
+			// abandoned, not coalesced, so wisdom_coalesced_requests_total
+			// only ever counts fan-outs that actually happened.
+			g.abandoned.Add(1)
+			return "", false, false, ctx.Err()
 		}
 	}
 	c := &flightCall{done: make(chan struct{})}
@@ -74,6 +82,10 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (string, boo
 	close(c.done)
 	return c.val, c.degraded, false, c.err
 }
+
+// Abandoned returns how many waiters left a flight on ctx expiry without
+// receiving the shared answer.
+func (g *flightGroup) Abandoned() uint64 { return g.abandoned.Load() }
 
 // pending returns the number of callers currently waiting on key's leader
 // (zero when no flight is active). Test/metrics hook.

@@ -239,9 +239,16 @@ func (s *Server) predictStream(ctx context.Context, req Request, proto string, s
 
 	var final string
 	var degraded bool
-	if s.streamDegrade != nil {
+	switch {
+	case req.SessionID != "" && s.sessionStream != nil:
+		// Session streams reuse the session's retained prefix KV state —
+		// time-to-first-body-delta shrinks to the changed suffix. Streams
+		// already bypass singleflight and the batcher, which is exactly the
+		// isolation exclusive session state needs.
+		final = s.sessionStream.PredictStreamSession(gctx, req.SessionID, req.Context, req.Prompt, emit)
+	case s.streamDegrade != nil:
 		final, degraded = s.streamDegrade.PredictStreamDegraded(gctx, req.Context, req.Prompt, emit)
-	} else {
+	default:
 		final = s.stream.PredictStream(gctx, req.Context, req.Prompt, emit)
 	}
 
@@ -354,8 +361,18 @@ func (s *Server) decodeHTTPRequest(w http.ResponseWriter, r *http.Request) (Requ
 		http.Error(w, `{"error":"prompt is required"}`, http.StatusBadRequest)
 		return Request{}, false
 	}
+	// The session key travels either in the body or as a header; the header
+	// lets thin clients (curl, editor plugins reusing one request template)
+	// pin a session without touching the JSON payload.
+	if req.SessionID == "" {
+		req.SessionID = r.Header.Get(SessionHeader)
+	}
 	return req, true
 }
+
+// SessionHeader is the HTTP header naming the request's decode session; the
+// JSON body's session_id field wins when both are set.
+const SessionHeader = "X-Wisdom-Session"
 
 // ---- streamed RPC ----
 

@@ -257,6 +257,9 @@ type NeuralLM struct {
 	Temperature float64
 	TopK        int
 	Seed        int64
+	// sessions, when set via EnableSessions, retains per-session decode
+	// state so CompleteSession can reuse a shared token prefix.
+	sessions *neural.SessionCache
 }
 
 // Complete implements Generator. Decoding uses the KV cache, which is

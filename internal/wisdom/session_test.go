@@ -1,0 +1,97 @@
+package wisdom
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"wisdom/internal/neural"
+)
+
+// TestPredictSessionMatchesPredict is the session-layer correctness
+// invariant: PredictSession with any session id — cold, warm extension,
+// replayed — returns byte-identical output to the stateless Predict.
+func TestPredictSessionMatchesPredict(t *testing.T) {
+	m := streamTestModel(t)
+	if !m.EnableSessions(neural.SessionCacheConfig{}) {
+		t.Fatal("EnableSessions returned false on a NeuralLM model")
+	}
+
+	// The keystroke pattern: successive prompts share a growing prefix.
+	for _, prompt := range []string{"Insta", "Install ngi", "Install nginx", "Install nginx"} {
+		want := m.Predict("", prompt)
+		if got := m.PredictSession("editor-1", "", prompt); got != want {
+			t.Errorf("PredictSession(%q) = %q, want Predict's %q", prompt, got, want)
+		}
+	}
+
+	// A warm session must actually have reused prefix state by now.
+	enabled, active, _, ratio := m.SessionStats()
+	if !enabled || active == 0 {
+		t.Errorf("SessionStats = enabled=%v active=%d, want enabled with a live session", enabled, active)
+	}
+	if ratio <= 0 {
+		t.Errorf("prefix reuse ratio = %v, want > 0 after repeated shared-prefix requests", ratio)
+	}
+}
+
+// TestPredictStreamSessionMatchesStream checks the streamed session variant
+// keeps the emission contract: concatenated deltas equal the final answer,
+// which equals the stateless PredictStream's.
+func TestPredictStreamSessionMatchesStream(t *testing.T) {
+	m := streamTestModel(t)
+	if !m.EnableSessions(neural.SessionCacheConfig{}) {
+		t.Fatal("EnableSessions returned false on a NeuralLM model")
+	}
+	want := m.PredictStream(context.Background(), "", "Install nginx", func(string) {})
+
+	for i := 0; i < 2; i++ { // second pass hits warm session state
+		var sb strings.Builder
+		got := m.PredictStreamSession(context.Background(), "editor-2", "", "Install nginx", func(d string) {
+			sb.WriteString(d)
+		})
+		if got != want {
+			t.Errorf("pass %d: PredictStreamSession = %q, want %q", i, got, want)
+		}
+		if sb.String() != got {
+			t.Errorf("pass %d: deltas = %q, final = %q", i, sb.String(), got)
+		}
+	}
+}
+
+// TestPredictSessionEmptyIDStateless checks an empty session id keeps the
+// plain Complete path and leaves no session state behind.
+func TestPredictSessionEmptyIDStateless(t *testing.T) {
+	m := streamTestModel(t)
+	if !m.EnableSessions(neural.SessionCacheConfig{}) {
+		t.Fatal("EnableSessions returned false on a NeuralLM model")
+	}
+	want := m.Predict("", "Install nginx")
+	if got := m.PredictSession("", "", "Install nginx"); got != want {
+		t.Errorf("PredictSession(\"\") = %q, want %q", got, want)
+	}
+	if _, active, _, _ := m.SessionStats(); active != 0 {
+		t.Errorf("active sessions = %d after empty-id request, want 0", active)
+	}
+}
+
+// TestEnableSessionsNGram checks the n-gram zoo reports sessions unavailable:
+// count-based decoders hold no reusable decode state.
+func TestEnableSessionsNGram(t *testing.T) {
+	r := getRig(t)
+	m := pretrain(t, r, WisdomAnsibleMulti)
+	if _, ok := m.LM.(*NeuralLM); ok {
+		t.Skip("test model unexpectedly neural")
+	}
+	if m.EnableSessions(neural.SessionCacheConfig{}) {
+		t.Error("EnableSessions returned true on an n-gram LM")
+	}
+	if enabled, _, _, _ := m.SessionStats(); enabled {
+		t.Error("SessionStats reports enabled on an n-gram LM")
+	}
+	// PredictSession still answers — statelessly — instead of failing.
+	want := m.Predict("", "install nginx")
+	if got := m.PredictSession("editor-3", "", "install nginx"); got != want {
+		t.Errorf("PredictSession on n-gram = %q, want %q", got, want)
+	}
+}

@@ -74,6 +74,14 @@ type StreamPredictor interface {
 // completion); when that fires, emission stops and the caller reconciles
 // against the returned answer.
 func (m *Model) PredictStream(ctx context.Context, yamlCtx, prompt string, emit func(delta string)) string {
+	return m.predictStreamSession(ctx, "", yamlCtx, prompt, emit)
+}
+
+// predictStreamSession is the shared core of PredictStream and
+// PredictStreamSession: one streamed prediction, optionally keyed to a
+// session whose retained prefix KV state the decode can reuse (sessionID ==
+// "" decodes stateless).
+func (m *Model) predictStreamSession(ctx context.Context, sessionID, yamlCtx, prompt string, emit func(delta string)) string {
 	s, nameLine, indent := m.predictSample(yamlCtx, prompt)
 	plan := m.planSample(s)
 	if plan.done {
@@ -90,10 +98,14 @@ func (m *Model) PredictStream(ctx context.Context, yamlCtx, prompt string, emit 
 	if ctx != nil {
 		cancel = ctx.Done()
 	}
+	onToken := func(tok int) { asm.onToken(m, tok) }
 	var out []int
-	if sg, ok := m.LM.(StreamGenerator); ok {
+	if sg, ok := m.LM.(SessionGenerator); ok && sessionID != "" {
+		out, _ = sg.CompleteSession(sessionID, cancel, plan.prefix, plan.prompt, plan.maxNew,
+			plan.stop, plan.stopToken, onToken)
+	} else if sg, ok := m.LM.(StreamGenerator); ok {
 		out = sg.CompleteStream(cancel, plan.prefix, plan.prompt, plan.maxNew,
-			plan.stop, plan.stopToken, func(tok int) { asm.onToken(m, tok) })
+			plan.stop, plan.stopToken, onToken)
 	} else {
 		// Non-streaming LM (the n-gram zoo): the name line already went out;
 		// the body follows in one piece. Sub-second n-gram decodes gain
