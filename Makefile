@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check fuzz bench bench-decode bench-stream bench-session fmt clean
+.PHONY: all build test race vet check fuzz bench bench-decode bench-stream bench-session bench-continuous fmt clean
 
 all: check
 
@@ -55,6 +55,14 @@ bench-stream:
 bench-session:
 	$(GO) test ./internal/wisdom/ -run XXX -benchtime 50x \
 		-bench 'BenchmarkPredictSessionWarm$$|BenchmarkPredictSessionCold$$'
+
+# bench-continuous runs the continuous-batching benchmarks that back
+# BENCH_PR8.json: the parallel tiled step kernels at 1/2/4/8 kernel workers
+# (single-row and 8-row batched) and the end-to-end engine throughput over a
+# mixed-length request fleet (tok/s plus batch occupancy).
+bench-continuous:
+	$(GO) test ./internal/neural/ -run XXX -benchmem -benchtime 2s \
+		-bench 'BenchmarkStepParallel|BenchmarkStepBatchParallel|BenchmarkEngineMixed'
 
 fmt:
 	gofmt -l -w .

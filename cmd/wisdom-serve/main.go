@@ -10,6 +10,8 @@
 //	curl -s localhost:8080/healthz     # liveness probe
 //
 // -batch-window/-max-batch enable the micro-batching decode path;
+// -sched enables the continuous-batching scheduler, which supersedes the
+// micro-batcher (see docs/ARCHITECTURE.md, "Continuous batching");
 // -pprof :6060 exposes net/http/pprof on a side listener.
 //
 // SIGINT/SIGTERM drain in-flight HTTP and RPC requests within the -drain
@@ -63,6 +65,9 @@ func main() {
 	sessions := flag.Int("sessions", 64, "max resident per-session prefix KV decode states (0 disables sessions)")
 	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "evict sessions idle longer than this (negative disables idle eviction)")
 	sessionMem := flag.Int64("session-mem", 0, "cap estimated session-state memory in bytes (0 = unbounded)")
+	sched := flag.Bool("sched", false, "decode through the continuous-batching scheduler (transformer models only)")
+	schedMaxBatch := flag.Int("sched-max-batch", 8, "step-batch slots of the continuous-batching scheduler")
+	schedQueue := flag.Int("sched-queue", 0, "admission queue depth of the scheduler (0 = 4x slots)")
 	flag.Parse()
 
 	var reg *observe.Registry
@@ -97,6 +102,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sessions unavailable: disabled under -degrade (the chain re-routes requests across tiers)")
 	}
 
+	// Continuous-batching scheduler: concurrent decodes share one step batch
+	// through a persistent engine loop. Like sessions it needs the
+	// transformer's batched step kernel, and the degradation chain's tier
+	// re-routing would bypass the engine — so it engages only on a neural
+	// model served directly.
+	workerCount := *workers
+	if *sched && !*degrade {
+		if model.EnableScheduler(neural.EngineConfig{MaxBatch: *schedMaxBatch, Queue: *schedQueue}) {
+			fmt.Fprintf(os.Stderr, "scheduler on: %d step-batch slots, kernel procs %d\n",
+				*schedMaxBatch, neural.KernelProcs())
+			// The engine decodes many requests per worker slot, so the pool
+			// should admit at least a full batch plus queued headroom.
+			if workerCount == 0 {
+				workerCount = 2 * *schedMaxBatch
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "scheduler unavailable: %s has no batched decode path (n-gram LM)\n", model.Name)
+		}
+	} else if *sched && *degrade {
+		fmt.Fprintln(os.Stderr, "scheduler unavailable: disabled under -degrade (the chain re-routes requests across tiers)")
+	}
+
 	// The served predictor is either the raw model or, with -degrade, the
 	// degradation chain around it: the fine-tuned model as primary, the
 	// pre-trained model (when this process trained one) as the generative
@@ -127,7 +154,7 @@ func main() {
 	}
 	srv := serve.NewServerWithOptions(predictor, model.Name, serve.Options{
 		CacheSize:    *cacheSize,
-		Workers:      *workers,
+		Workers:      workerCount,
 		QueueDepth:   *queueDepth,
 		QueueTimeout: qt,
 		MaxBodyBytes: *maxBody,
@@ -194,6 +221,12 @@ func main() {
 	}
 	if err := srv.Shutdown(dctx); err != nil {
 		fmt.Fprintln(os.Stderr, "wisdom-serve: rpc drain:", err)
+		exitCode = 1
+	}
+	// Drain the decode engine after the servers stop feeding it requests;
+	// in-flight scheduled decodes finish within the same deadline.
+	if err := model.CloseScheduler(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "wisdom-serve: scheduler drain:", err)
 		exitCode = 1
 	}
 	fmt.Fprintln(os.Stderr, "shutdown complete")

@@ -220,6 +220,50 @@ func TestE2EHappyPath(t *testing.T) {
 	}
 }
 
+// TestE2ESchedFallback boots the binary with -sched over the persisted
+// (n-gram) model: the scheduler must report itself unavailable — only
+// transformer-backed models batch decode steps — while the ordinary pipeline
+// keeps serving, /v1/stats reports the scheduler disabled, and SIGTERM still
+// drains cleanly. The scheduler's live decode path is stress-tested against
+// a real transformer in TestSchedStressHTTP (sched_stress_test.go); the
+// persistence format only carries n-gram models, so the binary cannot -load
+// a neural one.
+func TestE2ESchedFallback(t *testing.T) {
+	p := startServe(t, "-load", e2eModelPath(t), "-sched", "-sched-max-batch", "4")
+	if logs := p.stderr.String(); !strings.Contains(logs, "scheduler unavailable") {
+		t.Fatalf("scheduler fallback notice missing:\n%s", logs)
+	}
+
+	base := "http://" + p.httpAddr
+	resp, out := postJSON(t, base+"/v1/completions", serve.Request{Prompt: "install nginx"})
+	if resp.StatusCode != 200 || !strings.HasPrefix(out.Suggestion, "- name:") {
+		t.Errorf("request under -sched fallback: %d %q", resp.StatusCode, out.Suggestion)
+	}
+
+	st, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBody, _ := io.ReadAll(st.Body)
+	st.Body.Close()
+	var stats struct {
+		SchedEnabled bool `json:"sched_enabled"`
+	}
+	if err := json.Unmarshal(stBody, &stats); err != nil {
+		t.Fatalf("bad /v1/stats payload %s: %v", stBody, err)
+	}
+	if stats.SchedEnabled {
+		t.Error("/v1/stats reports the scheduler enabled on an n-gram model")
+	}
+
+	if err := p.terminate(t); err != nil {
+		t.Errorf("SIGTERM exit: %v\n%s", err, p.stderr.String())
+	}
+	if logs := p.stderr.String(); !strings.Contains(logs, "shutdown complete") {
+		t.Errorf("drain log missing:\n%s", logs)
+	}
+}
+
 // TestE2EOverloadShedding pins the shedding behaviour of a deliberately
 // tiny deployment: one worker, no queue — concurrent distinct requests must
 // produce 503s carrying a Retry-After header, and the server must keep

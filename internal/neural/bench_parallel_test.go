@@ -1,0 +1,116 @@
+package neural
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchProcs are the worker counts the kernel scaling curve is measured at.
+var benchProcs = []int{1, 2, 4, 8}
+
+// withBenchProcs pins both the Go scheduler and the kernel worker budget to
+// procs for one sub-benchmark, restoring both afterwards. On hosts with
+// fewer CPUs than procs the extra workers time-slice; the reported curve is
+// still the honest measurement for that hardware.
+func withBenchProcs(b *testing.B, procs int, fn func(b *testing.B)) {
+	prevMax := runtime.GOMAXPROCS(procs)
+	prevKern := SetKernelProcs(procs)
+	defer func() {
+		runtime.GOMAXPROCS(prevMax)
+		SetKernelProcs(prevKern)
+	}()
+	fn(b)
+}
+
+// BenchmarkStepParallel measures the single-row decode step across kernel
+// worker counts: the intra-row tiled matmul / per-head attention scaling
+// curve. tok/s at procs=1 is the serial baseline (BenchmarkStep's shape).
+func BenchmarkStepParallel(b *testing.B) {
+	for _, procs := range benchProcs {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			withBenchProcs(b, procs, func(b *testing.B) {
+				m := benchModel(b)
+				st := m.newGenState()
+				st.step(1) // allocate scratch + logits up front
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if st.pos == m.cfg.Ctx {
+						b.StopTimer()
+						st.reset()
+						st.step(1)
+						b.StartTimer()
+					}
+					st.step(2)
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tok/s")
+			})
+		})
+	}
+}
+
+// BenchmarkStepBatchParallel measures the 8-row batched decode step across
+// kernel worker counts: the row-parallel fork/join scaling curve on top of
+// the weight-streaming amortisation BenchmarkStepBatch8 already measures.
+func BenchmarkStepBatchParallel(b *testing.B) {
+	const B = 8
+	for _, procs := range benchProcs {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			withBenchProcs(b, procs, func(b *testing.B) {
+				m := benchModel(b)
+				states := make([]*genState, B)
+				toks := make([]int, B)
+				for r := range states {
+					states[r] = m.newGenState()
+					toks[r] = r + 1
+				}
+				bs := m.newBatchScratch(B)
+				m.stepBatch(states, toks, bs)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if states[0].pos == m.cfg.Ctx {
+						b.StopTimer()
+						for _, st := range states {
+							st.reset()
+						}
+						m.stepBatch(states, toks, bs)
+						b.StartTimer()
+					}
+					m.stepBatch(states, toks, bs)
+				}
+				b.ReportMetric(float64(b.N*B)/b.Elapsed().Seconds(), "tok/s")
+			})
+		})
+	}
+}
+
+// BenchmarkEngineMixed measures end-to-end continuous-batched serving: a
+// saturated engine decoding staggered-length requests, reporting aggregate
+// tok/s and the cumulative batch occupancy the scheduler sustained.
+func BenchmarkEngineMixed(b *testing.B) {
+	m := benchModel(b)
+	e := m.NewEngine(EngineConfig{MaxBatch: 8, Queue: 64})
+	defer e.Close(context.Background())
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		tickets := make([]*Ticket, 0, 16)
+		for r := 0; r < 16; r++ {
+			maxNew := 8 + (r%4)*8 // 8..32 tokens, staggered retirements
+			tk, err := e.Submit(context.Background(), []int{1, 2, r%7 + 1}, maxNew, GenOptions{StopToken: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tickets = append(tickets, tk)
+		}
+		for _, tk := range tickets {
+			total += len(tk.Wait())
+		}
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
+	b.ReportMetric(e.Stats().Occupancy(), "occupancy")
+}

@@ -1,0 +1,411 @@
+package neural
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func engineTestModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(Config{Vocab: 32, Ctx: 48, Dim: 16, Heads: 4, Layers: 2, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func closeEngine(t *testing.T, e *Engine) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.Close(ctx); err != nil {
+		t.Fatalf("engine Close: %v", err)
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEngineMatchesGenerateCached pins the engine's core contract: a
+// sequence decoded through the continuous-batching loop is token-for-token
+// what a solo GenerateCached call produces, greedy and sampled, with and
+// without stop predicates.
+func TestEngineMatchesGenerateCached(t *testing.T) {
+	m := engineTestModel(t)
+	e := m.NewEngine(EngineConfig{MaxBatch: 4})
+	defer closeEngine(t, e)
+
+	cases := []struct {
+		name   string
+		prefix []int
+		maxNew int
+		opts   func() GenOptions
+	}{
+		{"greedy", []int{3, 1, 4, 1, 5}, 12, func() GenOptions { return GenOptions{} }},
+		{"sampled", []int{2, 7, 2}, 10, func() GenOptions {
+			return GenOptions{Temperature: 0.9, TopK: 5, Rand: rand.New(rand.NewSource(17))}
+		}},
+		{"stop-token", []int{9, 8, 7}, 20, func() GenOptions { return GenOptions{StopToken: 4} }},
+		{"stop-func", []int{5, 5}, 20, func() GenOptions {
+			return GenOptions{Stop: func(out []int) bool { return len(out) >= 6 }}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := m.GenerateCached(tc.prefix, tc.maxNew, tc.opts())
+			got, err := e.Generate(context.Background(), tc.prefix, tc.maxNew, tc.opts())
+			if err != nil {
+				t.Fatalf("engine Generate: %v", err)
+			}
+			if !intsEqual(want, got) {
+				t.Fatalf("engine output %v != GenerateCached %v", got, want)
+			}
+		})
+	}
+}
+
+// TestEngineAdmitMidStream pins per-step admission: a request submitted
+// while another sequence is already decoding joins the batch at the next
+// step boundary, and both outputs stay equal to their solo decodes.
+func TestEngineAdmitMidStream(t *testing.T) {
+	m := engineTestModel(t)
+	e := m.NewEngine(EngineConfig{MaxBatch: 4})
+	defer closeEngine(t, e)
+
+	longPrefix := []int{1, 2, 3}
+	const longNew = 30
+	started := make(chan struct{})
+	var once bool
+	opts := GenOptions{OnToken: func(int) {
+		if !once {
+			once = true
+			close(started)
+		}
+	}}
+	tk, err := e.Submit(context.Background(), longPrefix, longNew, opts)
+	if err != nil {
+		t.Fatalf("submit long: %v", err)
+	}
+	<-started // the long row is decoding now
+
+	shortPrefix := []int{6, 6}
+	want := m.GenerateCached(shortPrefix, 4, GenOptions{})
+	got, err := e.Generate(context.Background(), shortPrefix, 4, GenOptions{})
+	if err != nil {
+		t.Fatalf("submit short mid-decode: %v", err)
+	}
+	if !intsEqual(want, got) {
+		t.Fatalf("mid-decode admission changed output: %v != %v", got, want)
+	}
+	if out := tk.Wait(); !intsEqual(out, m.GenerateCached(longPrefix, longNew, GenOptions{})) {
+		t.Fatalf("long row output diverged after mid-decode admission")
+	}
+}
+
+// TestEngineShortFinishesFirst pins iteration-level scheduling: a short
+// request admitted next to a long one retires as soon as its own budget is
+// done instead of waiting for the batch, the property that separates
+// continuous batching from request-level batching. Both rows record their
+// retirement through Stop predicates, which run on the engine loop, so the
+// observed order is the loop's actual retirement order.
+func TestEngineShortFinishesFirst(t *testing.T) {
+	m := engineTestModel(t)
+	e := m.NewEngine(EngineConfig{MaxBatch: 4})
+	defer closeEngine(t, e)
+
+	started := make(chan struct{})
+	shortQueued := make(chan struct{})
+	var order []string // appended only from the engine loop goroutine
+	tkLong, err := e.Submit(context.Background(), []int{1, 2, 3}, 45,
+		GenOptions{Stop: func(out []int) bool {
+			if len(out) == 1 {
+				// Pause the loop right after the long row's first token until
+				// the short request is in the queue, so the two provably
+				// overlap even on a single CPU.
+				close(started)
+				<-shortQueued
+			}
+			if len(out) >= 40 {
+				order = append(order, "long")
+				return true
+			}
+			return false
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the long row is decoding; the short one joins mid-flight
+	tkShort, err := e.Submit(context.Background(), []int{4, 5}, 10,
+		GenOptions{Stop: func(out []int) bool {
+			if len(out) >= 2 {
+				order = append(order, "short")
+				return true
+			}
+			return false
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(shortQueued)
+	tkShort.Wait()
+	tkLong.Wait() // both retired: order is complete and race-free to read
+	if len(order) != 2 || order[0] != "short" || order[1] != "long" {
+		t.Fatalf("retirement order %v, want [short long]", order)
+	}
+}
+
+// TestEngineCancelFreesSlot pins retire-on-cancel: cancelling an active
+// row's context retires it at the next step boundary with its partial
+// output, and the freed slot is refilled from the queue.
+func TestEngineCancelFreesSlot(t *testing.T) {
+	m := engineTestModel(t)
+	e := m.NewEngine(EngineConfig{MaxBatch: 1, Queue: 4})
+	defer closeEngine(t, e)
+
+	// started confirms A is active (its first token was picked) before the
+	// test cancels it; gate then blocks the engine loop inside A's Stop
+	// predicate so the test controls exactly when the loop observes the
+	// cancellation.
+	started := make(chan struct{})
+	var once bool
+	gate := make(chan struct{})
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	tkA, err := e.Submit(ctxA, []int{2, 2}, 30, GenOptions{
+		OnToken: func(int) {
+			if !once {
+				once = true
+				close(started)
+			}
+		},
+		Stop: func(out []int) bool {
+			<-gate
+			return false
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	tkB, err := e.Submit(context.Background(), []int{7}, 3, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancelA()
+	close(gate) // loop resumes; next step boundary sees the dead context
+
+	if out := tkB.Wait(); len(out) != 3 {
+		t.Fatalf("queued request after cancel produced %d tokens, want 3", len(out))
+	}
+	out := tkA.Wait()
+	if len(out) == 0 || len(out) >= 30 {
+		t.Fatalf("cancelled row returned %d tokens, want partial output", len(out))
+	}
+
+	st := e.Stats()
+	if st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("slots leaked after cancel: active=%d queued=%d", st.Active, st.Queued)
+	}
+	if st.Admitted != st.Retired {
+		t.Fatalf("admitted %d != retired %d after drain", st.Admitted, st.Retired)
+	}
+}
+
+// TestEngineQueueFull pins backpressure: with the single batch slot held
+// and the queue at capacity, Submit fails fast with ErrEngineQueueFull,
+// which classifies structurally as overload.
+func TestEngineQueueFull(t *testing.T) {
+	m := engineTestModel(t)
+	e := m.NewEngine(EngineConfig{MaxBatch: 1, Queue: 1})
+	defer closeEngine(t, e)
+
+	started := make(chan struct{})
+	var once bool
+	gate := make(chan struct{})
+	gated := GenOptions{
+		OnToken: func(int) {
+			if !once {
+				once = true
+				close(started)
+			}
+		},
+		Stop: func(out []int) bool {
+			<-gate
+			return len(out) >= 2
+		}}
+	tkA, err := e.Submit(context.Background(), []int{1}, 5, gated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // A holds the single batch slot; the loop is gated in its Stop
+	tkB, err := e.Submit(context.Background(), []int{2}, 2, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := e.Submit(context.Background(), []int{3}, 2, GenOptions{}); !errors.Is(err, ErrEngineQueueFull) {
+		t.Fatalf("submit into full queue: err = %v, want ErrEngineQueueFull", err)
+	}
+	var ov interface{ Overloaded() bool }
+	if !errors.As(ErrEngineQueueFull, &ov) || !ov.Overloaded() {
+		t.Fatal("ErrEngineQueueFull does not classify as Overloaded")
+	}
+
+	close(gate)
+	tkA.Wait()
+	tkB.Wait()
+}
+
+// TestEngineCloseDrains pins graceful shutdown: Close stops admission but
+// every already-accepted submission — active or still queued — completes.
+func TestEngineCloseDrains(t *testing.T) {
+	m := engineTestModel(t)
+	e := m.NewEngine(EngineConfig{MaxBatch: 1, Queue: 8})
+
+	var tickets []*Ticket
+	for i := 0; i < 3; i++ {
+		tk, err := e.Submit(context.Background(), []int{i + 1, i + 2}, 4, GenOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	closeEngine(t, e)
+
+	for i, tk := range tickets {
+		if out := tk.Wait(); len(out) != 4 {
+			t.Fatalf("drained job %d produced %d tokens, want 4", i, len(out))
+		}
+	}
+	if _, err := e.Submit(context.Background(), []int{1}, 1, GenOptions{}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("submit after Close: err = %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.Generate(context.Background(), []int{1}, 1, GenOptions{}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("generate after Close: err = %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestEngineOccupancy pins the issue's acceptance bar: under a saturated
+// mixed-length load, cumulative batch occupancy stays at or above 80%,
+// because retired rows are replaced from the queue at every step boundary.
+func TestEngineOccupancy(t *testing.T) {
+	m := engineTestModel(t)
+	e := m.NewEngine(EngineConfig{MaxBatch: 4, Queue: 64})
+
+	rng := rand.New(rand.NewSource(5))
+	var tickets []*Ticket
+	for i := 0; i < 64; i++ {
+		prefix := []int{rng.Intn(m.cfg.Vocab), rng.Intn(m.cfg.Vocab)}
+		maxNew := 6 + rng.Intn(10) // mixed lengths
+		tk, err := e.Submit(context.Background(), prefix, maxNew, GenOptions{})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for _, tk := range tickets {
+		tk.Wait()
+	}
+	closeEngine(t, e)
+
+	st := e.Stats()
+	if occ := st.Occupancy(); occ < 0.8 {
+		t.Fatalf("batch occupancy %.3f under mixed-length saturation, want >= 0.8 (steps=%d rowSteps=%d)",
+			occ, st.Steps, st.RowSteps)
+	}
+	if st.Admitted != 64 || st.Retired != 64 {
+		t.Fatalf("admitted=%d retired=%d, want 64/64", st.Admitted, st.Retired)
+	}
+	if st.QueueWaitSeconds < 0 {
+		t.Fatalf("negative queue wait %f", st.QueueWaitSeconds)
+	}
+}
+
+// TestEngineOnTokenRelay pins streaming delivery: the relayed OnToken hook
+// sees every generated token in order, and all deliveries complete before
+// Wait returns, even though the hook runs off the engine loop.
+func TestEngineOnTokenRelay(t *testing.T) {
+	m := engineTestModel(t)
+	e := m.NewEngine(EngineConfig{MaxBatch: 2})
+	defer closeEngine(t, e)
+
+	var streamed []int
+	tk, err := e.Submit(context.Background(), []int{3, 9}, 8, GenOptions{OnToken: func(tok int) {
+		time.Sleep(100 * time.Microsecond) // a slow client must not stall the loop
+		streamed = append(streamed, tok)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tk.Wait()
+	// Wait's happens-before guarantee makes reading streamed race-free here.
+	if !intsEqual(streamed, out) {
+		t.Fatalf("streamed tokens %v != returned tokens %v", streamed, out)
+	}
+}
+
+// TestEngineSoloFallback pins the escape hatch: sequences the step batch
+// cannot hold decode as a solo GenerateCached call with identical output.
+func TestEngineSoloFallback(t *testing.T) {
+	m := engineTestModel(t)
+	e := m.NewEngine(EngineConfig{MaxBatch: 2})
+	defer closeEngine(t, e)
+
+	if out, err := e.Generate(context.Background(), nil, 5, GenOptions{}); err != nil || out != nil {
+		t.Fatalf("empty prefix: out=%v err=%v, want nil/nil", out, err)
+	}
+
+	// prefix+maxNew overflows Ctx, forcing the windowed solo path.
+	prefix := make([]int, m.cfg.Ctx-2)
+	for i := range prefix {
+		prefix[i] = (i*7 + 3) % m.cfg.Vocab
+	}
+	maxNew := 10
+	want := m.GenerateCached(prefix, maxNew, GenOptions{})
+	got, err := e.Generate(context.Background(), prefix, maxNew, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !intsEqual(want, got) {
+		t.Fatalf("solo fallback output %v != GenerateCached %v", got, want)
+	}
+}
+
+// TestEngineQueueWaitObserver pins the metrics hook: each admission reports
+// a non-negative wait to the registered observer exactly once.
+func TestEngineQueueWaitObserver(t *testing.T) {
+	m := engineTestModel(t)
+	e := m.NewEngine(EngineConfig{MaxBatch: 2})
+	waits := make(chan float64, 8)
+	e.SetQueueWaitObserver(func(w float64) { waits <- w })
+
+	for i := 0; i < 3; i++ {
+		if _, err := e.Generate(context.Background(), []int{1, 2}, 2, GenOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closeEngine(t, e)
+	close(waits)
+	n := 0
+	for w := range waits {
+		if w < 0 {
+			t.Fatalf("negative queue wait %f", w)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("observer fired %d times, want 3", n)
+	}
+}

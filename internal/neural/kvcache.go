@@ -117,21 +117,15 @@ func (s *genState) step(tok int) []float64 {
 		vecMatInto(kl[s.pos*d:], sc.a, b.wk.W)
 		vecMatInto(vl[s.pos*d:], sc.a, b.wv.W)
 
-		attendRow(sc.att, sc.q, kl, vl, sc.scores[:T], heads, dh, d, scale)
-		vecMatInto(sc.ao, sc.att, b.wo.W)
-		for i := 0; i < d; i++ {
-			x[i] += sc.ao[i]
-		}
+		attendRowPar(sc.att, sc.q, kl, vl, sc.scores, cfg.Ctx, T, heads, dh, d, scale)
+		// Fused residual update: x += att @ wo, the bias-free output
+		// projection accumulated straight onto the residual stream.
+		vecMatAddBiasInto(x, sc.ao, sc.att, b.wo.W, nil)
 
 		lnRowInto(sc.bIn, x, b.ln2g.W, b.ln2b.W)
-		vecMatInto(sc.h1, sc.bIn, b.w1.W)
-		for j := range sc.h1 {
-			sc.h1[j] = gelu(sc.h1[j] + b.b1.W[j])
-		}
-		vecMatInto(sc.mo, sc.h1, b.w2.W)
-		for i := 0; i < d; i++ {
-			x[i] += sc.mo[i] + b.b2.W[i]
-		}
+		// Fused MLP: h1 = gelu(bIn @ w1 + b1), then x += h1 @ w2 + b2.
+		vecMatBiasGeluInto(sc.h1, sc.bIn, b.w1.W, b.b1.W)
+		vecMatAddBiasInto(x, sc.mo, sc.h1, b.w2.W, b.b2.W)
 	}
 	s.pos++
 	if m.obs != nil {
@@ -149,49 +143,23 @@ func (s *genState) step(tok int) []float64 {
 // attendRow runs causal multi-head attention for one query row over the
 // cached keys/values, writing the concatenated head outputs into att.
 // scores must have length T (the cached positions including the current).
+// It is the serial single-buffer form of attendHeads; attendRowPar is the
+// same computation split across heads with per-worker score rows.
 func attendRow(att, q, k, v, scores []float64, heads, dh, d int, scale float64) {
-	for i := range att {
-		att[i] = 0
-	}
-	T := len(scores)
-	for h := 0; h < heads; h++ {
-		off := h * dh
-		maxs := math.Inf(-1)
-		for u := 0; u < T; u++ {
-			dot := 0.0
-			for i := 0; i < dh; i++ {
-				dot += q[off+i] * k[u*d+off+i]
-			}
-			dot *= scale
-			scores[u] = dot
-			if dot > maxs {
-				maxs = dot
-			}
-		}
-		sum := 0.0
-		for u := 0; u < T; u++ {
-			scores[u] = math.Exp(scores[u] - maxs)
-			sum += scores[u]
-		}
-		for u := 0; u < T; u++ {
-			p := scores[u] / sum
-			for i := 0; i < dh; i++ {
-				att[off+i] += p * v[u*d+off+i]
-			}
-		}
-	}
+	attendHeads(att, q, k, v, scores, 0, heads, dh, d, scale)
 }
 
-// projectLogits writes hf @ tokEmb^T into logits (the tied output head).
+// projectLogits writes hf @ tokEmb^T into logits (the tied output head),
+// splitting the vocabulary across the kernel workers.
 func projectLogits(logits, hf, emb []float64, d int) {
-	for tokID := range logits {
-		e := emb[tokID*d : (tokID+1)*d]
-		dot := 0.0
-		for i := 0; i < d; i++ {
-			dot += hf[i] * e[i]
-		}
-		logits[tokID] = dot
+	procs, minC := KernelProcs(), minTileCols(d)
+	if serialChunk(procs, len(logits), minC) {
+		projectLogitsRange(logits, hf, emb, d, 0, len(logits))
+		return
 	}
+	parallelFor(procs, len(logits), minC, func(_, lo, hi int) {
+		projectLogitsRange(logits, hf, emb, d, lo, hi)
+	})
 }
 
 // windowHopDiv sets the re-prime stride of the windowed decode path: when

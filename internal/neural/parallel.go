@@ -1,0 +1,394 @@
+package neural
+
+import (
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The decode kernels below split their work across a bounded set of worker
+// goroutines: matmuls by output rows, row-vector products by output-column
+// tiles, attention by heads, the logit projection by vocabulary range. Every
+// split preserves the serial kernels' per-element accumulation order
+// (ascending input index, zero inputs skipped), so the parallel kernels are
+// bit-identical to the serial ones at any worker count — pinned by
+// TestParallelStepBitIdentical and friends. Work below a per-worker floor
+// (kernelMinWork multiply-adds) stays on the calling goroutine, so tiny
+// models and single-core hosts pay one atomic load per kernel call and
+// nothing else.
+
+// kernelMinWork is the minimum number of multiply-adds a chunk must carry
+// before a kernel forks it to a worker; below it, goroutine handoff costs
+// more than the arithmetic.
+const kernelMinWork = 8192
+
+// maxKernelWorkers bounds the total worker goroutines across all concurrent
+// generations. Chunks dispatched beyond the bound run inline on the
+// submitting goroutine, so saturation degrades to serial execution instead
+// of unbounded goroutine growth.
+const maxKernelWorkers = 32
+
+// kernelProcsLimit caps SetKernelProcs/WISDOM_KERNEL_PROCS so scratch
+// arenas (sized per worker) stay bounded.
+const kernelProcsLimit = 64
+
+var kernelProcsVal atomic.Int32
+
+func init() {
+	n := runtime.GOMAXPROCS(0)
+	if s := os.Getenv("WISDOM_KERNEL_PROCS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	SetKernelProcs(n)
+}
+
+// KernelProcs returns the current kernel worker budget: how many goroutines
+// one decode kernel call may split its work across. It defaults to
+// GOMAXPROCS at startup, overridable with the WISDOM_KERNEL_PROCS
+// environment variable or SetKernelProcs.
+func KernelProcs() int { return int(kernelProcsVal.Load()) }
+
+// SetKernelProcs sets the kernel worker budget and returns the previous
+// value. n <= 0 resets to GOMAXPROCS; values above an internal cap are
+// clamped. Parallel and serial kernels are bit-identical, so the setting
+// trades only scheduling overhead against core utilisation; 1 forces fully
+// serial kernels. Safe to call concurrently, but scratch arenas allocated
+// while the budget was lower cap attention-head parallelism at their
+// creation-time budget.
+func SetKernelProcs(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > kernelProcsLimit {
+		n = kernelProcsLimit
+	}
+	return int(kernelProcsVal.Swap(int32(n)))
+}
+
+// kernelTask is one contiguous chunk of a parallelFor handed to a worker.
+type kernelTask struct {
+	fn     func(worker, lo, hi int)
+	worker int
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+func (t kernelTask) run() {
+	t.fn(t.worker, t.lo, t.hi)
+	t.wg.Done()
+}
+
+var (
+	kernelQueue   = make(chan kernelTask)
+	kernelWorkers atomic.Int32
+)
+
+// dispatchKernel hands a chunk to an idle worker, spawns a new worker while
+// under the bound, or runs the chunk inline when the pool is saturated.
+func dispatchKernel(t kernelTask) {
+	select {
+	case kernelQueue <- t:
+		return
+	default:
+	}
+	if kernelWorkers.Add(1) <= maxKernelWorkers {
+		go func(first kernelTask) {
+			first.run()
+			for t := range kernelQueue {
+				t.run()
+			}
+		}(t)
+		return
+	}
+	kernelWorkers.Add(-1)
+	t.run()
+}
+
+// parallelFor splits [0, n) into up to procs contiguous chunks and runs fn
+// on each, blocking until all complete. Chunks never shrink below minChunk
+// elements (the per-worker work floor), the calling goroutine always runs
+// chunk 0, and fn receives a dense worker index in [0, procs) it may use to
+// select per-worker scratch. procs <= 1, small n, or a saturated worker
+// pool all degrade to plain serial execution of the same element order.
+func parallelFor(procs, n, minChunk int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if maxP := n / minChunk; procs > maxP {
+		procs = maxP
+	}
+	if procs <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + procs - 1) / procs
+	var wg sync.WaitGroup
+	for w := 1; w*chunk < n; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		dispatchKernel(kernelTask{fn: fn, worker: w, lo: lo, hi: hi, wg: &wg})
+	}
+	fn(0, 0, chunk)
+	wg.Wait()
+}
+
+// serialChunk reports whether parallelFor(procs, n, minChunk, fn) would run
+// fn as one inline chunk. Kernels branch on it before constructing their
+// chunk closure: a closure handed to parallelFor escapes to the heap even
+// when the serial path runs, so the fast path must avoid creating it at all
+// to keep serial decoding allocation-free.
+func serialChunk(procs, n, minChunk int) bool {
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if maxP := n / minChunk; procs > maxP {
+		procs = maxP
+	}
+	return procs <= 1
+}
+
+// minTileCols is the column-tile floor for a row-vector product with in
+// inputs: tiles carry at least kernelMinWork multiply-adds.
+func minTileCols(in int) int {
+	if in <= 0 {
+		return 1
+	}
+	c := kernelMinWork / in
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// minMatRows is the row-chunk floor for a T-row matmul of in x out weight.
+func minMatRows(in, out int) int {
+	r := kernelMinWork / (in * out)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// vecMatTile accumulates one column tile [lo, hi) of dst = x @ w
+// (w: len(x) x out). Identical element order to the full serial product:
+// each dst[j] sums x[i]*w[i*out+j] over ascending i with zero inputs
+// skipped.
+func vecMatTile(dst, x, w []float64, out, lo, hi int) {
+	dr := dst[lo:hi]
+	for j := range dr {
+		dr[j] = 0
+	}
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		wr := w[i*out+lo : i*out+hi]
+		for j, wv := range wr {
+			dr[j] += xv * wv
+		}
+	}
+}
+
+// vecMatBiasGeluTile is one column tile of the fused MLP up-projection:
+// dst[lo:hi] = gelu((x @ w)[lo:hi] + bias[lo:hi]).
+func vecMatBiasGeluTile(dst, x, w, bias []float64, out, lo, hi int) {
+	vecMatTile(dst, x, w, out, lo, hi)
+	for j := lo; j < hi; j++ {
+		dst[j] = gelu(dst[j] + bias[j])
+	}
+}
+
+// vecMatBiasGeluInto computes dst[j] = gelu((x @ w)[j] + bias[j]) — the MLP
+// up-projection with its bias and activation fused into the tile pass, so
+// the tile is read again while cache-hot instead of in two full sweeps.
+func vecMatBiasGeluInto(dst, x, w, bias []float64) {
+	out := len(dst)
+	procs, minC := KernelProcs(), minTileCols(len(x))
+	if serialChunk(procs, out, minC) {
+		vecMatBiasGeluTile(dst, x, w, bias, out, 0, out)
+		return
+	}
+	parallelFor(procs, out, minC, func(_, lo, hi int) {
+		vecMatBiasGeluTile(dst, x, w, bias, out, lo, hi)
+	})
+}
+
+// vecMatAddBiasInto computes acc[j] += (x @ w)[j] + bias[j] (bias may be
+// nil), the fused residual update of the attention and MLP output
+// projections. tmp is the product buffer (len(acc)); the accumulation adds
+// the completed dot product to acc exactly like the unfused
+// product-then-add sequence did.
+func vecMatAddBiasInto(acc, tmp, x, w, bias []float64) {
+	out := len(acc)
+	procs, minC := KernelProcs(), minTileCols(len(x))
+	if serialChunk(procs, out, minC) {
+		vecMatAddBiasTile(acc, tmp, x, w, bias, out, 0, out)
+		return
+	}
+	parallelFor(procs, out, minC, func(_, lo, hi int) {
+		vecMatAddBiasTile(acc, tmp, x, w, bias, out, lo, hi)
+	})
+}
+
+// vecMatAddBiasTile is one column tile of the fused residual update.
+func vecMatAddBiasTile(acc, tmp, x, w, bias []float64, out, lo, hi int) {
+	vecMatTile(tmp, x, w, out, lo, hi)
+	if bias != nil {
+		for j := lo; j < hi; j++ {
+			acc[j] += tmp[j] + bias[j]
+		}
+	} else {
+		for j := lo; j < hi; j++ {
+			acc[j] += tmp[j]
+		}
+	}
+}
+
+// matmulRows runs rows [t0, t1) of dst = x @ w (x: T x in, w: in x out)
+// with the exact serial accumulation order per row.
+func matmulRows(dst, x []float64, t0, t1, in int, w []float64, out int) {
+	for t := t0; t < t1; t++ {
+		yr := dst[t*out : (t+1)*out]
+		for i := range yr {
+			yr[i] = 0
+		}
+		xr := x[t*in : (t+1)*in]
+		for i, xv := range xr {
+			if xv == 0 {
+				continue
+			}
+			wr := w[i*out : (i+1)*out]
+			for j, wv := range wr {
+				yr[j] += xv * wv
+			}
+		}
+	}
+}
+
+// matmulBiasGeluRows is matmulRows with the bias add and GELU fused onto
+// each finished row while it is cache-hot.
+func matmulBiasGeluRows(dst, x []float64, t0, t1, in int, w []float64, out int, bias []float64) {
+	matmulRows(dst, x, t0, t1, in, w, out)
+	for t := t0; t < t1; t++ {
+		yr := dst[t*out : (t+1)*out]
+		for j := range yr {
+			yr[j] = gelu(yr[j] + bias[j])
+		}
+	}
+}
+
+// matmulAddBiasRows computes acc[t*out+j] += (x @ w)[t*out+j] + bias[j] for
+// rows [t0, t1) — the batched form of vecMatAddBiasInto. tmp holds the
+// product rows; bias may be nil.
+func matmulAddBiasRows(acc, tmp, x []float64, t0, t1, in int, w []float64, out int, bias []float64) {
+	matmulRows(tmp, x, t0, t1, in, w, out)
+	for t := t0; t < t1; t++ {
+		ar := acc[t*out : (t+1)*out]
+		tr := tmp[t*out : (t+1)*out]
+		if bias != nil {
+			for j := range ar {
+				ar[j] += tr[j] + bias[j]
+			}
+		} else {
+			for j := range ar {
+				ar[j] += tr[j]
+			}
+		}
+	}
+}
+
+// attendHeads runs heads [h0, h1) of causal attention for one query row over
+// the cached keys/values, writing each head's output into its slice of att.
+// scores must have length T. Heads touch disjoint att ranges, so head
+// ranges parallelize without synchronisation.
+func attendHeads(att, q, k, v, scores []float64, h0, h1, dh, d int, scale float64) {
+	T := len(scores)
+	for h := h0; h < h1; h++ {
+		off := h * dh
+		for i := 0; i < dh; i++ {
+			att[off+i] = 0
+		}
+		maxs := math.Inf(-1)
+		for u := 0; u < T; u++ {
+			dot := 0.0
+			for i := 0; i < dh; i++ {
+				dot += q[off+i] * k[u*d+off+i]
+			}
+			dot *= scale
+			scores[u] = dot
+			if dot > maxs {
+				maxs = dot
+			}
+		}
+		sum := 0.0
+		for u := 0; u < T; u++ {
+			scores[u] = math.Exp(scores[u] - maxs)
+			sum += scores[u]
+		}
+		for u := 0; u < T; u++ {
+			p := scores[u] / sum
+			for i := 0; i < dh; i++ {
+				att[off+i] += p * v[u*d+off+i]
+			}
+		}
+	}
+}
+
+// attendRowPar is attendRow split across heads. scores carries one row of
+// ctxCap positions per worker the owning scratch arena was sized for; the
+// effective parallelism is min(KernelProcs, scratch rows), and each worker
+// scores into its own row so no buffer is shared.
+func attendRowPar(att, q, k, v, scores []float64, ctxCap, T, heads, dh, d int, scale float64) {
+	rows := len(scores) / ctxCap
+	procs := KernelProcs()
+	if procs > rows {
+		procs = rows
+	}
+	min := minAttendHeads(T, dh)
+	if serialChunk(procs, heads, min) {
+		attendHeads(att, q, k, v, scores[:T], 0, heads, dh, d, scale)
+		return
+	}
+	parallelFor(procs, heads, min, func(w, h0, h1 int) {
+		attendHeads(att, q, k, v, scores[w*ctxCap:w*ctxCap+T], h0, h1, dh, d, scale)
+	})
+}
+
+// minAttendHeads is the per-worker head floor: one head costs about
+// 3*T*dh multiply-adds (score, softmax, weighted sum).
+func minAttendHeads(T, dh int) int {
+	work := 3 * T * dh
+	if work <= 0 {
+		return 1
+	}
+	h := kernelMinWork / work
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// projectLogitsRange fills logits[lo:hi] with hf @ tokEmb^T over that
+// vocabulary range.
+func projectLogitsRange(logits, hf, emb []float64, d, lo, hi int) {
+	for tokID := lo; tokID < hi; tokID++ {
+		e := emb[tokID*d : (tokID+1)*d]
+		dot := 0.0
+		for i := 0; i < d; i++ {
+			dot += hf[i] * e[i]
+		}
+		logits[tokID] = dot
+	}
+}

@@ -12,21 +12,28 @@ import "math"
 // one arena across all of its forked states because a beam decodes
 // single-threaded.
 type decodeScratch struct {
-	x      []float64 // Dim: residual stream of the current token
-	a      []float64 // Dim: layernorm output feeding q/k/v
-	q      []float64 // Dim: query row
-	att    []float64 // Dim: concatenated head outputs
-	ao     []float64 // Dim: attention output projection
-	bIn    []float64 // Dim: layernorm output feeding the MLP
-	mo     []float64 // Dim: MLP output projection
-	hf     []float64 // Dim: final layernorm output
-	h1     []float64 // MLPHidden: pre/post-GELU hidden row
-	scores []float64 // Ctx: per-head attention scores over the cache
+	x   []float64 // Dim: residual stream of the current token
+	a   []float64 // Dim: layernorm output feeding q/k/v
+	q   []float64 // Dim: query row
+	att []float64 // Dim: concatenated head outputs
+	ao  []float64 // Dim: attention output projection
+	bIn []float64 // Dim: layernorm output feeding the MLP
+	mo  []float64 // Dim: MLP output projection
+	hf  []float64 // Dim: final layernorm output
+	h1  []float64 // MLPHidden: pre/post-GELU hidden row
+	// scores holds one Ctx-wide attention-score row per kernel worker the
+	// arena was sized for (KernelProcs at creation), so parallel per-head
+	// attention never shares a buffer between workers.
+	scores []float64
 }
 
 // newDecodeScratch sizes an arena for m's architecture.
 func (m *Model) newDecodeScratch() *decodeScratch {
 	d := m.cfg.Dim
+	rows := KernelProcs()
+	if rows < 1 {
+		rows = 1
+	}
 	return &decodeScratch{
 		x:      make([]float64, d),
 		a:      make([]float64, d),
@@ -37,7 +44,7 @@ func (m *Model) newDecodeScratch() *decodeScratch {
 		mo:     make([]float64, d),
 		hf:     make([]float64, d),
 		h1:     make([]float64, m.cfg.MLPHidden),
-		scores: make([]float64, m.cfg.Ctx),
+		scores: make([]float64, rows*m.cfg.Ctx),
 	}
 }
 
@@ -63,42 +70,33 @@ func lnRowInto(dst, x, g, b []float64) {
 }
 
 // vecMatInto computes dst = x @ w for one row (w: len(x) x len(dst)),
-// overwriting dst.
+// overwriting dst. Large products split dst into column tiles across the
+// kernel workers (see parallel.go); each element accumulates over ascending
+// input index with zero inputs skipped at any worker count, so serial and
+// parallel results are bit-identical.
 func vecMatInto(dst, x, w []float64) {
-	for i := range dst {
-		dst[i] = 0
-	}
 	out := len(dst)
-	for i, xv := range x {
-		if xv == 0 {
-			continue
-		}
-		wr := w[i*out : (i+1)*out]
-		for j, wv := range wr {
-			dst[j] += xv * wv
-		}
+	procs, minC := KernelProcs(), minTileCols(len(x))
+	if serialChunk(procs, out, minC) {
+		vecMatTile(dst, x, w, out, 0, out)
+		return
 	}
+	parallelFor(procs, out, minC, func(_, lo, hi int) {
+		vecMatTile(dst, x, w, out, lo, hi)
+	})
 }
 
 // matmulInto computes dst = x @ w for x: T x in, w: in x out, overwriting
-// dst[:T*out]. The accumulation order per row matches vecMatInto and matmul,
-// so batched and single-row decode paths stay bit-identical.
+// dst[:T*out]. Rows split across the kernel workers; the accumulation order
+// per row matches vecMatInto and matmul, so batched and single-row decode
+// paths stay bit-identical at any worker count.
 func matmulInto(dst, x []float64, T, in int, w []float64, out int) {
-	dst = dst[:T*out]
-	for i := range dst {
-		dst[i] = 0
+	procs, minR := KernelProcs(), minMatRows(in, out)
+	if serialChunk(procs, T, minR) {
+		matmulRows(dst, x, 0, T, in, w, out)
+		return
 	}
-	for t := 0; t < T; t++ {
-		xr := x[t*in : (t+1)*in]
-		yr := dst[t*out : (t+1)*out]
-		for i, xv := range xr {
-			if xv == 0 {
-				continue
-			}
-			wr := w[i*out : (i+1)*out]
-			for j, wv := range wr {
-				yr[j] += xv * wv
-			}
-		}
-	}
+	parallelFor(procs, T, minR, func(_, lo, hi int) {
+		matmulRows(dst, x, lo, hi, in, w, out)
+	})
 }

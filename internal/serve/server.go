@@ -130,6 +130,38 @@ type SessionStreamingPredictor interface {
 	PredictStreamSession(ctx context.Context, sessionID, context, prompt string, emit func(delta string)) string
 }
 
+// SchedPredictor is implemented by predictors that can decode through a
+// continuous-batching scheduler (*wisdom.Model over a transformer with the
+// scheduler enabled): PredictSched answers exactly like Predict but joins
+// the engine's shared step batch instead of decoding alone, failing fast
+// with an error classified Overloaded() when the admission queue is full.
+// SchedStats exposes the engine's scheduling counters for metrics. enabled
+// is false until the scheduler has been switched on
+// (wisdom.Model.EnableScheduler), in which case the server keeps the
+// ordinary pipeline.
+type SchedPredictor interface {
+	Predictor
+	PredictSched(ctx context.Context, context, prompt string) (string, error)
+	SchedStats() (enabled bool, maxBatch, active, queued int, admitted, retired, steps, rowSteps uint64)
+}
+
+// SchedStreamingPredictor is the streaming face of a scheduled predictor:
+// PredictStreamSched follows PredictStream's emission contract while
+// decoding through the continuous-batching engine. An error before any
+// delta has been emitted (queue full, engine closed) lets the server shed
+// the stream cleanly.
+type SchedStreamingPredictor interface {
+	SchedPredictor
+	PredictStreamSched(ctx context.Context, context, prompt string, emit func(delta string)) (string, error)
+}
+
+// schedQueueWaitObservable is the optional hook wiring the engine's
+// per-request queue-wait samples into a histogram; *wisdom.Model implements
+// it. Unexported: it is a metrics seam, not part of the serving contract.
+type schedQueueWaitObservable interface {
+	SetSchedQueueWaitObserver(fn func(waitSeconds float64))
+}
+
 // Request is one completion request: the natural-language intent plus the
 // optional Ansible context preceding the cursor.
 type Request struct {
@@ -252,6 +284,8 @@ type Server struct {
 	streamDegrade StreamingDegradingPredictor // non-nil when model streams and degrades
 	session       SessionPredictor            // non-nil when model has sessions enabled
 	sessionStream SessionStreamingPredictor   // non-nil when session model also streams
+	sched         SchedPredictor              // non-nil when model has the scheduler enabled
+	schedStream   SchedStreamingPredictor     // non-nil when scheduled model also streams
 	modelName     string
 	cache         *Cache
 	requests      atomic.Int64 // predictions served, both protocols
@@ -324,12 +358,26 @@ func NewServerWithOptions(model Predictor, modelName string, opts Options) *Serv
 			}
 		}
 	}
+	// Scheduler routing engages only when the model actually runs a
+	// continuous-batching engine; a model that merely implements the
+	// interface with the scheduler switched off keeps the ordinary pipeline.
+	if sp, ok := model.(SchedPredictor); ok {
+		if enabled, _, _, _, _, _, _, _ := sp.SchedStats(); enabled {
+			s.sched = sp
+			if ssp, ok := model.(SchedStreamingPredictor); ok {
+				s.schedStream = ssp
+			}
+		}
+	}
 	if opts.CacheSize > 0 {
 		s.cache = NewCache(opts.CacheSize)
 	}
 	// Micro-batching needs a model with a batched decode path; models
 	// without one keep the per-request pipeline regardless of the options.
-	if opts.MaxBatch > 1 && opts.BatchWindow > 0 {
+	// The continuous-batching scheduler supersedes the micro-batcher: the
+	// engine batches at step granularity, so holding requests in a window
+	// to gather a batch would only add latency in front of it.
+	if s.sched == nil && opts.MaxBatch > 1 && opts.BatchWindow > 0 {
 		if bp, ok := model.(BatchPredictor); ok {
 			s.batcher = newBatcher(opts.BatchWindow, opts.MaxBatch, s.execBatch(bp))
 		}
@@ -516,6 +564,32 @@ func (s *Server) Instrument(reg *observe.Registry) {
 			"Session states evicted (LRU bound, memory cap, or idle TTL).",
 			func() float64 { _, _, ev, _ := sp.SessionStats(); return float64(ev) })
 	}
+	if sp := s.sched; sp != nil {
+		reg.GaugeFunc("wisdom_sched_batch_occupancy",
+			"Fraction of the decode engine's step-batch slots holding a live sequence.",
+			func() float64 {
+				_, maxBatch, active, _, _, _, _, _ := sp.SchedStats()
+				if maxBatch == 0 {
+					return 0
+				}
+				return float64(active) / float64(maxBatch)
+			})
+		reg.GaugeFunc("wisdom_sched_queue_depth",
+			"Requests waiting in the decode engine's admission queue.",
+			func() float64 { _, _, _, queued, _, _, _, _ := sp.SchedStats(); return float64(queued) })
+		reg.CounterFunc("wisdom_sched_admitted_total",
+			"Sequences admitted into the decode engine's step batch.",
+			func() float64 { _, _, _, _, admitted, _, _, _ := sp.SchedStats(); return float64(admitted) })
+		reg.CounterFunc("wisdom_sched_retired_total",
+			"Sequences retired from the decode engine's step batch (finished, stopped or cancelled).",
+			func() float64 { _, _, _, _, _, retired, _, _ := sp.SchedStats(); return float64(retired) })
+		if qo, ok := sp.(schedQueueWaitObservable); ok {
+			h := reg.Histogram("wisdom_sched_queue_wait_seconds",
+				"Wait between a request's submission and its admission into the step batch.",
+				observe.DefBuckets)
+			qo.SetSchedQueueWaitObserver(h.Observe)
+		}
+	}
 	p := s.pool
 	reg.GaugeFunc("wisdom_pool_workers",
 		"Size of the inference worker pool.", func() float64 { return float64(p.Workers()) })
@@ -551,8 +625,13 @@ func (s *Server) countError(proto, reason string) {
 
 // shedReason maps an admission error to the error-counter reason label.
 func shedReason(err error) string {
+	var ov interface{ Overloaded() bool }
 	switch {
 	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.As(err, &ov) && ov.Overloaded():
+		// The scheduler's admission queue rejected the request — same
+		// overload semantics as the worker pool's, different layer.
 		return "overloaded"
 	case errors.Is(err, ErrQueueTimeout), errors.Is(err, context.DeadlineExceeded):
 		return "queue_timeout"
@@ -637,6 +716,28 @@ func (s *Server) answer(ctx context.Context, req Request) (Response, error) {
 		return Response{Suggestion: v}, nil
 	}
 	invoke := func() (string, bool, error) {
+		if s.sched != nil {
+			// Continuous-batching path: the engine merges concurrent decodes
+			// at step granularity, so the request goes straight in — no
+			// batching window. The pool slot still bounds admitted requests
+			// (one slot per scheduled row) and is released on every exit
+			// path, including a queue-full shed, so a rejected request never
+			// leaks capacity.
+			if s.pool != nil {
+				if err := s.pool.Acquire(ctx); err != nil {
+					return "", false, err
+				}
+				defer s.pool.Release()
+			}
+			v, err := s.sched.PredictSched(ctx, req.Context, req.Prompt)
+			if err != nil {
+				return "", false, err
+			}
+			if s.cache != nil {
+				s.cache.Put(key, v)
+			}
+			return v, false, nil
+		}
 		if s.batcher != nil {
 			// Micro-batching path: the batcher gathers concurrent keys and
 			// its exec function admits the whole batch through one pool
@@ -790,6 +891,16 @@ type Stats struct {
 	// AbandonedWaiters counts singleflight waiters that timed out before
 	// the leader finished (they never received a shared answer).
 	AbandonedWaiters uint64 `json:"abandoned_waiters,omitempty"`
+	// Continuous-batching scheduler state (all zero when disabled).
+	// SchedOccupancy is the cumulative batch occupancy — row-steps decoded
+	// divided by total step-batch slot capacity over every step taken.
+	SchedEnabled   bool    `json:"sched_enabled"`
+	SchedMaxBatch  int     `json:"sched_max_batch,omitempty"`
+	SchedActive    int     `json:"sched_active,omitempty"`
+	SchedQueued    int     `json:"sched_queued,omitempty"`
+	SchedAdmitted  uint64  `json:"sched_admitted,omitempty"`
+	SchedRetired   uint64  `json:"sched_retired,omitempty"`
+	SchedOccupancy float64 `json:"sched_occupancy,omitempty"`
 }
 
 // Stats returns a snapshot of the server counters.
@@ -817,6 +928,14 @@ func (s *Server) Stats() Stats {
 	}
 	if s.session != nil {
 		st.SessionsEnabled, st.SessionsActive, st.SessionEvictions, st.SessionReuseRatio = s.session.SessionStats()
+	}
+	if s.sched != nil {
+		var steps, rowSteps uint64
+		st.SchedEnabled, st.SchedMaxBatch, st.SchedActive, st.SchedQueued,
+			st.SchedAdmitted, st.SchedRetired, steps, rowSteps = s.sched.SchedStats()
+		if cap := steps * uint64(st.SchedMaxBatch); cap > 0 {
+			st.SchedOccupancy = float64(rowSteps) / float64(cap)
+		}
 	}
 	return st
 }

@@ -246,8 +246,21 @@ func (s *Server) predictStream(ctx context.Context, req Request, proto string, s
 		// already bypass singleflight and the batcher, which is exactly the
 		// isolation exclusive session state needs.
 		final = s.sessionStream.PredictStreamSession(gctx, req.SessionID, req.Context, req.Prompt, emit)
-	case s.streamDegrade != nil:
-		final, degraded = s.streamDegrade.PredictStreamDegraded(gctx, req.Context, req.Prompt, emit)
+	case s.schedStream != nil:
+		// Scheduled streams decode through the continuous-batching engine:
+		// the stream joins the shared step batch at the next boundary. The
+		// engine errors only before the first delta (admission queue full or
+		// engine closed), so a rejection here sheds as cleanly as a pool
+		// rejection — no byte has left the server.
+		var err error
+		final, err = s.schedStream.PredictStreamSched(gctx, req.Context, req.Prompt, emit)
+		if err != nil {
+			if m != nil {
+				m.shedFor(proto).Inc()
+			}
+			s.countError(proto, shedReason(err))
+			return Response{}, err
+		}
 	default:
 		final = s.stream.PredictStream(gctx, req.Context, req.Prompt, emit)
 	}

@@ -260,6 +260,9 @@ type NeuralLM struct {
 	// sessions, when set via EnableSessions, retains per-session decode
 	// state so CompleteSession can reuse a shared token prefix.
 	sessions *neural.SessionCache
+	// engine, when set via EnableScheduler, continuous-batches concurrent
+	// decodes through one persistent scheduling loop.
+	engine *neural.Engine
 }
 
 // Complete implements Generator. Decoding uses the KV cache, which is

@@ -1,0 +1,155 @@
+package wisdom
+
+import (
+	"context"
+	"math/rand"
+
+	"wisdom/internal/neural"
+)
+
+// schedOpts builds the GenOptions a continuous-batched decode must run with
+// so its output is byte-identical to the serial Complete/CompleteStream
+// paths: same stop conditions and, when sampling, a per-request source
+// seeded exactly as Complete seeds one.
+func (g *NeuralLM) schedOpts(stop func([]int) bool, stopToken int, onToken func(int), cancel <-chan struct{}) neural.GenOptions {
+	opts := neural.GenOptions{
+		Stop: stop, StopToken: stopToken,
+		Temperature: g.Temperature, TopK: g.TopK,
+		OnToken: onToken, Cancel: cancel,
+	}
+	if g.Temperature > 0 {
+		opts.Rand = rand.New(rand.NewSource(g.Seed))
+	}
+	return opts
+}
+
+// EnableScheduler attaches a continuous-batching decode engine to the
+// transformer and reports whether it did: one persistent scheduling loop
+// owns the step batch, admits queued requests into free slots and retires
+// finished ones at every step boundary, so concurrent Predict traffic
+// shares the batched kernels without waiting out the longest request of a
+// micro-batch. Only transformer-backed models (NeuralLM) can batch steps;
+// on the n-gram zoo this is a no-op returning false. Call once, after
+// training and before serving traffic.
+func (m *Model) EnableScheduler(cfg neural.EngineConfig) bool {
+	if nl, ok := m.LM.(*NeuralLM); ok {
+		nl.engine = nl.Model.NewEngine(cfg)
+		return true
+	}
+	return false
+}
+
+// scheduler returns the attached decode engine, or nil when EnableScheduler
+// was never called (or the LM cannot batch).
+func (m *Model) scheduler() *neural.Engine {
+	if nl, ok := m.LM.(*NeuralLM); ok {
+		return nl.engine
+	}
+	return nil
+}
+
+// SchedStats reports the decode engine's scheduling counters for the
+// serving layer's metrics: whether the scheduler is enabled, the configured
+// step-batch capacity, current active/queued sequences, and the cumulative
+// admitted/retired/step/row-step counts (rowSteps/(steps*maxBatch) is the
+// engine's batch occupancy). All zeros when disabled.
+func (m *Model) SchedStats() (enabled bool, maxBatch, active, queued int, admitted, retired, steps, rowSteps uint64) {
+	e := m.scheduler()
+	if e == nil {
+		return false, 0, 0, 0, 0, 0, 0, 0
+	}
+	st := e.Stats()
+	return true, st.MaxBatch, st.Active, st.Queued, st.Admitted, st.Retired, st.Steps, st.RowSteps
+}
+
+// SetSchedQueueWaitObserver registers a hook receiving each admitted
+// request's queue wait in seconds (the serving layer points a histogram
+// here). No-op when the scheduler is disabled.
+func (m *Model) SetSchedQueueWaitObserver(fn func(waitSeconds float64)) {
+	if e := m.scheduler(); e != nil {
+		e.SetQueueWaitObserver(fn)
+	}
+}
+
+// CloseScheduler drains the decode engine — accepted requests complete, new
+// ones are rejected — and stops its scheduling loop, bounded by ctx. No-op
+// when the scheduler is disabled.
+func (m *Model) CloseScheduler(ctx context.Context) error {
+	if e := m.scheduler(); e != nil {
+		return e.Close(ctx)
+	}
+	return nil
+}
+
+// PredictSched answers one request like Predict — identical output for
+// identical inputs — but decodes through the continuous-batching engine:
+// the request joins the shared step batch at the next step boundary instead
+// of decoding alone. It fails fast with the engine's overload error
+// (classified Overloaded() for the serving layer) when the admission queue
+// is full, and with neural.ErrEngineClosed during shutdown. Without an
+// attached scheduler it falls back to the serial Predict path.
+func (m *Model) PredictSched(ctx context.Context, yamlCtx, prompt string) (string, error) {
+	e := m.scheduler()
+	if e == nil {
+		return m.Predict(yamlCtx, prompt), nil
+	}
+	s, nameLine, indent := m.predictSample(yamlCtx, prompt)
+	plan := m.planSample(s)
+	if plan.done {
+		return m.finishPredict(s, nameLine, indent, plan.text), nil
+	}
+	nl := m.LM.(*NeuralLM)
+	out, err := e.Generate(ctx, plan.prefix, plan.maxNew,
+		nl.schedOpts(plan.stop, plan.stopToken, nil, nil))
+	if err != nil {
+		return "", err
+	}
+	return m.finishPredict(s, nameLine, indent, m.finishSample(out)), nil
+}
+
+// PredictStreamSched is PredictStream decoding through the
+// continuous-batching engine, with the same emission contract: the name
+// line first, then each committed body line, then the reconciling tail.
+// Admission is checked before any byte is emitted, so an overload rejection
+// returns the engine's error with nothing sent and the caller can shed the
+// request cleanly. A cancelled ctx retires the sequence at the next step
+// boundary; the partial answer assembled so far is returned.
+func (m *Model) PredictStreamSched(ctx context.Context, yamlCtx, prompt string, emit func(delta string)) (string, error) {
+	e := m.scheduler()
+	if e == nil {
+		return m.PredictStream(ctx, yamlCtx, prompt, emit), nil
+	}
+	s, nameLine, indent := m.predictSample(yamlCtx, prompt)
+	plan := m.planSample(s)
+	if plan.done {
+		final := m.finishPredict(s, nameLine, indent, plan.text)
+		emit(final)
+		return final, nil
+	}
+
+	asm := &streamAssembler{indent: indent, emit: emit}
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+	nl := m.LM.(*NeuralLM)
+	// Submit before emitting anything: a queue-full rejection must leave the
+	// stream untouched. Decoding may start before this goroutine emits the
+	// name line, so the token hook parks on begun until begin has run; that
+	// stalls only this sequence's relay goroutine, never the engine loop.
+	// Wait returns only after the hook has seen every token, so the
+	// assembler is safe to read afterwards.
+	begun := make(chan struct{})
+	onToken := func(tok int) { <-begun; asm.onToken(m, tok) }
+	tk, err := e.Submit(ctx, plan.prefix, plan.maxNew,
+		nl.schedOpts(plan.stop, plan.stopToken, onToken, cancel))
+	if err != nil {
+		return "", err
+	}
+	asm.begin(nameLine)
+	close(begun)
+	out := tk.Wait()
+	final := m.finishPredict(s, nameLine, indent, m.finishSample(out))
+	asm.finalize(final)
+	return final, nil
+}

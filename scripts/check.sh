@@ -31,6 +31,10 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== bench smoke (continuous-batching kernels compile and run)"
+go test ./internal/neural/ -run XXX -benchtime 100ms \
+    -bench 'BenchmarkStepParallel|BenchmarkEngineMixed' >/dev/null
+
 echo "== docs freshness (exported identifiers documented)"
 go test -run '^TestDocGate$' -count=1 .
 
