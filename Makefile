@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check fuzz bench bench-decode bench-stream bench-session bench-continuous fmt clean
+.PHONY: all build test race vet check fuzz bench bench-decode bench-stream bench-session bench-continuous bench-router fmt clean
 
 all: check
 
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzEncodeFrame$$' -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeStreamFrame$$' -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run='^$$' -fuzz='^FuzzEncode$$' -fuzztime=$(FUZZTIME) ./internal/tokenizer
+	$(GO) test -run='^$$' -fuzz='^FuzzRingLookup$$' -fuzztime=$(FUZZTIME) ./internal/router
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -63,6 +64,14 @@ bench-session:
 bench-continuous:
 	$(GO) test ./internal/neural/ -run XXX -benchmem -benchtime 2s \
 		-bench 'BenchmarkStepParallel|BenchmarkStepBatchParallel|BenchmarkEngineMixed'
+
+# bench-router runs the sharded-serving benchmarks that back BENCH_PR9.json:
+# router-forwarded throughput over a single replica and a 3-replica fleet,
+# and the spillover path (dead owner, breaker open, request served by the
+# ring successor).
+bench-router:
+	$(GO) test ./internal/router/ -run XXX -benchmem -benchtime 2s \
+		-bench 'BenchmarkRouterUnary|BenchmarkRouterSpillover'
 
 fmt:
 	gofmt -l -w .

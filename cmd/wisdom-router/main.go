@@ -1,0 +1,163 @@
+// Command wisdom-router runs the sharded-serving frontend: it speaks the
+// same REST + binary RPC surface as wisdom-serve (docs/PROTOCOL.md — the
+// router is protocol-transparent) and fans every request out to a static
+// fleet of wisdom-serve replicas by consistent hashing on the request key,
+// or on session_id when present so a session stays on the replica holding
+// its warm prefix KV state.
+//
+// Usage:
+//
+//	wisdom-serve  -http :8080 -rpc :9001 &        # replica 1
+//	wisdom-serve  -http :8081 -rpc :9002 &        # replica 2
+//	wisdom-router -http :8000 -rpc :8001 -backends 127.0.0.1:9001,127.0.0.1:9002
+//	curl -s localhost:8000/v1/completions -d '{"prompt":"install nginx"}'
+//	curl -s localhost:8000/v1/stats        # aggregated fleet view
+//	curl -s localhost:8000/metrics         # per-backend series + spillover
+//
+// Each backend is guarded by a circuit breaker (-breaker-threshold,
+// -breaker-cooldown, -breaker-probes) and a heartbeat (-heartbeat,
+// -heartbeat-timeout, -dead-after) reusing the RPC health op; a backend
+// that is open, dead or shedding spills to the next ring node
+// (-spillover caps how many backends one request may try).
+//
+// SIGINT/SIGTERM drain in-flight requests within the -drain deadline.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wisdom/internal/observe"
+	"wisdom/internal/resilience"
+	"wisdom/internal/router"
+	"wisdom/internal/serve"
+)
+
+func main() {
+	httpAddr := flag.String("http", ":8080", "REST listen address")
+	rpcAddr := flag.String("rpc", "", "binary RPC listen address (empty disables)")
+	backends := flag.String("backends", "", "comma-separated backend RPC addresses (required)")
+	vnodes := flag.Int("vnodes", router.DefaultVNodes, "virtual nodes per backend on the hash ring")
+	spillover := flag.Int("spillover", 0, "max backends one request may try: owner plus successors (0 = all live, -1 disables spillover)")
+	heartbeat := flag.Duration("heartbeat", router.DefaultHeartbeatInterval, "backend health-sweep period (negative disables)")
+	heartbeatTimeout := flag.Duration("heartbeat-timeout", router.DefaultHeartbeatTimeout, "deadline for one health round trip")
+	deadAfter := flag.Int("dead-after", router.DefaultDeadAfter, "consecutive failed heartbeats that mark a backend dead")
+	forwardTimeout := flag.Duration("forward-timeout", router.DefaultForwardTimeout, "deadline per forwarded round trip (per frame gap for streams)")
+	maxIdle := flag.Int("max-idle", router.DefaultMaxIdle, "idle pooled connections kept per backend")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive transport failures that open a backend's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before probing its backend")
+	breakerProbes := flag.Int("breaker-probes", 1, "concurrent probe requests allowed while half-open")
+	cacheSize := flag.Int("cache", 1024, "LRU response cache entries in front of the ring (0 disables)")
+	workers := flag.Int("workers", 64, "max concurrent forwarded requests (forwarding is I/O-bound, so this exceeds GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 0, "max requests waiting for a forward slot (0 = 4x workers, -1 disables queueing)")
+	queueTimeout := flag.Duration("request-timeout", serve.DefaultQueueTimeout, "max wait for admission before shedding (0 = no deadline)")
+	maxBody := flag.Int64("max-body", 1<<20, "max HTTP request body bytes")
+	metricsOn := flag.Bool("metrics", true, "record runtime metrics and serve them at /metrics")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	flag.Parse()
+
+	addrs := strings.Split(*backends, ",")
+	rt, err := router.New(addrs, router.Options{
+		VNodes:            *vnodes,
+		MaxSpill:          *spillover,
+		HeartbeatInterval: *heartbeat,
+		HeartbeatTimeout:  *heartbeatTimeout,
+		DeadAfter:         *deadAfter,
+		ForwardTimeout:    *forwardTimeout,
+		MaxIdle:           *maxIdle,
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: *breakerThreshold,
+			Cooldown:         *breakerCooldown,
+			HalfOpenProbes:   *breakerProbes,
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "routing over %d backends: %s\n",
+		len(rt.Backends()), strings.Join(rt.Backends(), ", "))
+
+	var reg *observe.Registry
+	if *metricsOn {
+		reg = observe.NewRegistry()
+		rt.Instrument(reg)
+	}
+
+	qt := *queueTimeout
+	if qt == 0 {
+		qt = -1 // flag 0 means "no admission deadline"
+	}
+	srv := serve.NewServerWithOptions(rt, "router", serve.Options{
+		CacheSize:    *cacheSize,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		QueueTimeout: qt,
+		MaxBodyBytes: *maxBody,
+	})
+	srv.Instrument(reg)
+	fmt.Fprintf(os.Stderr, "worker pool: %d workers, queue %d\n",
+		srv.Pool().Workers(), srv.Pool().QueueCap())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 2)
+	if *rpcAddr != "" {
+		ln, err := net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rpc listening on %s\n", ln.Addr())
+		go func() { errc <- srv.ServeRPC(ln) }()
+	}
+	httpLn, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		fmt.Fprintf(os.Stderr, "rest listening on %s\n", httpLn.Addr())
+		if err := httpSrv.Serve(httpLn); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	exitCode := 0
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "signal received; draining in-flight requests...")
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wisdom-router:", err)
+			exitCode = 1
+		}
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "wisdom-router: http drain:", err)
+		exitCode = 1
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "wisdom-router: rpc drain:", err)
+		exitCode = 1
+	}
+	rt.Close()
+	fmt.Fprintln(os.Stderr, "shutdown complete")
+	os.Exit(exitCode)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wisdom-router:", err)
+	os.Exit(1)
+}

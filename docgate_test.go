@@ -20,6 +20,7 @@ var docGatePackages = []string{
 	"internal/serve",
 	"internal/resilience",
 	"internal/neural",
+	"internal/router",
 }
 
 func TestDocGate(t *testing.T) {

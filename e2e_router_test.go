@@ -1,0 +1,157 @@
+// End-to-end router scenario: a real wisdom-router process in front of two
+// real wisdom-serve replicas, exercised over HTTP, SSE and RPC, then one
+// replica is SIGTERMed and — once the heartbeat window has marked it dead —
+// every request must still succeed.
+
+package wisdom_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wisdom/internal/router"
+	"wisdom/internal/serve"
+)
+
+// fleetSnapshot fetches the router's aggregated /v1/stats.
+func fleetSnapshot(t *testing.T, base string) router.FleetStats {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fs router.FleetStats
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestE2ERouterShardedFleet(t *testing.T) {
+	model := e2eModelPath(t)
+	rep1 := startServe(t, "-load", model)
+	rep2 := startServe(t, "-load", model)
+	rt := startProc(t, "wisdom-router",
+		"-backends", rep1.rpcAddr+","+rep2.rpcAddr,
+		"-heartbeat", "200ms",
+		"-heartbeat-timeout", "150ms",
+		"-dead-after", "2",
+		"-breaker-threshold", "2",
+		"-breaker-cooldown", "30s",
+	)
+	base := "http://" + rt.httpAddr
+
+	// Unary predictions through the router: transparent to the client.
+	for i := 0; i < 6; i++ {
+		resp, out := postJSON(t, base+"/v1/completions", serve.Request{Prompt: fmt.Sprintf("install nginx %d", i)})
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		if !strings.HasPrefix(out.Suggestion, "- name:") {
+			t.Fatalf("request %d: suggestion %q", i, out.Suggestion)
+		}
+	}
+
+	// Streamed SSE through the router tier.
+	body, _ := json.Marshal(serve.Request{Prompt: "configure the firewall"})
+	sresp, err := http.Post(base+"/v1/completions/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDone := false
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: done") {
+			sawDone = true
+		}
+		if strings.HasPrefix(sc.Text(), "event: error") {
+			t.Fatalf("router SSE stream errored\n%s", rt.stderr.String())
+		}
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != 200 || !sawDone {
+		t.Fatalf("router SSE stream: status %d, done=%v", sresp.StatusCode, sawDone)
+	}
+
+	// RPC through the router, same binary protocol as a replica.
+	client, err := serve.Dial(rt.rpcAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp, err := client.Predict(serve.Request{Prompt: "restart postgresql"})
+	client.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(rresp.Suggestion, "- name:") {
+		t.Fatalf("rpc suggestion = %q", rresp.Suggestion)
+	}
+
+	// Aggregated fleet view lists both replicas, alive, with real traffic.
+	fs := fleetSnapshot(t, base)
+	if len(fs.Backends) != 2 {
+		t.Fatalf("fleet lists %d backends, want 2", len(fs.Backends))
+	}
+	total := 0
+	for _, row := range fs.Backends {
+		if !row.Alive {
+			t.Errorf("backend %s reported dead on a healthy fleet", row.Addr)
+		}
+		if row.Stats != nil {
+			total += row.Stats.Requests
+		}
+	}
+	if total == 0 {
+		t.Error("aggregated fleet reports zero replica requests after real traffic")
+	}
+
+	// Kill one replica and wait out the heartbeat window (dead-after 2 x
+	// 200ms sweeps, plus margin) until the router reports it dead.
+	if err := rep1.terminate(t); err != nil {
+		t.Fatalf("replica SIGTERM drain: %v\n%s", err, rep1.stderr.String())
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		fs = fleetSnapshot(t, base)
+		dead := 0
+		for _, row := range fs.Backends {
+			if !row.Alive {
+				dead++
+			}
+		}
+		if dead == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never marked the killed replica dead\n%s", rt.stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// After the heartbeat window: zero failed requests, the survivor owns
+	// the whole keyspace.
+	for i := 0; i < 10; i++ {
+		resp, out := postJSON(t, base+"/v1/completions", serve.Request{Prompt: fmt.Sprintf("post-failover task %d", i)})
+		if resp.StatusCode != 200 {
+			t.Fatalf("post-failover request %d: status %d\n%s", i, resp.StatusCode, rt.stderr.String())
+		}
+		if !strings.HasPrefix(out.Suggestion, "- name:") {
+			t.Fatalf("post-failover request %d: suggestion %q", i, out.Suggestion)
+		}
+	}
+
+	// The router itself drains cleanly.
+	if err := rt.terminate(t); err != nil {
+		t.Fatalf("router SIGTERM drain: %v\n%s", err, rt.stderr.String())
+	}
+	if !strings.Contains(rt.stderr.String(), "shutdown complete") {
+		t.Errorf("router never announced shutdown complete\n%s", rt.stderr.String())
+	}
+}

@@ -18,9 +18,10 @@ import (
 	"wisdom/internal/serve"
 )
 
-// serveProc is a wisdom-serve process started for an e2e test, with the
-// listener addresses parsed from its stderr.
+// serveProc is a server process (wisdom-serve or wisdom-router) started for
+// an e2e test, with the listener addresses parsed from its stderr.
 type serveProc struct {
+	tool     string
 	cmd      *exec.Cmd
 	httpAddr string
 	rpcAddr  string
@@ -51,7 +52,15 @@ func (b *lockedBuffer) String() string {
 // killed (if still alive) when the test ends.
 func startServe(t *testing.T, extra ...string) *serveProc {
 	t.Helper()
-	bin := buildTool(t, "wisdom-serve")
+	return startProc(t, "wisdom-serve", extra...)
+}
+
+// startProc launches one cmd/ server binary (wisdom-serve or wisdom-router;
+// both share the flag and stderr-announcement conventions) on random ports
+// and waits until both listeners have announced themselves.
+func startProc(t *testing.T, tool string, extra ...string) *serveProc {
+	t.Helper()
+	bin := buildTool(t, tool)
 	args := append([]string{"-http", "127.0.0.1:0", "-rpc", "127.0.0.1:0"}, extra...)
 	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
@@ -61,7 +70,7 @@ func startServe(t *testing.T, extra ...string) *serveProc {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	p := &serveProc{cmd: cmd, stderr: &lockedBuffer{}, waitErr: make(chan error, 1)}
+	p := &serveProc{tool: tool, cmd: cmd, stderr: &lockedBuffer{}, waitErr: make(chan error, 1)}
 	t.Cleanup(func() {
 		cmd.Process.Kill()
 		select {
@@ -98,9 +107,9 @@ func startServe(t *testing.T, extra ...string) *serveProc {
 			p.rpcAddr = a
 		case err := <-p.waitErr:
 			p.waitErr <- err
-			t.Fatalf("wisdom-serve exited before listening: %v\n%s", err, p.stderr.String())
+			t.Fatalf("%s exited before listening: %v\n%s", tool, err, p.stderr.String())
 		case <-deadline:
-			t.Fatalf("wisdom-serve never announced its listeners\n%s", p.stderr.String())
+			t.Fatalf("%s never announced its listeners\n%s", tool, p.stderr.String())
 		}
 	}
 	return p
@@ -117,7 +126,7 @@ func (p *serveProc) terminate(t *testing.T) error {
 	case err := <-p.waitErr:
 		return err
 	case <-time.After(30 * time.Second):
-		t.Fatalf("wisdom-serve did not exit after SIGTERM\n%s", p.stderr.String())
+		t.Fatalf("%s did not exit after SIGTERM\n%s", p.tool, p.stderr.String())
 		return nil
 	}
 }

@@ -1,0 +1,443 @@
+// Fleet integration tests: a router frontend (full serve.Server surface)
+// over three in-process serve replicas, exercised end-to-end over real
+// sockets — key and session affinity, spillover when a replica dies
+// mid-burst, streamed SSE through the tier, and fleet-wide stats
+// aggregation. All paths are -race clean.
+
+package wisdom_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wisdom/internal/router"
+	"wisdom/internal/serve"
+)
+
+// fleetModel is the replica model of the in-process fleet tests: answers
+// are tagged with the replica name so tests can tell who served.
+type fleetModel struct{ name string }
+
+func (m *fleetModel) answer(prompt string) string {
+	return "- name: " + prompt + " [" + m.name + "]\n  ansible.builtin.debug:\n    msg: ok\n"
+}
+
+func (m *fleetModel) Predict(c, prompt string) string { return m.answer(prompt) }
+
+func (m *fleetModel) PredictStream(ctx context.Context, c, prompt string, emit func(string)) string {
+	final := m.answer(prompt)
+	for _, line := range strings.SplitAfter(final, "\n") {
+		if line != "" {
+			emit(line)
+		}
+	}
+	return final
+}
+
+// fleetReplica is one in-process backend replica.
+type fleetReplica struct {
+	name string
+	addr string
+	srv  *serve.Server
+}
+
+func (r *fleetReplica) shutdown(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = r.srv.Shutdown(ctx)
+}
+
+// fleet is a router frontend over three in-process replicas, with the
+// router's HTTP surface on a test server and its RPC surface on a real
+// socket.
+type fleet struct {
+	rt       *router.Router
+	front    *serve.Server
+	http     *httptest.Server
+	rpcAddr  string
+	replicas []*fleetReplica
+}
+
+// servedBy extracts the replica tag from an answer.
+func servedBy(t *testing.T, suggestion string) string {
+	t.Helper()
+	open := strings.Index(suggestion, "[")
+	close_ := strings.Index(suggestion, "]")
+	if open < 0 || close_ < open {
+		t.Fatalf("answer %q carries no replica tag", suggestion)
+	}
+	return suggestion[open+1 : close_]
+}
+
+// startFleetReplica boots one replica on a loopback RPC port.
+func startFleetReplica(t *testing.T, name string) *fleetReplica {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServerWithOptions(&fleetModel{name: name}, name, serve.Options{Workers: 8})
+	go func() { _ = srv.ServeRPC(ln) }()
+	r := &fleetReplica{name: name, addr: ln.Addr().String(), srv: srv}
+	t.Cleanup(func() { r.shutdown(t) })
+	return r
+}
+
+// startFleetTier boots 3 replicas and the router frontend over them. The
+// background heartbeat is disabled unless ropts sets an interval, keeping
+// liveness deterministic for the tests that don't exercise it.
+func startFleetTier(t *testing.T, ropts router.Options) *fleet {
+	t.Helper()
+	f := &fleet{}
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		r := startFleetReplica(t, fmt.Sprintf("rep%d", i))
+		f.replicas = append(f.replicas, r)
+		addrs = append(addrs, r.addr)
+	}
+	if ropts.HeartbeatInterval == 0 {
+		ropts.HeartbeatInterval = -1
+	}
+	rt, err := router.New(addrs, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.rt = rt
+	t.Cleanup(rt.Close)
+
+	// The frontend is a stock serve.Server wrapping the router — same
+	// cache/singleflight/pool stack and HTTP+RPC surface as a replica.
+	// Forwarding is I/O-bound, so workers exceed GOMAXPROCS (1 in CI).
+	f.front = serve.NewServerWithOptions(rt, "router", serve.Options{Workers: 16, CacheSize: 256})
+	f.http = httptest.NewServer(f.front.Handler())
+	t.Cleanup(f.http.Close)
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.rpcAddr = rln.Addr().String()
+	go func() { _ = f.front.ServeRPC(rln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = f.front.Shutdown(ctx)
+	})
+	return f
+}
+
+// replicaByAddr resolves a backend address to its replica.
+func (f *fleet) replicaByAddr(t *testing.T, addr string) *fleetReplica {
+	t.Helper()
+	for _, r := range f.replicas {
+		if r.addr == addr {
+			return r
+		}
+	}
+	t.Fatalf("no replica at %s", addr)
+	return nil
+}
+
+// ownedPrompt finds a prompt whose affinity key the given replica owns.
+func (f *fleet) ownedPrompt(t *testing.T, addr, pattern string, from int) string {
+	t.Helper()
+	for i := from; i < from+100000; i++ {
+		p := fmt.Sprintf(pattern, i)
+		if owner, ok := f.rt.Owner(serve.Request{Prompt: p}); ok && owner == addr {
+			return p
+		}
+	}
+	t.Fatalf("no prompt owned by %s", addr)
+	return ""
+}
+
+func TestFleetKeyAffinityHTTP(t *testing.T) {
+	f := startFleetTier(t, router.Options{})
+
+	// The same prompt, repeated: always the same replica (via ring), and
+	// the router's response cache makes repeats free after the first.
+	req := serve.Request{Prompt: "deploy the web tier"}
+	ownerAddr, _ := f.rt.Owner(req)
+	want := f.replicaByAddr(t, ownerAddr)
+	var first string
+	for i := 0; i < 5; i++ {
+		resp, out := postJSON(t, f.http.URL+"/v1/completions", req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		if got := servedBy(t, out.Suggestion); got != want.name {
+			t.Fatalf("request %d served by %s, want ring owner %s", i, got, want.name)
+		}
+		if first == "" {
+			first = out.Suggestion
+		} else if out.Suggestion != first {
+			t.Fatalf("answers diverged for one key: %q vs %q", out.Suggestion, first)
+		}
+	}
+
+	// Distinct prompts spread across replicas.
+	served := map[string]bool{}
+	for i := 0; i < 30; i++ {
+		_, out := postJSON(t, f.http.URL+"/v1/completions", serve.Request{Prompt: fmt.Sprintf("spread task %d", i)})
+		served[servedBy(t, out.Suggestion)] = true
+	}
+	if len(served) < 2 {
+		t.Errorf("30 distinct prompts all landed on %v, want >= 2 replicas", served)
+	}
+	if got := f.rt.Spillovers(); got != 0 {
+		t.Errorf("spillovers = %d on a healthy fleet, want 0", got)
+	}
+}
+
+func TestFleetSessionAffinityHTTP(t *testing.T) {
+	f := startFleetTier(t, router.Options{})
+	const sid = "fleet-session-7"
+	ownerAddr, _ := f.rt.Owner(serve.Request{SessionID: sid})
+	owner := f.replicaByAddr(t, ownerAddr)
+
+	// Ten different prompts under one session, set via the header like the
+	// editor plugin does: all must land on the session owner even though
+	// their content keys hash elsewhere.
+	for i := 0; i < 10; i++ {
+		body, _ := json.Marshal(serve.Request{Prompt: fmt.Sprintf("session edit %d", i)})
+		hreq, _ := http.NewRequest("POST", f.http.URL+"/v1/completions", bytes.NewReader(body))
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("X-Wisdom-Session", sid)
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status = %d: %s", resp.StatusCode, data)
+		}
+		var out serve.Response
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		if got := servedBy(t, out.Suggestion); got != owner.name {
+			t.Fatalf("session request %d served by %s, want session owner %s", i, got, owner.name)
+		}
+	}
+}
+
+func TestFleetSpilloverWhenReplicaKilledMidBurst(t *testing.T) {
+	f := startFleetTier(t, router.Options{})
+	victimAddr, _ := f.rt.Owner(serve.Request{Prompt: "burst task 1000000"})
+	victim := f.replicaByAddr(t, victimAddr)
+
+	// 24 distinct prompts, all owned by the victim, fired concurrently; the
+	// victim is shut down after the first third completes. Zero failures
+	// allowed: in-flight requests finish on the draining victim, later ones
+	// spill to the ring successor.
+	var prompts []string
+	from := 0
+	for len(prompts) < 24 {
+		p := f.ownedPrompt(t, victimAddr, "burst task %d", from)
+		prompts = append(prompts, p)
+		fmt.Sscanf(p, "burst task %d", &from)
+		from++
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, len(prompts))
+	firstThird := make(chan struct{}, len(prompts))
+	for i, p := range prompts {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			if i >= 8 {
+				// The later two thirds wait for the kill signal path below
+				// to have begun, guaranteeing some requests race the death.
+				<-firstThird
+			}
+			resp, out := postJSON(t, f.http.URL+"/v1/completions", serve.Request{Prompt: p})
+			if resp.StatusCode != 200 {
+				errs <- fmt.Sprintf("prompt %q: status %d", p, resp.StatusCode)
+				return
+			}
+			if !strings.Contains(out.Suggestion, p) {
+				errs <- fmt.Sprintf("prompt %q: wrong answer %q", p, out.Suggestion)
+			}
+		}(i, p)
+	}
+	victim.shutdown(t)
+	close(firstThird) // release the held requests now that the victim is gone
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if got := f.rt.Spillovers(); got == 0 {
+		t.Error("no spillover recorded although the owner of every burst key died")
+	}
+	// Everything after the kill was served by survivors.
+	for _, p := range prompts[8:] {
+		_, out := postJSON(t, f.http.URL+"/v1/completions", serve.Request{Prompt: p})
+		if got := servedBy(t, out.Suggestion); got == victim.name {
+			t.Errorf("prompt %q still served by the dead replica", p)
+		}
+	}
+}
+
+func TestFleetSSEStreamEndToEnd(t *testing.T) {
+	f := startFleetTier(t, router.Options{})
+	req := serve.Request{Prompt: "stream the rollout"}
+	ownerAddr, _ := f.rt.Owner(req)
+	want := f.replicaByAddr(t, ownerAddr)
+	wantFinal := "- name: " + req.Prompt + " [" + want.name + "]\n  ansible.builtin.debug:\n    msg: ok\n"
+
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(f.http.URL+"/v1/completions/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// Walk the SSE frames: deltas must reassemble to the replica's exact
+	// final answer, once, terminated by a done event.
+	var deltas []string
+	var final serve.Response
+	sawDone := false
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "event: "); ok {
+			event = v
+			continue
+		}
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		switch event {
+		case "delta":
+			var d struct {
+				Text string `json:"text"`
+			}
+			if err := json.Unmarshal([]byte(data), &d); err != nil {
+				t.Fatalf("delta frame %q: %v", data, err)
+			}
+			deltas = append(deltas, d.Text)
+		case "done":
+			if err := json.Unmarshal([]byte(data), &final); err != nil {
+				t.Fatalf("done frame %q: %v", data, err)
+			}
+			sawDone = true
+		case "error":
+			t.Fatalf("stream error frame: %s", data)
+		}
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a done event")
+	}
+	if final.Suggestion != wantFinal {
+		t.Errorf("final = %q, want %q", final.Suggestion, wantFinal)
+	}
+	if got := strings.Join(deltas, ""); got != wantFinal {
+		t.Errorf("deltas reassemble to %q, want exactly %q", got, wantFinal)
+	}
+}
+
+func TestFleetStreamedRPCEndToEnd(t *testing.T) {
+	f := startFleetTier(t, router.Options{})
+	req := serve.Request{Prompt: "rpc stream task"}
+	c, err := serve.Dial(f.rpcAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var deltas []string
+	final, err := c.PredictStream(req, func(d string) { deltas = append(deltas, d) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(deltas, ""); got != final.Suggestion {
+		t.Errorf("rpc deltas reassemble to %q, want final %q", got, final.Suggestion)
+	}
+	if servedBy(t, final.Suggestion) == "" {
+		t.Error("rpc stream answer lost its replica tag")
+	}
+}
+
+func TestFleetAggregatedStatsEqualsReplicaSum(t *testing.T) {
+	f := startFleetTier(t, router.Options{})
+	const n = 15
+	for i := 0; i < n; i++ {
+		resp, _ := postJSON(t, f.http.URL+"/v1/completions", serve.Request{Prompt: fmt.Sprintf("stats probe %d", i)})
+		if resp.StatusCode != 200 {
+			t.Fatalf("probe %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// Scrape every replica directly over RPC first (the aggregate below
+	// re-scrapes; the stats op itself does not count as a prediction, so
+	// both observe the same totals).
+	direct := 0
+	for _, r := range f.replicas {
+		c, err := serve.Dial(r.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Stats()
+		c.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct += st.Requests
+	}
+	if direct != n {
+		t.Fatalf("replicas served %d predictions in total, want %d", direct, n)
+	}
+
+	hr, err := http.Get(f.http.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var fleetStats router.FleetStats
+	if err := json.NewDecoder(hr.Body).Decode(&fleetStats); err != nil {
+		t.Fatal(err)
+	}
+	if fleetStats.Router.Requests != n {
+		t.Errorf("router local requests = %d, want %d", fleetStats.Router.Requests, n)
+	}
+	if fleetStats.Fleet.Requests != direct {
+		t.Errorf("aggregated fleet requests = %d, want replica sum %d", fleetStats.Fleet.Requests, direct)
+	}
+	if len(fleetStats.Backends) != 3 {
+		t.Fatalf("aggregate lists %d backends, want 3", len(fleetStats.Backends))
+	}
+	rowSum := 0
+	for _, row := range fleetStats.Backends {
+		if row.Stats == nil {
+			t.Fatalf("backend %s missing stats snapshot", row.Addr)
+		}
+		rowSum += row.Stats.Requests
+		if !row.Alive || row.Breaker != "closed" {
+			t.Errorf("backend %s: alive=%v breaker=%s on a healthy fleet", row.Addr, row.Alive, row.Breaker)
+		}
+	}
+	if rowSum != direct {
+		t.Errorf("per-backend rows sum to %d, want %d", rowSum, direct)
+	}
+}

@@ -1,0 +1,174 @@
+// Backend state: one entry per replica, holding the connection pool the
+// router forwards through, the circuit breaker guarding the replica, the
+// heartbeat bookkeeping that decides ring liveness, and the per-backend
+// counters exported as metrics.
+
+package router
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wisdom/internal/observe"
+	"wisdom/internal/resilience"
+	"wisdom/internal/serve"
+)
+
+// backend is the router's view of one replica.
+type backend struct {
+	addr    string
+	breaker *resilience.Breaker
+	wrap    func(net.Conn) net.Conn // forwarding-connection hook (fault injection); nil in production
+	timeout time.Duration           // per-round-trip I/O deadline on forwarded calls
+	maxIdle int
+
+	// Connection pool: serve.Client serialises round trips on one
+	// connection, so concurrent forwards to one backend each check out
+	// their own client and return it when done. Broken clients are
+	// discarded at the failure site, never pooled.
+	poolMu sync.Mutex
+	idle   []*serve.Client
+
+	// Heartbeat state, touched only by the heartbeat sweep (one goroutine
+	// at a time; hbMu guards against overlapping manual CheckBackends
+	// calls). The heartbeat dials its own undecorated connection — fault
+	// injection on the forwarding path must not shake the liveness verdict.
+	hbMu     sync.Mutex
+	hbClient *serve.Client
+	hbFails  int
+
+	alive atomic.Bool
+
+	// Per-backend counters (live regardless of instrumentation).
+	requests   atomic.Uint64      // forwards answered by this backend
+	errors     atomic.Uint64      // forward attempts that failed (transport or shed)
+	spillovers atomic.Uint64      // forwards served here because an earlier ring node failed
+	latency    *observe.Histogram // nil until Instrument
+}
+
+func newBackend(addr string, cfg resilience.BreakerConfig, wrap func(net.Conn) net.Conn, timeout time.Duration, maxIdle int) *backend {
+	b := &backend{
+		addr:    addr,
+		breaker: resilience.NewBreaker(cfg),
+		wrap:    wrap,
+		timeout: timeout,
+		maxIdle: maxIdle,
+	}
+	b.alive.Store(true) // optimistic until the first heartbeat verdict
+	return b
+}
+
+// get checks out a pooled client, dialing a fresh one when the pool is
+// empty. The caller must hand the client back with put (healthy) or
+// discard (broken).
+func (b *backend) get() (*serve.Client, error) {
+	b.poolMu.Lock()
+	if n := len(b.idle); n > 0 {
+		c := b.idle[n-1]
+		b.idle = b.idle[:n-1]
+		b.poolMu.Unlock()
+		return c, nil
+	}
+	b.poolMu.Unlock()
+	var wrap func(net.Conn) net.Conn
+	if b.wrap != nil {
+		wrap = b.wrap
+	}
+	c, err := serve.DialWith(b.addr, wrap)
+	if err != nil {
+		return nil, err
+	}
+	if b.timeout > 0 {
+		c.SetTimeout(b.timeout)
+	}
+	return c, nil
+}
+
+// put returns a healthy client to the pool (closing it when the pool is
+// full or the client broke since checkout).
+func (b *backend) put(c *serve.Client) {
+	if c.Broken() {
+		c.Close()
+		return
+	}
+	b.poolMu.Lock()
+	if len(b.idle) < b.maxIdle {
+		b.idle = append(b.idle, c)
+		b.poolMu.Unlock()
+		return
+	}
+	b.poolMu.Unlock()
+	c.Close()
+}
+
+// discard closes a condemned client.
+func (b *backend) discard(c *serve.Client) { c.Close() }
+
+// closeIdle closes every pooled connection and the heartbeat client.
+func (b *backend) closeIdle() {
+	b.poolMu.Lock()
+	idle := b.idle
+	b.idle = nil
+	b.poolMu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+	b.hbMu.Lock()
+	if b.hbClient != nil {
+		b.hbClient.Close()
+		b.hbClient = nil
+	}
+	b.hbMu.Unlock()
+}
+
+// heartbeat performs one health round trip, returning whether the replica
+// answered and the updated count of consecutive failures (zero on success).
+// It maintains its own dedicated connection, redialing after any failure so
+// a half-dead connection cannot wedge the liveness verdict.
+func (b *backend) heartbeat(timeout time.Duration) (ok bool, fails int) {
+	b.hbMu.Lock()
+	defer b.hbMu.Unlock()
+	if b.hbClient == nil {
+		c, err := serve.Dial(b.addr)
+		if err != nil {
+			b.hbFails++
+			return false, b.hbFails
+		}
+		if timeout > 0 {
+			c.SetTimeout(timeout)
+		}
+		b.hbClient = c
+	}
+	resp, err := b.hbClient.Health()
+	if err != nil || resp.Status != "ok" {
+		b.hbClient.Close()
+		b.hbClient = nil
+		b.hbFails++
+		return false, b.hbFails
+	}
+	b.hbFails = 0
+	return true, 0
+}
+
+// stats fetches the replica's own counter snapshot over a pooled
+// connection (RPC stats op); ok is false when the replica is unreachable
+// or predates the op.
+func (b *backend) stats() (serve.Stats, bool) {
+	c, err := b.get()
+	if err != nil {
+		return serve.Stats{}, false
+	}
+	st, err := c.Stats()
+	if err != nil {
+		if c.Broken() {
+			b.discard(c)
+		} else {
+			b.put(c)
+		}
+		return serve.Stats{}, false
+	}
+	b.put(c)
+	return st, true
+}

@@ -1,0 +1,215 @@
+// Chaos tests: the resilience fault injector sits between the router and
+// one backend's transport, injecting latency, hangs, resets and corrupt
+// frames. The contract under chaos: faults trip that backend's breaker,
+// requests spill to the ring successor and still succeed, and a client
+// never receives a corrupt or duplicated completion.
+
+package router
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"wisdom/internal/resilience"
+	"wisdom/internal/serve"
+)
+
+// chaosFleet boots 3 replicas and a router whose connections to the owner
+// of the returned prompt run through the scripted injector; every other
+// backend is fault-free. The heartbeat stays disabled so liveness cannot
+// mask the data-path faults under test.
+func chaosFleet(t *testing.T, inj *resilience.Injector, breaker resilience.BreakerConfig) (rt *Router, reps []*replica, victim *replica, prompt string) {
+	t.Helper()
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		r := startReplica(t, fmt.Sprintf("rep%d", i), "", serve.Options{})
+		reps = append(reps, r)
+		addrs = append(addrs, r.addr)
+	}
+	// Resolve the victim before building the router: ring placement is a
+	// pure function of the address set, so a scratch ring agrees with the
+	// router's.
+	prompt = "chaos-task"
+	scratch := NewRing(0)
+	for _, a := range addrs {
+		scratch.Add(a)
+	}
+	ownerAddr, _ := scratch.Lookup(affinityKey(serve.Request{Prompt: prompt}))
+	for _, r := range reps {
+		if r.addr == ownerAddr {
+			victim = r
+		}
+	}
+
+	rt, err := New(addrs, Options{
+		HeartbeatInterval: -1,
+		ForwardTimeout:    300 * time.Millisecond, // bounds the hang fault
+		Breaker:           breaker,
+		Wrap: func(addr string, c net.Conn) net.Conn {
+			if addr == ownerAddr {
+				return inj.WrapConn(c)
+			}
+			return c
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt, reps, victim, prompt
+}
+
+// TestRouterChaosUnaryFaults scripts latency → hang → reset → corrupt
+// against the owner: latency is absorbed (no spill), each hard fault spills
+// to the successor with an uncorrupted answer, and the third hard fault
+// trips the breaker so the fourth request skips the owner without a
+// connection attempt.
+func TestRouterChaosUnaryFaults(t *testing.T) {
+	inj := resilience.NewScript(
+		resilience.FaultLatency,
+		resilience.FaultHang,
+		resilience.FaultError,
+		resilience.FaultCorrupt,
+	)
+	rt, reps, victim, prompt := chaosFleet(t, inj, resilience.BreakerConfig{FailureThreshold: 3, Cooldown: time.Minute})
+
+	// Exchange 1: latency only — the owner still answers, no spillover.
+	resp, err := rt.PredictRoute(context.Background(), serve.Request{Prompt: prompt})
+	if err != nil {
+		t.Fatalf("latency request: %v", err)
+	}
+	if resp.Suggestion != victim.model.answer(prompt) {
+		t.Fatalf("latency request answered %q, want the owner's %q", resp.Suggestion, victim.model.answer(prompt))
+	}
+	if got := rt.Spillovers(); got != 0 {
+		t.Fatalf("spillovers = %d after a latency-only fault, want 0", got)
+	}
+
+	// Exchanges 2-4: hang, reset, corrupt — every request must spill and
+	// deliver an exact, uncorrupted answer from a non-victim replica.
+	for i := 0; i < 3; i++ {
+		resp, err := rt.PredictRoute(context.Background(), serve.Request{Prompt: prompt})
+		if err != nil {
+			t.Fatalf("fault request %d: %v", i, err)
+		}
+		server := strings.SplitN(resp.Suggestion, "|", 2)[0]
+		if server == victim.name {
+			t.Fatalf("fault request %d answered by the faulted owner", i)
+		}
+		found := false
+		for _, r := range reps {
+			if r.name == server && resp.Suggestion == r.model.answer(prompt) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("fault request %d answered %q — not any replica's exact answer (corruption?)", i, resp.Suggestion)
+		}
+	}
+	if got := rt.Spillovers(); got != 3 {
+		t.Errorf("spillovers = %d after 3 hard faults, want 3", got)
+	}
+	if st := rt.backends[victim.addr].breaker.State(); st != resilience.Open {
+		t.Errorf("victim breaker = %v after 3 transport faults, want open", st)
+	}
+
+	// Breaker open: the owner is skipped outright; the request still spills
+	// and succeeds, and the injector sees no further exchange.
+	before := inj.Injected(resilience.FaultNone)
+	if _, err := rt.PredictRoute(context.Background(), serve.Request{Prompt: prompt}); err != nil {
+		t.Fatalf("request with open breaker: %v", err)
+	}
+	if got := inj.Injected(resilience.FaultNone); got != before {
+		t.Errorf("open breaker still let %d exchanges reach the victim transport", got-before)
+	}
+	if got := rt.Spillovers(); got != 4 {
+		t.Errorf("spillovers = %d, want 4", got)
+	}
+
+	// Every scripted fault actually fired.
+	for _, f := range []resilience.Fault{resilience.FaultLatency, resilience.FaultHang, resilience.FaultError, resilience.FaultCorrupt} {
+		if got := inj.Injected(f); got != 1 {
+			t.Errorf("fault %v fired %d times, want 1", f, got)
+		}
+	}
+}
+
+// TestRouterChaosStreamIntegrity scripts corrupt → hang against the owner
+// on the streamed path: both faults strike before the first delta, so the
+// stream spills to the successor, and the delivered delta sequence must
+// reassemble to exactly one copy of the final answer — never corrupt,
+// never duplicated.
+func TestRouterChaosStreamIntegrity(t *testing.T) {
+	inj := resilience.NewScript(resilience.FaultCorrupt, resilience.FaultHang)
+	rt, reps, victim, prompt := chaosFleet(t, inj, resilience.BreakerConfig{FailureThreshold: 2, Cooldown: time.Minute})
+
+	for i := 0; i < 2; i++ {
+		var deltas []string
+		resp, err := rt.PredictStreamRoute(context.Background(), serve.Request{Prompt: prompt}, func(d string) {
+			deltas = append(deltas, d)
+		})
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		server := strings.SplitN(resp.Suggestion, "|", 2)[0]
+		if server == victim.name {
+			t.Fatalf("stream %d served by the faulted owner", i)
+		}
+		var want string
+		for _, r := range reps {
+			if r.name == server {
+				want = r.model.answer(prompt)
+			}
+		}
+		if want == "" || resp.Suggestion != want {
+			t.Fatalf("stream %d final %q is not any replica's exact answer", i, resp.Suggestion)
+		}
+		joined := strings.Join(deltas, "")
+		if joined != want {
+			t.Fatalf("stream %d deltas reassemble to %q, want exactly %q (no corruption)", i, joined, want)
+		}
+		if strings.Count(joined, prompt) != 1 {
+			t.Fatalf("stream %d delivered %d copies of the completion, want exactly 1", i, strings.Count(joined, prompt))
+		}
+	}
+	if got := rt.Spillovers(); got != 2 {
+		t.Errorf("spillovers = %d, want 2", got)
+	}
+	if st := rt.backends[victim.addr].breaker.State(); st != resilience.Open {
+		t.Errorf("victim breaker = %v after 2 stream faults (threshold 2), want open", st)
+	}
+	if inj.Injected(resilience.FaultCorrupt) != 1 || inj.Injected(resilience.FaultHang) != 1 {
+		t.Errorf("fault counts corrupt=%d hang=%d, want 1 and 1",
+			inj.Injected(resilience.FaultCorrupt), inj.Injected(resilience.FaultHang))
+	}
+}
+
+// TestRouterChaosRandomSustained drives 60 requests through a seeded
+// random injector on the owner's transport (error/hang/corrupt mixed in at
+// high probability). Whatever the pattern, the invariant holds: every
+// request eventually succeeds with some replica's exact answer — the
+// breaker and spillover absorb the chaos without surfacing one failure.
+func TestRouterChaosRandomSustained(t *testing.T) {
+	inj := resilience.NewRandom(42, resilience.FaultConfig{PError: 0.3, PHang: 0.1, PCorrupt: 0.2})
+	// Cooldown shorter than the run so the breaker also exercises
+	// half-open probes against the still-faulty transport.
+	rt, reps, _, prompt := chaosFleet(t, inj, resilience.BreakerConfig{FailureThreshold: 2, Cooldown: 100 * time.Millisecond})
+
+	exact := map[string]bool{}
+	for _, r := range reps {
+		exact[r.model.answer(prompt)] = true
+	}
+	for i := 0; i < 60; i++ {
+		resp, err := rt.PredictRoute(context.Background(), serve.Request{Prompt: prompt})
+		if err != nil {
+			t.Fatalf("request %d failed despite spillover: %v", i, err)
+		}
+		if !exact[resp.Suggestion] {
+			t.Fatalf("request %d answered %q — not any replica's exact answer", i, resp.Suggestion)
+		}
+	}
+}

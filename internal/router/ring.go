@@ -1,0 +1,284 @@
+// Package router implements the sharded serving frontend: a router tier
+// that speaks the existing HTTP+RPC surface (by implementing the serve
+// package's routing-predictor seams) and fans requests out to a fleet of
+// backend replicas over the binary RPC protocol.
+//
+// # Sharding
+//
+// Requests shard by consistent hashing: the affinity key — session_id when
+// present, otherwise the request's context+prompt — hashes onto a ring of
+// virtual nodes, and the first live backend clockwise owns the request.
+// Hashing the session key keeps every request of one editing session on one
+// replica, so that replica's per-session prefix KV cache stays warm;
+// hashing the content key keeps identical stateless requests on one
+// replica, so its response cache and singleflight group see all the
+// duplicates.
+//
+// # Failure handling
+//
+// Each backend is guarded by its own circuit breaker (internal/resilience)
+// and watched by a lightweight heartbeat reusing the RPC health op. A
+// request whose owner is breaker-open, heartbeat-dead, unreachable, or
+// shedding under overload spills over to the next node on the ring
+// (wisdom_router_spillover_total); a replica that dies is removed from the
+// ring ownership within the heartbeat window and its key range rebalances
+// to its successors with minimal movement everywhere else. Streamed
+// requests spill only before their first delta — a started stream is never
+// replayed, because the client has already rendered its output.
+//
+// # Placement in the serve stack
+//
+// The router reuses the serve package's admission stack unchanged: a
+// serve.Server wraps a *Router exactly as it wraps a local model, so the
+// response cache and singleflight group coalesce duplicate traffic before
+// it crosses the network, the worker pool bounds concurrent forwards, and
+// the HTTP/SSE/RPC surface — including overload shedding and graceful
+// drain — is byte-identical to a replica's (docs/PROTOCOL.md: the router
+// is protocol-transparent). /v1/stats widens to the aggregated fleet view
+// through the serve.StatsAggregator seam.
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVNodes is the number of virtual nodes each backend contributes to
+// the hash ring when Options.VNodes is zero. More virtual nodes flatten the
+// ownership distribution at the cost of a larger (still tiny) ring table.
+const DefaultVNodes = 128
+
+// Ring is a consistent hash ring with per-node liveness. Keys hash to the
+// first live node clockwise from their point, so marking a node dead moves
+// only that node's key range (to its ring successors) and leaves every
+// other assignment untouched — which is exactly the property that keeps
+// replica caches warm across fleet changes. The zero value is not usable;
+// call NewRing. All methods are safe for concurrent use.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []ringPoint     // sorted by hash, ascending
+	alive  map[string]bool // node -> liveness
+}
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring; each added node will contribute vnodes
+// virtual points (<= 0 selects DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, alive: make(map[string]bool)}
+}
+
+// hashKey positions a request key on the ring: FNV-1a (64-bit, fixed
+// across platforms, so shard assignments are stable and tests can pin
+// exact key movements) pushed through an avalanche finalizer. The
+// finalizer matters: raw FNV-1a places inputs that differ only in a short
+// suffix — sequential request keys, one node's vnode indices — within a
+// few multiples of the FNV prime (~2^40) of each other, clustering them
+// into a sliver of the 2^64 ring and collapsing the shard distribution.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// vnodeHash positions one of a node's virtual points on the ring.
+func vnodeHash(node string, i int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	// Two separator bytes keep "node" + index unambiguous ("n1"/11 vs
+	// "n11"/1) without formatting allocations.
+	h.Write([]byte{0xff, byte(i >> 8), byte(i)})
+	return mix64(h.Sum64())
+}
+
+// mix64 is the MurmurHash3 64-bit finalizer: a bijective avalanche step
+// that spreads nearby inputs across the full keyspace.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Add inserts a node (initially alive). Adding an existing node is a no-op,
+// so a config reload cannot double a node's ring share.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.alive[node]; ok {
+		return
+	}
+	r.alive[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: vnodeHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a node and all its virtual points. Removing an unknown
+// node is a no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.alive[node]; !ok {
+		return
+	}
+	delete(r.alive, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// SetAlive marks a node live or dead. A dead node keeps its ring points but
+// stops owning keys: lookups skip to its successors until it recovers, at
+// which point its original range snaps back (no rehash, no residual
+// movement). Unknown nodes are ignored.
+func (r *Ring) SetAlive(node string, alive bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.alive[node]; ok {
+		r.alive[node] = alive
+	}
+}
+
+// Alive reports whether the node is currently marked live (false for
+// unknown nodes).
+func (r *Ring) Alive(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.alive[node]
+}
+
+// Nodes returns every node on the ring, sorted, live or not.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	nodes := make([]string, 0, len(r.alive))
+	for n := range r.alive {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return nodes
+}
+
+// Lookup returns the live owner of key: the first live node clockwise from
+// the key's ring position. ok is false when no live node exists.
+func (r *Ring) Lookup(key string) (node string, ok bool) {
+	nodes := r.successors(key, 1, true)
+	if len(nodes) == 0 {
+		return "", false
+	}
+	return nodes[0], true
+}
+
+// Successors returns up to n distinct live nodes in ring order starting at
+// key's owner — the spillover candidate list: index 0 is the owner, each
+// later entry is the node the key range would move to if everything before
+// it failed. n <= 0 returns every live node.
+func (r *Ring) Successors(key string, n int) []string {
+	return r.successors(key, n, true)
+}
+
+// SuccessorsAll is Successors without the liveness filter: every node in
+// ring order from the key's position. The router uses it as the
+// last-resort candidate list when the heartbeat has marked the whole fleet
+// dead — attempting a dead backend cannot make a total outage worse, and
+// succeeds when the heartbeat verdict was stale.
+func (r *Ring) SuccessorsAll(key string, n int) []string {
+	return r.successors(key, n, false)
+}
+
+func (r *Ring) successors(key string, n int, liveOnly bool) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.alive) {
+		n = len(r.alive)
+	}
+	h := hashKey(key)
+	// First point with hash >= h, wrapping to 0 past the top of the ring.
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, n)
+	var out []string
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		if liveOnly && !r.alive[p.node] {
+			continue
+		}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// Ownership returns the fraction of the hash keyspace each live node owns
+// (first-live-node-clockwise semantics, matching Lookup). Dead nodes own
+// nothing; the fractions of live nodes sum to 1. An empty map means no live
+// node exists. Exported for the ring-share gauge and for balance tests.
+func (r *Ring) Ownership() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64)
+	if len(r.points) == 0 {
+		return out
+	}
+	anyAlive := false
+	for _, ok := range r.alive {
+		if ok {
+			anyAlive = true
+			break
+		}
+	}
+	if !anyAlive {
+		return out
+	}
+	// ownerAt resolves the live owner of the arc ending at point i.
+	ownerAt := func(i int) string {
+		for j := 0; j < len(r.points); j++ {
+			p := r.points[(i+j)%len(r.points)]
+			if r.alive[p.node] {
+				return p.node
+			}
+		}
+		return "" // unreachable: anyAlive checked above
+	}
+	if len(r.points) == 1 {
+		// A single point owns the whole ring; the arc arithmetic below
+		// would compute 2^64 mod 2^64 = 0 for it.
+		out[ownerAt(0)] = 1
+		return out
+	}
+	const whole = float64(1<<63) * 2 // 2^64 as float64
+	for i := range r.points {
+		var arc uint64
+		if i == 0 {
+			// Wrap-around arc: from the last point through 2^64-1 and 0 to
+			// the first point.
+			arc = r.points[0].hash - r.points[len(r.points)-1].hash // wraps mod 2^64
+		} else {
+			arc = r.points[i].hash - r.points[i-1].hash
+		}
+		out[ownerAt(i)] += float64(arc) / whole
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+// Deterministic ring tests. The hash function is platform-stable by
+// construction (FNV-1a + a fixed finalizer), so these tests pin exact
+// shard counts and exact key movements — any change to the hashing or
+// lookup rules shows up as a hard diff, not a flaky bound.
+
+package router
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+var ringNodes = []string{"10.0.0.1:9000", "10.0.0.2:9000", "10.0.0.3:9000"}
+
+func buildRing(t testing.TB, nodes ...string) *Ring {
+	t.Helper()
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// testKey makes the i'th deterministic request key.
+func testKey(i int) string { return fmt.Sprintf("key-%04d", i) }
+
+// assignments maps each of the first n test keys to its ring owner.
+func assignments(t *testing.T, r *Ring, n int) map[string]string {
+	t.Helper()
+	owners := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := testKey(i)
+		node, ok := r.Lookup(k)
+		if !ok {
+			t.Fatalf("Lookup(%q): no live node on a fully-live ring", k)
+		}
+		owners[k] = node
+	}
+	return owners
+}
+
+// TestRingDistributionBalance shards 1k sequential keys over 3 nodes and
+// pins the exact per-node counts; the max/min bound additionally documents
+// the balance guarantee the pinned numbers happen to satisfy.
+func TestRingDistributionBalance(t *testing.T) {
+	r := buildRing(t, ringNodes...)
+	counts := map[string]int{}
+	for k, node := range assignments(t, r, 1000) {
+		_ = k
+		counts[node]++
+	}
+	want := map[string]int{
+		"10.0.0.1:9000": 351,
+		"10.0.0.2:9000": 364,
+		"10.0.0.3:9000": 285,
+	}
+	for node, w := range want {
+		if counts[node] != w {
+			t.Errorf("node %s owns %d of 1000 keys, want exactly %d", node, counts[node], w)
+		}
+	}
+	min, max := 1000, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max > 2*min {
+		t.Errorf("distribution too skewed: max %d > 2*min %d", max, min)
+	}
+}
+
+// TestRingJoinMovesOnlyToJoiner pins the exact number of keys that move
+// when a fourth node joins, and requires every moved key to have moved TO
+// the joiner — the defining property of consistent hashing (an unrelated
+// pair of nodes never exchanges keys on a join).
+func TestRingJoinMovesOnlyToJoiner(t *testing.T) {
+	r := buildRing(t, ringNodes...)
+	before := assignments(t, r, 1000)
+	const joiner = "10.0.0.4:9000"
+	r.Add(joiner)
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		k := testKey(i)
+		node, _ := r.Lookup(k)
+		if node == before[k] {
+			continue
+		}
+		moved++
+		if node != joiner {
+			t.Fatalf("key %q moved %s -> %s on join; keys may only move to the joiner %s", k, before[k], node, joiner)
+		}
+	}
+	if moved != 239 {
+		t.Errorf("join moved %d of 1000 keys, want exactly 239 (~1/4 of the keyspace)", moved)
+	}
+}
+
+// TestRingLeaveMovesOnlyOrphans pins the exact number of keys that move
+// when a node is removed: precisely the removed node's keys, nothing else.
+func TestRingLeaveMovesOnlyOrphans(t *testing.T) {
+	r := buildRing(t, ringNodes...)
+	before := assignments(t, r, 1000)
+	const removed = "10.0.0.2:9000"
+	r.Remove(removed)
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		k := testKey(i)
+		node, _ := r.Lookup(k)
+		if node == removed {
+			t.Fatalf("key %q still owned by removed node %s", k, removed)
+		}
+		if node != before[k] {
+			moved++
+			if before[k] != removed {
+				t.Fatalf("key %q moved %s -> %s, but only keys of the removed node %s may move", k, before[k], node, removed)
+			}
+		}
+	}
+	if moved != 364 {
+		t.Errorf("leave moved %d keys, want exactly 364 (= the removed node's pinned share)", moved)
+	}
+}
+
+// TestRingDeadNodeRangeSnapsBack marks a node dead (heartbeat semantics:
+// points stay, ownership skips), checks only its keys move, then revives it
+// and requires every assignment to return exactly to the original — no
+// residual movement after a flap.
+func TestRingDeadNodeRangeSnapsBack(t *testing.T) {
+	r := buildRing(t, ringNodes...)
+	before := assignments(t, r, 1000)
+	const dead = "10.0.0.3:9000"
+	r.SetAlive(dead, false)
+	for i := 0; i < 1000; i++ {
+		k := testKey(i)
+		node, ok := r.Lookup(k)
+		if !ok || node == dead {
+			t.Fatalf("key %q resolved to %q (ok=%v) while %s is dead", k, node, ok, dead)
+		}
+		if before[k] != dead && node != before[k] {
+			t.Fatalf("key %q moved %s -> %s, but only the dead node's keys may move", k, before[k], node)
+		}
+	}
+	r.SetAlive(dead, true)
+	after := assignments(t, r, 1000)
+	for k, node := range after {
+		if node != before[k] {
+			t.Fatalf("key %q owned by %s after revival, was %s before the flap", k, node, before[k])
+		}
+	}
+}
+
+// TestRingSuccessorsOrder checks the spillover candidate list: the owner
+// leads, entries are distinct, liveness filters, and SuccessorsAll ignores
+// liveness.
+func TestRingSuccessorsOrder(t *testing.T) {
+	r := buildRing(t, ringNodes...)
+	const key = "key-0001"
+	owner, ok := r.Lookup(key)
+	if !ok {
+		t.Fatal("no owner on live ring")
+	}
+	succ := r.Successors(key, 0)
+	if len(succ) != len(ringNodes) {
+		t.Fatalf("Successors(0) = %v, want all %d nodes", succ, len(ringNodes))
+	}
+	if succ[0] != owner {
+		t.Fatalf("Successors[0] = %s, want owner %s", succ[0], owner)
+	}
+	seen := map[string]bool{}
+	for _, n := range succ {
+		if seen[n] {
+			t.Fatalf("duplicate node %s in successor list %v", n, succ)
+		}
+		seen[n] = true
+	}
+
+	// Killing the owner promotes the old second candidate.
+	r.SetAlive(owner, false)
+	promoted, ok := r.Lookup(key)
+	if !ok || promoted != succ[1] {
+		t.Fatalf("after owner death Lookup = %q (ok=%v), want promoted successor %s", promoted, ok, succ[1])
+	}
+	live := r.Successors(key, 0)
+	for _, n := range live {
+		if n == owner {
+			t.Fatalf("dead node %s still in live successor list %v", owner, live)
+		}
+	}
+	all := r.SuccessorsAll(key, 0)
+	if len(all) != len(ringNodes) {
+		t.Fatalf("SuccessorsAll = %v, want every node regardless of liveness", all)
+	}
+}
+
+// TestRingOwnership checks the keyspace-share invariants behind the
+// ring-share gauge: live shares sum to 1, dead nodes own nothing, and a
+// lone node owns everything (including the single-point edge case).
+func TestRingOwnership(t *testing.T) {
+	r := buildRing(t, ringNodes...)
+	own := r.Ownership()
+	sum := 0.0
+	for node, share := range own {
+		if share <= 0 {
+			t.Errorf("node %s owns share %v, want > 0", node, share)
+		}
+		sum += share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("live shares sum to %v, want 1", sum)
+	}
+
+	r.SetAlive("10.0.0.1:9000", false)
+	own = r.Ownership()
+	if _, ok := own["10.0.0.1:9000"]; ok {
+		t.Errorf("dead node still holds ownership share %v", own["10.0.0.1:9000"])
+	}
+	sum = 0.0
+	for _, share := range own {
+		sum += share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("live shares sum to %v after a death, want 1", sum)
+	}
+
+	solo := NewRing(1) // one node, one point: exercises the 2^64-arc edge case
+	solo.Add("only")
+	if share := solo.Ownership()["only"]; share != 1 {
+		t.Errorf("single-point ring: sole node owns %v, want 1", share)
+	}
+
+	if n := len(NewRing(0).Ownership()); n != 0 {
+		t.Errorf("empty ring ownership has %d entries, want 0", n)
+	}
+	allDead := buildRing(t, "a", "b")
+	allDead.SetAlive("a", false)
+	allDead.SetAlive("b", false)
+	if n := len(allDead.Ownership()); n != 0 {
+		t.Errorf("all-dead ring ownership has %d entries, want 0", n)
+	}
+}
+
+// TestRingEmptyAndUnknown covers the degenerate paths: lookups on an empty
+// ring, duplicate Add, unknown Remove/SetAlive.
+func TestRingEmptyAndUnknown(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Lookup("k"); ok {
+		t.Error("Lookup on empty ring reported a node")
+	}
+	if s := r.Successors("k", 3); s != nil {
+		t.Errorf("Successors on empty ring = %v, want nil", s)
+	}
+	r.Remove("ghost")         // no-op
+	r.SetAlive("ghost", true) // no-op
+	if r.Alive("ghost") {
+		t.Error("unknown node reported alive")
+	}
+
+	r.Add("a")
+	r.Add("a") // duplicate must not double the vnode share
+	own := r.Ownership()
+	if math.Abs(own["a"]-1) > 1e-9 {
+		t.Errorf("after duplicate Add, node owns %v, want 1", own["a"])
+	}
+	if got := len(r.Nodes()); got != 1 {
+		t.Errorf("after duplicate Add, ring has %d nodes, want 1", got)
+	}
+}
+
+// FuzzRingLookup drives the ring with arbitrary key bytes and a liveness
+// mask: Lookup must never panic, must return a live node whenever one
+// exists, must agree with Successors[0], and Successors must stay
+// duplicate-free.
+func FuzzRingLookup(f *testing.F) {
+	f.Add("key-0001", uint8(0b111))
+	f.Add("", uint8(0))
+	f.Add("\x00\xff\x00", uint8(0b010))
+	f.Add("session:abc", uint8(0b101))
+	f.Fuzz(func(t *testing.T, key string, liveMask uint8) {
+		r := buildRing(t, ringNodes...)
+		anyLive := false
+		for i, n := range ringNodes {
+			alive := liveMask&(1<<i) != 0
+			r.SetAlive(n, alive)
+			anyLive = anyLive || alive
+		}
+		node, ok := r.Lookup(key)
+		if ok != anyLive {
+			t.Fatalf("Lookup ok=%v with liveMask %03b", ok, liveMask)
+		}
+		succ := r.Successors(key, 0)
+		if anyLive {
+			if !r.Alive(node) {
+				t.Fatalf("Lookup returned dead node %s", node)
+			}
+			if len(succ) == 0 || succ[0] != node {
+				t.Fatalf("Successors %v disagrees with Lookup %s", succ, node)
+			}
+		} else if len(succ) != 0 {
+			t.Fatalf("Successors on all-dead ring = %v, want empty", succ)
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("duplicate %s in successors %v", n, succ)
+			}
+			seen[n] = true
+			if !r.Alive(n) {
+				t.Fatalf("dead node %s in live successors %v", n, succ)
+			}
+		}
+		if all := r.SuccessorsAll(key, 0); len(all) != len(ringNodes) {
+			t.Fatalf("SuccessorsAll = %v, want all %d nodes", all, len(ringNodes))
+		}
+	})
+}

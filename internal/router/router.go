@@ -1,0 +1,583 @@
+// Router: the sharded-serving frontend model. A *Router implements the
+// serve package's RoutingStreamingPredictor and StatsAggregator seams, so a
+// serve.Server wraps it exactly like a local model — cache, singleflight,
+// pool, HTTP/SSE/RPC surface and graceful drain all come from serve — while
+// every prediction fans out to the backend fleet through the hash ring.
+
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wisdom/internal/observe"
+	"wisdom/internal/resilience"
+	"wisdom/internal/serve"
+)
+
+// Defaults for the zero value of each Options field.
+const (
+	// DefaultHeartbeatInterval is how often the background sweep health-checks
+	// every backend.
+	DefaultHeartbeatInterval = 2 * time.Second
+	// DefaultHeartbeatTimeout bounds one health round trip.
+	DefaultHeartbeatTimeout = time.Second
+	// DefaultDeadAfter is how many consecutive heartbeat failures mark a
+	// backend dead on the ring.
+	DefaultDeadAfter = 2
+	// DefaultForwardTimeout bounds each forwarded round trip (per frame gap
+	// for streams, matching serve.Client.SetTimeout semantics).
+	DefaultForwardTimeout = 30 * time.Second
+	// DefaultMaxIdle is the per-backend idle-connection pool size.
+	DefaultMaxIdle = 4
+)
+
+// ErrNoBackend is returned when a request exhausted its spillover candidate
+// list without any backend delivering an answer. The wrapping serve.Server
+// surfaces it as a 503 / stream error like any other model failure.
+var ErrNoBackend = errors.New("router: no backend answered")
+
+// Options tune a Router. The zero value of each field selects the
+// documented default.
+type Options struct {
+	// VNodes is the number of virtual nodes per backend on the hash ring
+	// (default DefaultVNodes).
+	VNodes int
+	// HeartbeatInterval is the background health-sweep period (default
+	// DefaultHeartbeatInterval). Negative disables the background loop —
+	// tests then drive sweeps explicitly via CheckBackends.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout bounds one health round trip (default
+	// DefaultHeartbeatTimeout).
+	HeartbeatTimeout time.Duration
+	// DeadAfter is how many consecutive heartbeat failures mark a backend
+	// dead, moving its ring range to its successors (default
+	// DefaultDeadAfter). A single success marks it live again.
+	DeadAfter int
+	// MaxSpill caps how many backends one request may try: the ring owner
+	// plus up to MaxSpill-1 successors. Zero means no cap (try every live
+	// node); negative disables spillover entirely (owner only).
+	MaxSpill int
+	// ForwardTimeout bounds each forwarded round trip (default
+	// DefaultForwardTimeout); for streams it bounds each frame gap.
+	ForwardTimeout time.Duration
+	// Breaker configures the per-backend circuit breaker (zero value =
+	// resilience defaults).
+	Breaker resilience.BreakerConfig
+	// MaxIdle is the per-backend idle-connection pool size (default
+	// DefaultMaxIdle).
+	MaxIdle int
+	// Wrap, when non-nil, decorates every forwarding connection to addr
+	// before use — the transport seam for the resilience fault injector.
+	// Heartbeat connections are deliberately NOT wrapped: chaos on the data
+	// path must not shake the liveness verdict.
+	Wrap func(addr string, c net.Conn) net.Conn
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = DefaultHeartbeatTimeout
+	}
+	if o.DeadAfter <= 0 {
+		o.DeadAfter = DefaultDeadAfter
+	}
+	if o.ForwardTimeout <= 0 {
+		o.ForwardTimeout = DefaultForwardTimeout
+	}
+	if o.MaxIdle <= 0 {
+		o.MaxIdle = DefaultMaxIdle
+	}
+	return o
+}
+
+// Router shards requests across a static fleet of backend replicas by
+// consistent hashing, with per-backend circuit breakers, spillover to ring
+// successors on failure, heartbeat-driven liveness, and fleet-wide stats
+// aggregation. Wrap it in a serve.Server to expose the full HTTP+RPC
+// surface. Safe for concurrent use; Close releases its connections and
+// stops the heartbeat loop.
+type Router struct {
+	opts     Options
+	ring     *Ring
+	backends map[string]*backend // immutable after New
+
+	spillovers atomic.Uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a Router over the given backend RPC addresses (duplicates are
+// collapsed) and, unless opts.HeartbeatInterval is negative, starts the
+// background heartbeat loop. Backends start optimistically alive; the first
+// sweep corrects that within DeadAfter*HeartbeatInterval.
+func New(addrs []string, opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	r := &Router{
+		opts:     opts,
+		ring:     NewRing(opts.VNodes),
+		backends: make(map[string]*backend),
+		stop:     make(chan struct{}),
+	}
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		if _, ok := r.backends[addr]; ok {
+			continue
+		}
+		var wrap func(net.Conn) net.Conn
+		if opts.Wrap != nil {
+			a := addr
+			wrap = func(c net.Conn) net.Conn { return r.opts.Wrap(a, c) }
+		}
+		r.backends[addr] = newBackend(addr, opts.Breaker, wrap, opts.ForwardTimeout, opts.MaxIdle)
+		r.ring.Add(addr)
+	}
+	if len(r.backends) == 0 {
+		return nil, errors.New("router: no backend addresses")
+	}
+	if opts.HeartbeatInterval > 0 {
+		r.wg.Add(1)
+		go r.heartbeatLoop()
+	}
+	return r, nil
+}
+
+// Close stops the heartbeat loop and closes every pooled connection. In-
+// flight forwards finish on their own connections; Close does not wait for
+// them (the wrapping serve.Server's drain already does).
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+	for _, b := range r.backends {
+		b.closeIdle()
+	}
+}
+
+// Ring returns the router's hash ring (read-mostly; exported for tests and
+// operational introspection).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Backends returns the configured backend addresses, sorted.
+func (r *Router) Backends() []string { return r.ring.Nodes() }
+
+// Spillovers returns how many requests were answered by a backend other
+// than their ring owner.
+func (r *Router) Spillovers() uint64 { return r.spillovers.Load() }
+
+// Owner returns the backend that currently owns req's affinity key (the
+// session ID when set, the content key otherwise). ok is false when no live
+// backend exists. Introspection for tests and placement debugging; the
+// forwarding path resolves ownership per request on its own.
+func (r *Router) Owner(req serve.Request) (addr string, ok bool) {
+	return r.ring.Lookup(affinityKey(req))
+}
+
+// affinityKey is what a request hashes on: the session ID when present (all
+// requests of one editing session land on the replica holding its warm
+// prefix KV state), otherwise the content key (identical stateless requests
+// land on one replica, whose cache and singleflight see all duplicates).
+// The prefix byte keeps the two namespaces disjoint; the NUL separators
+// keep ("ab","c") distinct from ("a","bc").
+func affinityKey(req serve.Request) string {
+	if req.SessionID != "" {
+		return "s\x00" + req.SessionID
+	}
+	return "k\x00" + req.Context + "\x00" + req.Prompt
+}
+
+// candidates returns the backends a request may try, in ring order from its
+// owner. When the heartbeat has marked the whole fleet dead the unfiltered
+// ring is returned instead: attempting a dead backend cannot make a total
+// outage worse, and succeeds whenever the verdict was stale.
+func (r *Router) candidates(key string) []string {
+	n := r.opts.MaxSpill // 0 = all
+	if r.opts.MaxSpill < 0 {
+		n = 1
+	}
+	cands := r.ring.Successors(key, n)
+	if len(cands) == 0 {
+		cands = r.ring.SuccessorsAll(key, n)
+	}
+	return cands
+}
+
+// Predict satisfies serve.Predictor. The wrapping serve.Server always
+// prefers PredictRoute; this path exists only for direct library use.
+func (r *Router) Predict(context, prompt string) string {
+	resp, err := r.PredictRoute(contextBG(), serve.Request{Context: context, Prompt: prompt})
+	if err != nil {
+		return ""
+	}
+	return resp.Suggestion
+}
+
+// contextBG avoids shadowing the context package by the Predict parameter
+// name (the serve.Predictor signature fixes it).
+func contextBG() context.Context { return context.Background() }
+
+// PredictRoute forwards one unary request to its ring owner, spilling to
+// successors when the owner is breaker-open, unreachable, or sheds.
+// Unary retries across backends are safe — predictions are idempotent and
+// nothing has been delivered to the client until the router returns.
+func (r *Router) PredictRoute(ctx context.Context, req serve.Request) (serve.Response, error) {
+	req.Op = "" // forwarded as a plain unary predict regardless of inbound op
+	key := affinityKey(req)
+	var lastErr error
+	for i, addr := range r.candidates(key) {
+		if err := ctx.Err(); err != nil {
+			return serve.Response{}, err
+		}
+		b := r.backends[addr]
+		if !b.breaker.Allow() {
+			lastErr = fmt.Errorf("router: backend %s: %w", addr, resilience.ErrBreakerOpen)
+			continue
+		}
+		resp, err := r.forwardUnary(b, req)
+		if err == nil {
+			if i > 0 {
+				r.spillovers.Add(1)
+				b.spillovers.Add(1)
+			}
+			return resp, nil
+		}
+		lastErr = fmt.Errorf("router: backend %s: %w", addr, err)
+	}
+	if lastErr == nil {
+		lastErr = ErrNoBackend
+	}
+	return serve.Response{}, lastErr
+}
+
+// forwardUnary performs one breaker-accounted round trip against b. Breaker
+// protocol: the caller has already taken Allow()==true, so exactly one
+// Record happens on every path. A transport failure (broken connection,
+// dial error) records a breaker failure; a server-delivered error on a
+// healthy connection — overload shed, unknown op — records a success,
+// because the replica is up and answering even while refusing work.
+func (r *Router) forwardUnary(b *backend, req serve.Request) (serve.Response, error) {
+	c, err := b.get()
+	if err != nil {
+		b.errors.Add(1)
+		b.breaker.Record(err)
+		return serve.Response{}, err
+	}
+	start := time.Now()
+	resp, err := c.Predict(req)
+	if err != nil {
+		b.errors.Add(1)
+		if c.Broken() {
+			b.discard(c)
+			b.breaker.Record(err)
+		} else {
+			b.put(c)
+			b.breaker.Record(nil)
+		}
+		return serve.Response{}, err
+	}
+	b.put(c)
+	b.requests.Add(1)
+	if h := b.latency; h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+	b.breaker.Record(nil)
+	return resp, nil
+}
+
+// PredictStreamRoute forwards one streamed request through the ring.
+// Spillover happens only before the first delta: once a backend has started
+// streaming, the client has rendered output, so replaying on a successor
+// would duplicate it — a mid-stream failure is terminal instead.
+func (r *Router) PredictStreamRoute(ctx context.Context, req serve.Request, emit func(delta string)) (serve.Response, error) {
+	key := affinityKey(req)
+	var lastErr error
+	for i, addr := range r.candidates(key) {
+		if err := ctx.Err(); err != nil {
+			return serve.Response{}, err
+		}
+		b := r.backends[addr]
+		if !b.breaker.Allow() {
+			lastErr = fmt.Errorf("router: backend %s: %w", addr, resilience.ErrBreakerOpen)
+			continue
+		}
+		resp, started, err := r.forwardStream(ctx, b, req, emit)
+		if err == nil {
+			if i > 0 {
+				r.spillovers.Add(1)
+				b.spillovers.Add(1)
+			}
+			return resp, nil
+		}
+		if started {
+			// Deltas already reached the client; never replay.
+			return serve.Response{}, fmt.Errorf("router: backend %s: %w", addr, err)
+		}
+		lastErr = fmt.Errorf("router: backend %s: %w", addr, err)
+	}
+	if lastErr == nil {
+		lastErr = ErrNoBackend
+	}
+	return serve.Response{}, lastErr
+}
+
+// forwardStream runs one streamed exchange against b, reporting whether any
+// delta was emitted. Cancellation propagates by closing the backend
+// connection — the backend's RPC watchdog sees the disconnect and cancels
+// its decode, preserving disconnect-cancels-decode through the router tier.
+func (r *Router) forwardStream(ctx context.Context, b *backend, req serve.Request, emit func(delta string)) (resp serve.Response, started bool, err error) {
+	c, err := b.get()
+	if err != nil {
+		b.errors.Add(1)
+		b.breaker.Record(err)
+		return serve.Response{}, false, err
+	}
+
+	watchDone := make(chan struct{})
+	watchExited := make(chan struct{})
+	var cancelled atomic.Bool
+	go func() {
+		defer close(watchExited)
+		select {
+		case <-ctx.Done():
+			cancelled.Store(true)
+			c.Close()
+		case <-watchDone:
+		}
+	}()
+
+	start := time.Now()
+	resp, err = c.PredictStream(req, func(d string) {
+		started = true
+		emit(d)
+	})
+	close(watchDone)
+	<-watchExited
+
+	if err != nil {
+		b.errors.Add(1)
+		if cancelled.Load() {
+			// The client went away; the failure is ours, not the backend's.
+			b.discard(c)
+			b.breaker.Record(nil)
+			return serve.Response{}, started, ctx.Err()
+		}
+		if c.Broken() {
+			b.discard(c)
+			b.breaker.Record(err)
+		} else {
+			b.put(c)
+			b.breaker.Record(nil)
+		}
+		return serve.Response{}, started, err
+	}
+	b.put(c)
+	b.requests.Add(1)
+	if h := b.latency; h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+	b.breaker.Record(nil)
+	return resp, started, nil
+}
+
+// heartbeatLoop sweeps the fleet every HeartbeatInterval until Close.
+func (r *Router) heartbeatLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.opts.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.CheckBackends()
+		}
+	}
+}
+
+// CheckBackends runs one heartbeat sweep over every backend: a replica that
+// answers the RPC health op is (re)marked live immediately; one that fails
+// DeadAfter consecutive sweeps is marked dead, moving its ring range to its
+// successors. Exported so tests (and operators via SIGUSR-style tooling)
+// can force a sweep instead of waiting out the interval.
+func (r *Router) CheckBackends() {
+	for addr, b := range r.backends {
+		ok, fails := b.heartbeat(r.opts.HeartbeatTimeout)
+		switch {
+		case ok:
+			if !b.alive.Load() {
+				b.alive.Store(true)
+				r.ring.SetAlive(addr, true)
+			}
+		case fails >= r.opts.DeadAfter:
+			if b.alive.Load() {
+				b.alive.Store(false)
+				r.ring.SetAlive(addr, false)
+			}
+		}
+	}
+}
+
+// BackendStats is one backend's row in the aggregated fleet snapshot.
+type BackendStats struct {
+	// Addr is the backend's RPC address (its ring node name).
+	Addr string `json:"addr"`
+	// Alive is the heartbeat verdict.
+	Alive bool `json:"alive"`
+	// Breaker is the circuit-breaker position: closed, half-open or open.
+	Breaker string `json:"breaker"`
+	// RingShare is the fraction of the hash keyspace this backend currently
+	// owns (zero when dead).
+	RingShare float64 `json:"ring_share"`
+	// Requests counts forwards answered by this backend.
+	Requests uint64 `json:"requests"`
+	// Errors counts forward attempts against this backend that failed.
+	Errors uint64 `json:"errors"`
+	// Spillovers counts forwards this backend absorbed for failed ring
+	// predecessors.
+	Spillovers uint64 `json:"spillovers"`
+	// Stats is the backend's own counter snapshot (RPC stats op); nil when
+	// the backend was unreachable at aggregation time.
+	Stats *serve.Stats `json:"stats,omitempty"`
+}
+
+// FleetStats is the aggregated /v1/stats payload a router serves: the
+// router process's local counters, the element-wise sum of every reachable
+// backend's counters, and a per-backend breakdown.
+type FleetStats struct {
+	// Router is the router process's own serve.Stats (its cache,
+	// singleflight and pool sit in front of the ring).
+	Router serve.Stats `json:"router"`
+	// Fleet sums every reachable backend's counters element-wise; its Model
+	// field is "fleet".
+	Fleet serve.Stats `json:"fleet"`
+	// Backends lists each backend's row, sorted by address.
+	Backends []BackendStats `json:"backends"`
+	// Spillovers counts requests answered by a backend other than their
+	// ring owner.
+	Spillovers uint64 `json:"spillovers"`
+}
+
+// AggregateStats satisfies serve.StatsAggregator: the wrapping server's
+// /v1/stats widens to the fleet view. Each backend is scraped over RPC at
+// call time; unreachable backends contribute a row with Stats nil and are
+// excluded from the fleet sum.
+func (r *Router) AggregateStats(local serve.Stats) any {
+	fleet := FleetStats{Router: local, Spillovers: r.spillovers.Load()}
+	fleet.Fleet.Model = "fleet"
+	share := r.ring.Ownership()
+	for _, addr := range r.ring.Nodes() {
+		b := r.backends[addr]
+		row := BackendStats{
+			Addr:       addr,
+			Alive:      b.alive.Load(),
+			Breaker:    b.breaker.State().String(),
+			RingShare:  share[addr],
+			Requests:   b.requests.Load(),
+			Errors:     b.errors.Load(),
+			Spillovers: b.spillovers.Load(),
+		}
+		if st, ok := b.stats(); ok {
+			row.Stats = &st
+			addStats(&fleet.Fleet, st)
+		}
+		fleet.Backends = append(fleet.Backends, row)
+	}
+	return fleet
+}
+
+// addStats element-wise sums src's counters and gauges into dst, then
+// recomputes the derived ratios from the summed numerators/denominators.
+func addStats(dst *serve.Stats, src serve.Stats) {
+	dst.Requests += src.Requests
+	dst.PoolWorkers += src.PoolWorkers
+	dst.PoolActive += src.PoolActive
+	dst.PoolQueued += src.PoolQueued
+	dst.ShedRequests += src.ShedRequests
+	dst.ActiveStreams += src.ActiveStreams
+	dst.CancelledStrms += src.CancelledStrms
+	dst.CacheEnabled = dst.CacheEnabled || src.CacheEnabled
+	dst.CacheEntries += src.CacheEntries
+	dst.CacheHits += src.CacheHits
+	dst.CacheMisses += src.CacheMisses
+	dst.CacheEvictions += src.CacheEvictions
+	if total := dst.CacheHits + dst.CacheMisses; total > 0 {
+		dst.HitRate = float64(dst.CacheHits) / float64(total)
+	}
+	dst.SessionsEnabled = dst.SessionsEnabled || src.SessionsEnabled
+	dst.SessionsActive += src.SessionsActive
+	dst.SessionEvictions += src.SessionEvictions
+	dst.AbandonedWaiters += src.AbandonedWaiters
+	dst.SchedEnabled = dst.SchedEnabled || src.SchedEnabled
+	dst.SchedMaxBatch += src.SchedMaxBatch
+	dst.SchedActive += src.SchedActive
+	dst.SchedQueued += src.SchedQueued
+	dst.SchedAdmitted += src.SchedAdmitted
+	dst.SchedRetired += src.SchedRetired
+	// SchedOccupancy and SessionReuseRatio are per-replica ratios whose
+	// numerators are not exported; a request-weighted mean is the closest
+	// honest aggregate.
+	if dst.Requests > 0 {
+		wDst := float64(dst.Requests-src.Requests) / float64(dst.Requests)
+		wSrc := float64(src.Requests) / float64(dst.Requests)
+		dst.SchedOccupancy = dst.SchedOccupancy*wDst + src.SchedOccupancy*wSrc
+		dst.SessionReuseRatio = dst.SessionReuseRatio*wDst + src.SessionReuseRatio*wSrc
+	}
+}
+
+// Instrument registers the router's fleet metrics on reg:
+//
+//	wisdom_router_spillover_total                  — requests served off-owner
+//	wisdom_router_backend_requests_total{backend}  — per-backend forwards
+//	wisdom_router_backend_errors_total{backend}    — per-backend failures
+//	wisdom_router_backend_latency_seconds{backend} — forward latency histogram
+//	wisdom_router_backend_alive{backend}           — heartbeat verdict (0/1)
+//	wisdom_router_ring_share{backend}              — fraction of keyspace owned
+//	wisdom_breaker_state{backend}                  — breaker position (resilience)
+//
+// Call at most once per registry, before serving.
+func (r *Router) Instrument(reg *observe.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("wisdom_router_spillover_total",
+		"Requests answered by a backend other than their ring owner.",
+		func() float64 { return float64(r.spillovers.Load()) })
+	buckets := []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+	for _, addr := range r.ring.Nodes() {
+		b := r.backends[addr]
+		label := observe.Label{Key: "backend", Value: addr}
+		reg.CounterFunc("wisdom_router_backend_requests_total",
+			"Forwarded requests answered per backend.",
+			func() float64 { return float64(b.requests.Load()) }, label)
+		reg.CounterFunc("wisdom_router_backend_errors_total",
+			"Failed forward attempts per backend.",
+			func() float64 { return float64(b.errors.Load()) }, label)
+		b.latency = reg.Histogram("wisdom_router_backend_latency_seconds",
+			"Forward round-trip latency per backend.", buckets, label)
+		reg.GaugeFunc("wisdom_router_backend_alive",
+			"Heartbeat verdict per backend: 1 live, 0 dead.",
+			func() float64 {
+				if b.alive.Load() {
+					return 1
+				}
+				return 0
+			}, label)
+		a := addr
+		reg.GaugeFunc("wisdom_router_ring_share",
+			"Fraction of the hash keyspace each live backend owns.",
+			func() float64 { return r.ring.Ownership()[a] }, label)
+		resilience.InstrumentBreaker(reg, addr, b.breaker)
+	}
+}

@@ -1,0 +1,464 @@
+// Router unit tests against real in-process serve replicas: affinity,
+// spillover, breaker accounting, heartbeat-driven liveness, and fleet
+// stats aggregation.
+
+package router
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wisdom/internal/resilience"
+	"wisdom/internal/serve"
+)
+
+// replicaModel is the backend model: answers carry the replica's name so a
+// test can tell which backend served. Prompt "block" parks until release
+// (for overload tests).
+type replicaModel struct {
+	name    string
+	gate    chan struct{}
+	release sync.Once
+}
+
+// unblock releases every parked "block" call (idempotent).
+func (m *replicaModel) unblock() { m.release.Do(func() { close(m.gate) }) }
+
+func (m *replicaModel) answer(prompt string) string { return m.name + "|" + prompt }
+
+func (m *replicaModel) Predict(c, prompt string) string {
+	if prompt == "block" && m.gate != nil {
+		<-m.gate
+	}
+	return m.answer(prompt)
+}
+
+func (m *replicaModel) PredictStream(ctx context.Context, c, prompt string, emit func(string)) string {
+	if prompt == "block" && m.gate != nil {
+		<-m.gate
+	}
+	emit(m.name + "|")
+	emit(prompt)
+	return m.answer(prompt)
+}
+
+// replica is one in-process backend.
+type replica struct {
+	name  string
+	addr  string
+	srv   *serve.Server
+	model *replicaModel
+	ln    net.Listener
+}
+
+func (r *replica) stop(t testing.TB) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := r.srv.Shutdown(ctx); err != nil {
+		t.Logf("replica %s shutdown: %v", r.name, err)
+	}
+}
+
+// startReplica boots a serve replica on a loopback port. Passing addr ""
+// picks a fresh port; passing a previous replica's addr restarts "the same"
+// backend (heartbeat-recovery tests).
+func startReplica(t testing.TB, name, addr string, opts serve.Options) *replica {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if opts.Workers == 0 {
+		opts.Workers = 4 // GOMAXPROCS may be 1; forwarding tests need real concurrency
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	m := &replicaModel{name: name, gate: make(chan struct{})}
+	srv := serve.NewServerWithOptions(m, name, opts)
+	go func() { _ = srv.ServeRPC(ln) }()
+	r := &replica{name: name, addr: ln.Addr().String(), srv: srv, model: m, ln: ln}
+	t.Cleanup(func() { m.unblock(); r.stop(t) })
+	return r
+}
+
+// startFleet boots n replicas plus a router over them (background heartbeat
+// disabled — tests drive sweeps explicitly).
+func startFleet(t testing.TB, n int, ropts Options) (*Router, []*replica) {
+	t.Helper()
+	var reps []*replica
+	var addrs []string
+	for i := 0; i < n; i++ {
+		r := startReplica(t, fmt.Sprintf("rep%d", i), "", serve.Options{})
+		reps = append(reps, r)
+		addrs = append(addrs, r.addr)
+	}
+	if ropts.HeartbeatInterval == 0 {
+		ropts.HeartbeatInterval = -1
+	}
+	rt, err := New(addrs, ropts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	return rt, reps
+}
+
+// byAddr maps replica addresses to replicas.
+func byAddr(reps []*replica) map[string]*replica {
+	m := make(map[string]*replica, len(reps))
+	for _, r := range reps {
+		m[r.addr] = r
+	}
+	return m
+}
+
+// promptOwnedBy finds a prompt whose content affinity key is owned by addr.
+func promptOwnedBy(t testing.TB, rt *Router, addr string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		p := fmt.Sprintf("prompt-%d", i)
+		if owner, ok := rt.Ring().Lookup(affinityKey(serve.Request{Prompt: p})); ok && owner == addr {
+			return p
+		}
+	}
+	t.Fatalf("no prompt hashes to %s", addr)
+	return ""
+}
+
+func TestRouterKeyAffinity(t *testing.T) {
+	rt, reps := startFleet(t, 3, Options{})
+	owners := byAddr(reps)
+
+	// The same key always lands on its ring owner.
+	req := serve.Request{Prompt: "install nginx", Context: "- hosts: web\n"}
+	ownerAddr, _ := rt.Ring().Lookup(affinityKey(req))
+	want := owners[ownerAddr].model.answer(req.Prompt)
+	for i := 0; i < 10; i++ {
+		resp, err := rt.PredictRoute(context.Background(), req)
+		if err != nil {
+			t.Fatalf("PredictRoute: %v", err)
+		}
+		if resp.Suggestion != want {
+			t.Fatalf("request %d answered by %q, want owner's answer %q", i, resp.Suggestion, want)
+		}
+	}
+	if got := rt.Spillovers(); got != 0 {
+		t.Errorf("spillovers = %d on a healthy fleet, want 0", got)
+	}
+
+	// Distinct keys spread over more than one backend.
+	served := map[string]bool{}
+	for i := 0; i < 30; i++ {
+		resp, err := rt.PredictRoute(context.Background(), serve.Request{Prompt: fmt.Sprintf("task-%d", i)})
+		if err != nil {
+			t.Fatalf("PredictRoute: %v", err)
+		}
+		served[strings.SplitN(resp.Suggestion, "|", 2)[0]] = true
+	}
+	if len(served) < 2 {
+		t.Errorf("30 distinct keys all served by %v, want spread over >= 2 backends", served)
+	}
+}
+
+func TestRouterSessionAffinity(t *testing.T) {
+	rt, _ := startFleet(t, 3, Options{})
+	const sid = "session-affinity-1"
+	ownerAddr, _ := rt.Ring().Lookup(affinityKey(serve.Request{SessionID: sid}))
+	for i := 0; i < 10; i++ {
+		// Different prompts, same session: must stay on the session's owner.
+		req := serve.Request{Prompt: fmt.Sprintf("edit step %d", i), SessionID: sid}
+		if _, err := rt.PredictRoute(context.Background(), req); err != nil {
+			t.Fatalf("PredictRoute: %v", err)
+		}
+		if gotAddr, _ := rt.Ring().Lookup(affinityKey(req)); gotAddr != ownerAddr {
+			t.Fatalf("session key moved owners: %s vs %s", gotAddr, ownerAddr)
+		}
+	}
+	// All ten landed on one backend: exactly one replica counted requests.
+	fleet := rt.AggregateStats(serve.Stats{}).(FleetStats)
+	withTraffic := 0
+	for _, row := range fleet.Backends {
+		if row.Requests > 0 {
+			withTraffic++
+			if row.Addr != ownerAddr {
+				t.Errorf("session traffic landed on %s, want owner %s", row.Addr, ownerAddr)
+			}
+		}
+	}
+	if withTraffic != 1 {
+		t.Errorf("session traffic spread over %d backends, want 1", withTraffic)
+	}
+}
+
+func TestRouterStreamAffinityAndContent(t *testing.T) {
+	rt, reps := startFleet(t, 3, Options{})
+	owners := byAddr(reps)
+	req := serve.Request{Prompt: "stream me"}
+	ownerAddr, _ := rt.Ring().Lookup(affinityKey(req))
+	want := owners[ownerAddr].model.answer(req.Prompt)
+
+	var deltas []string
+	resp, err := rt.PredictStreamRoute(context.Background(), req, func(d string) { deltas = append(deltas, d) })
+	if err != nil {
+		t.Fatalf("PredictStreamRoute: %v", err)
+	}
+	if resp.Suggestion != want {
+		t.Fatalf("final = %q, want %q", resp.Suggestion, want)
+	}
+	if got := strings.Join(deltas, ""); got != want {
+		t.Fatalf("deltas concatenate to %q, want %q (no duplication, no loss)", got, want)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas %q, want the replica's 2", len(deltas), deltas)
+	}
+}
+
+func TestRouterSpilloverOnDeadBackend(t *testing.T) {
+	rt, reps := startFleet(t, 3, Options{
+		Breaker: resilience.BreakerConfig{FailureThreshold: 3, Cooldown: time.Minute},
+	})
+	victim := reps[0]
+	prompt := promptOwnedBy(t, rt, victim.addr)
+	victim.stop(t)
+
+	// The owner is down but still marked live (no heartbeat ran): every
+	// request must spill to the ring successor and still succeed.
+	for i := 0; i < 3; i++ {
+		resp, err := rt.PredictRoute(context.Background(), serve.Request{Prompt: prompt})
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if strings.HasPrefix(resp.Suggestion, victim.name+"|") {
+			t.Fatalf("request %d answered by the dead backend", i)
+		}
+	}
+	if got := rt.Spillovers(); got != 3 {
+		t.Errorf("spillovers = %d, want 3", got)
+	}
+	// Three consecutive transport failures tripped the victim's breaker.
+	if st := rt.backends[victim.addr].breaker.State(); st != resilience.Open {
+		t.Errorf("victim breaker = %v after 3 transport failures, want open", st)
+	}
+	// With the breaker open the victim is skipped without a connection
+	// attempt; requests still succeed via the successor.
+	if _, err := rt.PredictRoute(context.Background(), serve.Request{Prompt: prompt}); err != nil {
+		t.Fatalf("request with open breaker: %v", err)
+	}
+}
+
+func TestRouterOverloadShedSpillsWithoutTrippingBreaker(t *testing.T) {
+	// The victim owner has one worker and no queue: a second concurrent
+	// request sheds immediately with a server-delivered 503-equivalent.
+	victim := startReplica(t, "victim", "", serve.Options{Workers: 1, QueueDepth: -1, QueueTimeout: -1})
+	other := startReplica(t, "other", "", serve.Options{})
+	rt, err := New([]string{victim.addr, other.addr}, Options{
+		HeartbeatInterval: -1,
+		Breaker:           resilience.BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	prompt := promptOwnedBy(t, rt, victim.addr)
+
+	// Occupy the victim's only worker with a parked direct request.
+	c, err := serve.Dial(victim.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := c.Predict(serve.Request{Prompt: "block"})
+		blocked <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for victim.srv.Stats().PoolActive == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim worker never became busy")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := rt.PredictRoute(context.Background(), serve.Request{Prompt: prompt})
+	if err != nil {
+		t.Fatalf("PredictRoute during overload: %v", err)
+	}
+	if !strings.HasPrefix(resp.Suggestion, "other|") {
+		t.Fatalf("overloaded request answered %q, want spill to other", resp.Suggestion)
+	}
+	if got := rt.Spillovers(); got != 1 {
+		t.Errorf("spillovers = %d, want 1", got)
+	}
+	// A shed on a healthy connection is the replica refusing work, not
+	// failing: even with FailureThreshold 1 the breaker must stay closed.
+	if st := rt.backends[victim.addr].breaker.State(); st != resilience.Closed {
+		t.Errorf("victim breaker = %v after an overload shed, want closed", st)
+	}
+
+	victim.model.unblock()
+	if err := <-blocked; err != nil {
+		t.Fatalf("parked request: %v", err)
+	}
+}
+
+func TestRouterHeartbeatDeathAndRecovery(t *testing.T) {
+	rt, reps := startFleet(t, 3, Options{DeadAfter: 2, HeartbeatTimeout: 500 * time.Millisecond})
+	victim := reps[0]
+	prompt := promptOwnedBy(t, rt, victim.addr)
+
+	// Healthy sweep: everyone stays live.
+	rt.CheckBackends()
+	if !rt.Ring().Alive(victim.addr) {
+		t.Fatal("victim dead after a healthy sweep")
+	}
+
+	victim.stop(t)
+	rt.CheckBackends()
+	if !rt.Ring().Alive(victim.addr) {
+		t.Fatal("victim marked dead after 1 failed sweep, want DeadAfter=2")
+	}
+	rt.CheckBackends()
+	if rt.Ring().Alive(victim.addr) {
+		t.Fatal("victim still live after DeadAfter failed sweeps")
+	}
+
+	// The dead node's keys now route to the successor as their primary:
+	// no spillover is counted and no connection to the corpse is attempted.
+	before := rt.Spillovers()
+	if _, err := rt.PredictRoute(context.Background(), serve.Request{Prompt: prompt}); err != nil {
+		t.Fatalf("request after death: %v", err)
+	}
+	if got := rt.Spillovers(); got != before {
+		t.Errorf("spillovers grew %d -> %d for a rebalanced key, want unchanged", before, got)
+	}
+
+	// Restart on the same address: one successful sweep revives it.
+	revived := startReplica(t, "rep0b", victim.addr, serve.Options{})
+	rt.CheckBackends()
+	if !rt.Ring().Alive(victim.addr) {
+		t.Fatal("victim still dead after recovery sweep")
+	}
+	resp, err := rt.PredictRoute(context.Background(), serve.Request{Prompt: prompt})
+	if err != nil {
+		t.Fatalf("request after recovery: %v", err)
+	}
+	if !strings.HasPrefix(resp.Suggestion, revived.name+"|") {
+		t.Errorf("recovered key answered %q, want owner %s", resp.Suggestion, revived.name)
+	}
+}
+
+func TestRouterAllBackendsDown(t *testing.T) {
+	rep := startReplica(t, "solo", "", serve.Options{})
+	rt, err := New([]string{rep.addr}, Options{HeartbeatInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	rep.stop(t)
+	if _, err := rt.PredictRoute(context.Background(), serve.Request{Prompt: "x"}); err == nil {
+		t.Fatal("PredictRoute succeeded with the whole fleet down")
+	}
+	var deltas int
+	if _, err := rt.PredictStreamRoute(context.Background(), serve.Request{Prompt: "x"}, func(string) { deltas++ }); err == nil {
+		t.Fatal("PredictStreamRoute succeeded with the whole fleet down")
+	}
+	if deltas != 0 {
+		t.Fatalf("%d deltas delivered from a dead fleet, want 0", deltas)
+	}
+}
+
+func TestRouterAggregateStats(t *testing.T) {
+	rt, _ := startFleet(t, 3, Options{})
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := rt.PredictRoute(context.Background(), serve.Request{Prompt: fmt.Sprintf("agg-%d", i)}); err != nil {
+			t.Fatalf("PredictRoute: %v", err)
+		}
+	}
+	local := serve.Stats{Model: "router", Requests: n}
+	fleet, ok := rt.AggregateStats(local).(FleetStats)
+	if !ok {
+		t.Fatalf("AggregateStats returned %T, want FleetStats", rt.AggregateStats(local))
+	}
+	if fleet.Router.Model != "router" || fleet.Router.Requests != n {
+		t.Errorf("router row = %+v, want the local stats passed in", fleet.Router)
+	}
+	if fleet.Fleet.Model != "fleet" {
+		t.Errorf("fleet model = %q, want fleet", fleet.Fleet.Model)
+	}
+	if fleet.Fleet.Requests != n {
+		t.Errorf("fleet requests = %d, want sum of replicas = %d", fleet.Fleet.Requests, n)
+	}
+	if len(fleet.Backends) != 3 {
+		t.Fatalf("backends rows = %d, want 3", len(fleet.Backends))
+	}
+	var rowSum, fwdSum uint64
+	var shareSum float64
+	for _, row := range fleet.Backends {
+		if row.Stats == nil {
+			t.Fatalf("backend %s has no stats snapshot", row.Addr)
+		}
+		rowSum += uint64(row.Stats.Requests)
+		fwdSum += row.Requests
+		shareSum += row.RingShare
+		if !row.Alive {
+			t.Errorf("backend %s reported dead on a healthy fleet", row.Addr)
+		}
+		if row.Breaker != "closed" {
+			t.Errorf("backend %s breaker = %q, want closed", row.Addr, row.Breaker)
+		}
+	}
+	if rowSum != n {
+		t.Errorf("sum of per-backend replica requests = %d, want %d", rowSum, n)
+	}
+	if fwdSum != n {
+		t.Errorf("sum of router forward counters = %d, want %d", fwdSum, n)
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Errorf("ring shares sum to %v, want 1", shareSum)
+	}
+}
+
+func TestRouterPredictorFace(t *testing.T) {
+	rt, _ := startFleet(t, 2, Options{})
+	got := rt.Predict("- hosts: all\n", "simple task")
+	if !strings.Contains(got, "|simple task") {
+		t.Errorf("Predict = %q, want a replica answer", got)
+	}
+}
+
+func TestRouterStreamCancellationPropagates(t *testing.T) {
+	// A parked backend stream plus a cancelled router context: the router
+	// must close the backend connection and return promptly with ctx.Err().
+	rep := startReplica(t, "hangrep", "", serve.Options{})
+	rt, err := New([]string{rep.addr}, Options{HeartbeatInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := rt.PredictStreamRoute(ctx, serve.Request{Prompt: "block"}, func(string) {})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the forward reach the backend
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled stream returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled stream did not return within 2s")
+	}
+}

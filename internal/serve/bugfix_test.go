@@ -58,7 +58,7 @@ func TestBatcherLongResultFansOutError(t *testing.T) {
 // coalesced=false — it never received a shared answer — and must increment
 // the Abandoned counter instead of the coalesced-success metric.
 func TestFlightAbandonedWaiterNotCoalesced(t *testing.T) {
-	g := newFlightGroup()
+	g := NewFlight()
 	leaderIn := make(chan struct{})
 	release := make(chan struct{})
 

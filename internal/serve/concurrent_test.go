@@ -119,9 +119,9 @@ func TestCoalescing64(t *testing.T) {
 	// its flight so none of them can race ahead to a cache hit.
 	<-model.started
 	deadline := time.Now().Add(10 * time.Second)
-	for srv.flight.pending(key) != n-1 {
+	for srv.flight.Pending(key) != n-1 {
 		if time.Now().After(deadline) {
-			t.Fatalf("only %d/%d waiters joined the flight", srv.flight.pending(key), n-1)
+			t.Fatalf("only %d/%d waiters joined the flight", srv.flight.Pending(key), n-1)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -561,7 +561,7 @@ func TestPoolContextCancel(t *testing.T) {
 }
 
 func TestFlightGroupSequentialCallsDoNotCoalesce(t *testing.T) {
-	g := newFlightGroup()
+	g := NewFlight()
 	calls := 0
 	for i := 0; i < 3; i++ {
 		v, coalesced, err := g.Do(context.Background(), "k", func() (string, error) {
@@ -578,7 +578,7 @@ func TestFlightGroupSequentialCallsDoNotCoalesce(t *testing.T) {
 }
 
 func TestFlightGroupErrorFansOut(t *testing.T) {
-	g := newFlightGroup()
+	g := NewFlight()
 	started := make(chan struct{})
 	release := make(chan struct{})
 	leaderErr := fmt.Errorf("boom")
@@ -608,7 +608,7 @@ func TestFlightGroupErrorFansOut(t *testing.T) {
 			t.Errorf("waiter: coalesced=%v err=%v", coalesced, err)
 		}
 	}()
-	for g.pending("k") != 1 {
+	for g.Pending("k") != 1 {
 		time.Sleep(time.Millisecond)
 	}
 	close(release)
@@ -616,7 +616,7 @@ func TestFlightGroupErrorFansOut(t *testing.T) {
 }
 
 func TestFlightGroupWaiterContext(t *testing.T) {
-	g := newFlightGroup()
+	g := NewFlight()
 	started := make(chan struct{})
 	release := make(chan struct{})
 	go g.Do(context.Background(), "k", func() (string, error) {

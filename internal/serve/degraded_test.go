@@ -114,7 +114,7 @@ func TestServerDegradedFlagFansOutToCoalesced(t *testing.T) {
 	// Release the leader once the stragglers have had time to coalesce.
 	key := "\x00" + "shared"
 	deadline := time.Now().Add(2 * time.Second)
-	for srv.flight.pending(key) < n-1 && time.Now().Before(deadline) {
+	for srv.flight.Pending(key) < n-1 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	model.gateOn.Store(false)

@@ -155,6 +155,31 @@ type SchedStreamingPredictor interface {
 	PredictStreamSched(ctx context.Context, context, prompt string, emit func(delta string)) (string, error)
 }
 
+// RoutingPredictor is implemented by predictors that answer a request by
+// forwarding it to another tier instead of decoding locally
+// (*router.Router): PredictRoute receives the full Request — including
+// SessionID, which a sharded frontend hashes for replica affinity — and
+// returns the backend's response or an error when no backend could serve it
+// (every candidate dead, breaker-open, or shedding). Routing errors are
+// shed-shaped: the server answers 503 with Retry-After, never a torn
+// response. When the model implements this interface the server routes every
+// prediction through it — after the cache and singleflight group, so
+// duplicate traffic coalesces before it crosses the network, and through the
+// worker pool, so a slow backend cannot absorb unbounded concurrency.
+type RoutingPredictor interface {
+	Predictor
+	PredictRoute(ctx context.Context, req Request) (Response, error)
+}
+
+// StatsAggregator is implemented by models that can widen the /v1/stats
+// snapshot beyond this process (*router.Router aggregates its whole backend
+// fleet): AggregateStats receives the server's local Stats and returns the
+// value to encode instead. The RPC stats op keeps returning the local
+// snapshot — it is what a frontend sums over its backends.
+type StatsAggregator interface {
+	AggregateStats(local Stats) any
+}
+
 // schedQueueWaitObservable is the optional hook wiring the engine's
 // per-request queue-wait samples into a histogram; *wisdom.Model implements
 // it. Unexported: it is a metrics seam, not part of the serving contract.
@@ -217,8 +242,19 @@ type OpResponse struct {
 	Status  string `json:"status,omitempty"`
 	Model   string `json:"model,omitempty"`
 	Metrics string `json:"metrics,omitempty"`
-	Error   string `json:"error,omitempty"`
+	// Stats carries the server's counter snapshot (op "stats"). Always the
+	// local process's view — a router frontend sums this field over its
+	// backends to build the fleet aggregate (see docs/PROTOCOL.md).
+	Stats *Stats `json:"stats,omitempty"`
+	Error string `json:"error,omitempty"`
 }
+
+// OpStats is the Request.Op requesting the server's Stats snapshot over RPC
+// (Client.Stats). It is how a router frontend scrapes replica counters for
+// fleet-wide aggregation when replicas only expose their RPC port. Unknown
+// to pre-PR9 servers, which answer it with an unknown-op error (see
+// docs/PROTOCOL.md versioning).
+const OpStats = "stats"
 
 // Options configure the concurrent serving path. The zero value of each
 // field selects the documented default.
@@ -286,6 +322,9 @@ type Server struct {
 	sessionStream SessionStreamingPredictor   // non-nil when session model also streams
 	sched         SchedPredictor              // non-nil when model has the scheduler enabled
 	schedStream   SchedStreamingPredictor     // non-nil when scheduled model also streams
+	route         RoutingPredictor            // non-nil when model forwards to a backend tier
+	routeStream   RoutingStreamingPredictor   // non-nil when routing model also streams
+	statsAgg      StatsAggregator             // non-nil when model widens /v1/stats
 	modelName     string
 	cache         *Cache
 	requests      atomic.Int64 // predictions served, both protocols
@@ -299,7 +338,7 @@ type Server struct {
 	// Concurrency control: flight coalesces identical in-flight requests,
 	// pool bounds concurrent Predict calls. reqTimeout bounds one
 	// request's admission wait (queueing plus coalesced waiting).
-	flight     *flightGroup
+	flight     *Flight
 	pool       *Pool
 	batcher    *batcher
 	reqTimeout time.Duration
@@ -331,7 +370,7 @@ func NewServerWithOptions(model Predictor, modelName string, opts Options) *Serv
 		model:      model,
 		modelName:  modelName,
 		connHook:   opts.ConnHook,
-		flight:     newFlightGroup(),
+		flight:     NewFlight(),
 		pool:       NewPool(opts.Workers, opts.QueueDepth, opts.QueueTimeout),
 		reqTimeout: opts.QueueTimeout,
 		maxBody:    opts.MaxBodyBytes,
@@ -368,6 +407,19 @@ func NewServerWithOptions(model Predictor, modelName string, opts Options) *Serv
 				s.schedStream = ssp
 			}
 		}
+	}
+	// Routing engages when the model forwards to a backend tier instead of
+	// decoding locally (the router frontend): every prediction then flows
+	// cache -> singleflight -> pool -> PredictRoute, and /v1/stats widens to
+	// the aggregated fleet view when the model can provide one.
+	if rp, ok := model.(RoutingPredictor); ok {
+		s.route = rp
+		if rsp, ok := model.(RoutingStreamingPredictor); ok {
+			s.routeStream = rsp
+		}
+	}
+	if sa, ok := model.(StatsAggregator); ok {
+		s.statsAgg = sa
 	}
 	if opts.CacheSize > 0 {
 		s.cache = NewCache(opts.CacheSize)
@@ -695,6 +747,9 @@ func (s *Server) answer(ctx context.Context, req Request) (Response, error) {
 			return Response{Suggestion: v, Cached: true}, nil
 		}
 	}
+	if s.route != nil {
+		return s.answerRoute(ctx, req, key)
+	}
 	// Session requests route around singleflight and the micro-batcher: the
 	// session's decode state is exclusive to one generation at a time, so
 	// neither sharing a leader's answer (whose decode advances a different
@@ -778,7 +833,47 @@ func (s *Server) answer(ctx context.Context, req Request) (Response, error) {
 		}
 		return Response{Suggestion: v, Degraded: degraded}, nil
 	}
-	v, degraded, coalesced, err := s.flight.do(ctx, key, invoke)
+	v, degraded, coalesced, err := s.flight.DoDegraded(ctx, key, invoke)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Suggestion: v, Coalesced: coalesced, Degraded: degraded}, nil
+}
+
+// answerRoute resolves a cache-missed request through the routing tier:
+// coalesced with any concurrent identical request (so duplicate traffic
+// crosses the network once), admitted through the worker pool (so a slow
+// backend fleet cannot absorb unbounded router concurrency), then forwarded
+// by the model's PredictRoute. Session requests bypass the singleflight
+// group — mirroring the local session path — so each session's request
+// reaches the replica its affinity key hashes to instead of sharing a
+// leader's forward that hashed a different (or no) session.
+func (s *Server) answerRoute(ctx context.Context, req Request, key string) (Response, error) {
+	invoke := func() (string, bool, error) {
+		if s.pool != nil {
+			if err := s.pool.Acquire(ctx); err != nil {
+				return "", false, err
+			}
+			defer s.pool.Release()
+		}
+		resp, err := s.route.PredictRoute(ctx, req)
+		if err != nil {
+			return "", false, err
+		}
+		// Degraded answers stay out of the cache, same as the local path.
+		if s.cache != nil && !resp.Degraded {
+			s.cache.Put(key, resp.Suggestion)
+		}
+		return resp.Suggestion, resp.Degraded, nil
+	}
+	if req.SessionID != "" || s.flight == nil {
+		v, degraded, err := invoke()
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Suggestion: v, Degraded: degraded}, nil
+	}
+	v, degraded, coalesced, err := s.flight.DoDegraded(ctx, key, invoke)
 	if err != nil {
 		return Response{}, err
 	}
@@ -853,7 +948,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", health)
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(s.Stats()); err != nil {
+		// A stats-aggregating model (the router) widens the snapshot to its
+		// whole fleet; everything else serves the local counters.
+		var payload any = s.Stats()
+		if s.statsAgg != nil {
+			payload = s.statsAgg.AggregateStats(s.Stats())
+		}
+		if err := json.NewEncoder(w).Encode(payload); err != nil {
 			return
 		}
 	})
@@ -1089,6 +1190,9 @@ func (s *Server) handleRPC(req Request) any {
 		return OpResponse{Model: s.modelName, Metrics: sb.String()}
 	case "health":
 		return OpResponse{Status: "ok", Model: s.modelName}
+	case OpStats:
+		st := s.Stats()
+		return OpResponse{Model: s.modelName, Stats: &st}
 	default:
 		s.countError("rpc", "unknown_op")
 		return OpResponse{Model: s.modelName, Error: "unknown op " + req.Op}
@@ -1243,6 +1347,23 @@ func (c *Client) Health() (OpResponse, error) {
 	var resp OpResponse
 	err := c.roundTrip(Request{Op: "health"}, &resp)
 	return resp, err
+}
+
+// Stats fetches the server's counter snapshot over RPC (op "stats"). A
+// server that predates the op answers with an error; the connection stays
+// healthy either way.
+func (c *Client) Stats() (Stats, error) {
+	var resp OpResponse
+	if err := c.roundTrip(Request{Op: OpStats}, &resp); err != nil {
+		return Stats{}, err
+	}
+	if resp.Error != "" {
+		return Stats{}, errors.New("serve: " + resp.Error)
+	}
+	if resp.Stats == nil {
+		return Stats{}, errors.New("serve: stats op answered without a stats payload")
+	}
+	return *resp.Stats, nil
 }
 
 // Close releases the connection.

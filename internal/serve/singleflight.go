@@ -6,14 +6,19 @@ import (
 	"sync/atomic"
 )
 
-// flightGroup coalesces concurrent calls that share a key: the first caller
+// Flight coalesces concurrent calls that share a key: the first caller
 // (the leader) runs fn, everyone else waits for the leader's result, and the
 // answer fans out to all of them. In front of the response cache this turns
 // N simultaneous misses on one context+prompt into exactly one model
 // invocation — the cache alone cannot do that, because every miss that
 // arrives before the first Put runs its own generation and the last writer
 // wins the slot.
-type flightGroup struct {
+//
+// Flight is exported (alongside Cache and Pool) so both serving tiers share
+// one implementation of the admission stack: the replica coalesces in front
+// of its model, and the router tier coalesces in front of the backend ring,
+// so duplicate traffic collapses before it crosses the network.
+type Flight struct {
 	mu sync.Mutex
 	m  map[string]*flightCall
 	// abandoned counts waiters whose ctx expired before the leader finished:
@@ -31,8 +36,9 @@ type flightCall struct {
 	waiters  atomic.Int64 // coalesced callers currently blocked on done
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{m: make(map[string]*flightCall)}
+// NewFlight builds an empty coalescing group.
+func NewFlight() *Flight {
+	return &Flight{m: make(map[string]*flightCall)}
 }
 
 // Do returns the result of fn for key, coalescing concurrent duplicates.
@@ -42,18 +48,18 @@ func newFlightGroup() *flightGroup {
 // result still lands in the cache for the next request. A leader's error
 // (e.g. pool shed) fans out to every waiter, which is the behaviour that
 // keeps an overloaded key from multiplying into one model call per waiter.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() (string, error)) (val string, coalesced bool, err error) {
-	val, _, coalesced, err = g.do(ctx, key, func() (string, bool, error) {
+func (g *Flight) Do(ctx context.Context, key string, fn func() (string, error)) (val string, coalesced bool, err error) {
+	val, _, coalesced, err = g.DoDegraded(ctx, key, func() (string, bool, error) {
 		v, err := fn()
 		return v, false, err
 	})
 	return val, coalesced, err
 }
 
-// do is Do with a degradation flag threaded through: the leader's flag fans
-// out to every waiter alongside the value, so a coalesced caller sharing a
-// degraded answer reports it degraded too.
-func (g *flightGroup) do(ctx context.Context, key string, fn func() (string, bool, error)) (val string, degraded, coalesced bool, err error) {
+// DoDegraded is Do with a degradation flag threaded through: the leader's
+// flag fans out to every waiter alongside the value, so a coalesced caller
+// sharing a degraded answer reports it degraded too.
+func (g *Flight) DoDegraded(ctx context.Context, key string, fn func() (string, bool, error)) (val string, degraded, coalesced bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
 		c.waiters.Add(1)
@@ -85,11 +91,11 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (string, boo
 
 // Abandoned returns how many waiters left a flight on ctx expiry without
 // receiving the shared answer.
-func (g *flightGroup) Abandoned() uint64 { return g.abandoned.Load() }
+func (g *Flight) Abandoned() uint64 { return g.abandoned.Load() }
 
-// pending returns the number of callers currently waiting on key's leader
+// Pending returns the number of callers currently waiting on key's leader
 // (zero when no flight is active). Test/metrics hook.
-func (g *flightGroup) pending(key string) int {
+func (g *Flight) Pending(key string) int {
 	g.mu.Lock()
 	c := g.m[key]
 	g.mu.Unlock()

@@ -44,6 +44,19 @@ type StreamingDegradingPredictor interface {
 	PredictStreamDegraded(ctx context.Context, context, prompt string, emit func(delta string)) (suggestion string, degraded bool)
 }
 
+// RoutingStreamingPredictor is the streaming face of a routing predictor
+// (*router.Router): PredictStreamRoute follows PredictStream's emission
+// contract while forwarding the stream from a backend replica. An error
+// before any delta has been emitted (every candidate backend dead,
+// breaker-open or shedding) lets the server shed the stream cleanly; an
+// error after the first delta is a mid-stream interruption the server
+// surfaces as a terminal error event — never a silent truncation and never
+// a replay that would duplicate already-rendered output.
+type RoutingStreamingPredictor interface {
+	RoutingPredictor
+	PredictStreamRoute(ctx context.Context, req Request, emit func(delta string)) (Response, error)
+}
+
 // OpStream is the Request.Op selecting a streamed prediction over RPC: the
 // server answers with a sequence of StreamFrame frames instead of one
 // Response frame.
@@ -155,7 +168,7 @@ func (s *Server) predictStream(ctx context.Context, req Request, proto string, s
 	// Predictors without a streaming path answer through the full unary
 	// pipeline (cache, singleflight, batcher, pool) and stream as a single
 	// delta; sheds still happen before any byte is written.
-	if s.stream == nil {
+	if s.stream == nil && s.routeStream == nil {
 		resp, err := s.predict(ctx, req, proto)
 		if err != nil {
 			return Response{}, err
@@ -240,6 +253,28 @@ func (s *Server) predictStream(ctx context.Context, req Request, proto string, s
 	var final string
 	var degraded bool
 	switch {
+	case s.routeStream != nil:
+		// Routed streams forward from a backend replica's stream. A failure
+		// before the first delta (no live backend, breaker-open, backend
+		// shed) is a clean protocol-level rejection; after the first delta
+		// it is a mid-stream interruption surfaced as a terminal error —
+		// spillover never replays a started stream.
+		rresp, err := s.routeStream.PredictStreamRoute(gctx, req, emit)
+		if err != nil {
+			if sendErr != nil {
+				return cancelled(sendErr)
+			}
+			if first {
+				if m != nil {
+					m.shedFor(proto).Inc()
+				}
+				s.countError(proto, shedReason(err))
+			} else {
+				s.countError(proto, "stream_interrupted")
+			}
+			return Response{}, err
+		}
+		final, degraded = rresp.Suggestion, rresp.Degraded
 	case req.SessionID != "" && s.sessionStream != nil:
 		// Session streams reuse the session's retained prefix KV state —
 		// time-to-first-body-delta shrinks to the changed suffix. Streams

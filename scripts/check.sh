@@ -57,6 +57,7 @@ if [ "$FUZZTIME" != "0" ]; then
     go test -run='^$' -fuzz='^FuzzEncodeFrame$' -fuzztime="$FUZZTIME" ./internal/serve
     go test -run='^$' -fuzz='^FuzzDecodeStreamFrame$' -fuzztime="$FUZZTIME" ./internal/serve
     go test -run='^$' -fuzz='^FuzzEncode$' -fuzztime="$FUZZTIME" ./internal/tokenizer
+    go test -run='^$' -fuzz='^FuzzRingLookup$' -fuzztime="$FUZZTIME" ./internal/router
 fi
 
 echo "OK"
