@@ -1,8 +1,8 @@
 // Command wisdom-router runs the sharded-serving frontend: it speaks the
 // same REST + binary RPC surface as wisdom-serve (docs/PROTOCOL.md — the
-// router is protocol-transparent) and fans every request out to a static
-// fleet of wisdom-serve replicas by consistent hashing on the request key,
-// or on session_id when present so a session stays on the replica holding
+// router is protocol-transparent) and fans every request out to a fleet
+// of wisdom-serve replicas by consistent hashing on the request key, or
+// on session_id when present so a session stays on the replica holding
 // its warm prefix KV state.
 //
 // Usage:
@@ -13,6 +13,17 @@
 //	curl -s localhost:8000/v1/completions -d '{"prompt":"install nginx"}'
 //	curl -s localhost:8000/v1/stats        # aggregated fleet view
 //	curl -s localhost:8000/metrics         # per-backend series + spillover
+//
+// The -backends list is only the starting fleet: with -admin-token set,
+// backends join, drain and leave at runtime through the authenticated
+// admin surface (docs/PROTOCOL.md §7) — /admin/backends on the main HTTP
+// listener, on the dedicated operator-only -admin listener when given,
+// and as the RPC "admin" op:
+//
+//	wisdom-router ... -admin-token "$TOKEN" -admin 127.0.0.1:8100
+//	curl -s -H "X-Wisdom-Admin-Token: $TOKEN" localhost:8100/admin/backends
+//	curl -s -H "X-Wisdom-Admin-Token: $TOKEN" localhost:8100/admin/backends \
+//	     -d '{"action":"join","backend":"127.0.0.1:9003"}'
 //
 // Each backend is guarded by a circuit breaker (-breaker-threshold,
 // -breaker-cooldown, -breaker-probes) and a heartbeat (-heartbeat,
@@ -63,6 +74,10 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "max HTTP request body bytes")
 	metricsOn := flag.Bool("metrics", true, "record runtime metrics and serve them at /metrics")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	adminToken := flag.String("admin-token", os.Getenv("WISDOM_ADMIN_TOKEN"),
+		"token authenticating fleet-admin requests (empty disables the admin surface; defaults to $WISDOM_ADMIN_TOKEN)")
+	adminAddr := flag.String("admin", "",
+		"dedicated admin HTTP listen address (empty serves /admin/backends on the main listener only)")
 	flag.Parse()
 
 	addrs := strings.Split(*backends, ",")
@@ -102,7 +117,11 @@ func main() {
 		QueueDepth:   *queueDepth,
 		QueueTimeout: qt,
 		MaxBodyBytes: *maxBody,
+		AdminToken:   *adminToken,
 	})
+	if *adminToken == "" {
+		fmt.Fprintln(os.Stderr, "admin surface disabled (no -admin-token)")
+	}
 	srv.Instrument(reg)
 	fmt.Fprintf(os.Stderr, "worker pool: %d workers, queue %d\n",
 		srv.Pool().Workers(), srv.Pool().QueueCap())
@@ -110,7 +129,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 2)
+	errc := make(chan error, 3)
 	if *rpcAddr != "" {
 		ln, err := net.Listen("tcp", *rpcAddr)
 		if err != nil {
@@ -130,6 +149,20 @@ func main() {
 			errc <- err
 		}
 	}()
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		adminLn, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fatal(err)
+		}
+		adminSrv = &http.Server{Handler: srv.AdminMux()}
+		go func() {
+			fmt.Fprintf(os.Stderr, "admin listening on %s\n", adminLn.Addr())
+			if err := adminSrv.Serve(adminLn); !errors.Is(err, http.ErrServerClosed) {
+				errc <- err
+			}
+		}()
+	}
 
 	exitCode := 0
 	select {
@@ -147,6 +180,12 @@ func main() {
 	if err := httpSrv.Shutdown(dctx); err != nil {
 		fmt.Fprintln(os.Stderr, "wisdom-router: http drain:", err)
 		exitCode = 1
+	}
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "wisdom-router: admin drain:", err)
+			exitCode = 1
+		}
 	}
 	if err := srv.Shutdown(dctx); err != nil {
 		fmt.Fprintln(os.Stderr, "wisdom-router: rpc drain:", err)

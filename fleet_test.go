@@ -120,7 +120,10 @@ func startFleetTier(t *testing.T, ropts router.Options) *fleet {
 	// The frontend is a stock serve.Server wrapping the router — same
 	// cache/singleflight/pool stack and HTTP+RPC surface as a replica.
 	// Forwarding is I/O-bound, so workers exceed GOMAXPROCS (1 in CI).
-	f.front = serve.NewServerWithOptions(rt, "router", serve.Options{Workers: 16, CacheSize: 256})
+	// The admin token arms the membership surface for the churn tests.
+	f.front = serve.NewServerWithOptions(rt, "router", serve.Options{
+		Workers: 16, CacheSize: 256, AdminToken: fleetAdminToken,
+	})
 	f.http = httptest.NewServer(f.front.Handler())
 	t.Cleanup(f.http.Close)
 	rln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -160,6 +163,312 @@ func (f *fleet) ownedPrompt(t *testing.T, addr, pattern string, from int) string
 	}
 	t.Fatalf("no prompt owned by %s", addr)
 	return ""
+}
+
+// fleetAdminToken authenticates the fleet tests' membership operations.
+const fleetAdminToken = "fleet-test-admin-token"
+
+// adminCall runs one request against the fleet's /admin/backends surface
+// with the admin token, returning the status code and decoded response.
+func (f *fleet) adminCall(t *testing.T, method, body string) (int, serve.AdminResponse) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, f.http.URL+"/admin/backends", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(serve.AdminTokenHeader, fleetAdminToken)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var ar serve.AdminResponse
+	_ = json.Unmarshal(raw, &ar)
+	return resp.StatusCode, ar
+}
+
+// sseStream posts req to the SSE endpoint and collects the stream, with
+// failures returned as values so burst workers can report them without
+// touching testing.T from a goroutine.
+func sseStream(url string, req serve.Request) (final serve.Response, joined string, err error) {
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/completions/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return final, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return final, "", fmt.Errorf("stream status %d", resp.StatusCode)
+	}
+	var deltas []string
+	sawDone := false
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "event: "); ok {
+			event = v
+			continue
+		}
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		switch event {
+		case "delta":
+			var d struct {
+				Text string `json:"text"`
+			}
+			if err := json.Unmarshal([]byte(data), &d); err != nil {
+				return final, "", fmt.Errorf("delta frame %q: %w", data, err)
+			}
+			deltas = append(deltas, d.Text)
+		case "done":
+			if err := json.Unmarshal([]byte(data), &final); err != nil {
+				return final, "", fmt.Errorf("done frame %q: %w", data, err)
+			}
+			sawDone = true
+		case "error":
+			return final, "", fmt.Errorf("stream error frame: %s", data)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return final, "", err
+	}
+	if !sawDone {
+		return final, "", fmt.Errorf("stream ended without a done event")
+	}
+	return final, strings.Join(deltas, ""), nil
+}
+
+// TestFleetMembershipChurnUnderBurst is the PR's acceptance test: the
+// 3-replica fleet sustains a concurrent HTTP-unary + SSE + RPC-stream burst
+// while — through the real authenticated admin surface — a fourth replica
+// joins and one of the originals drains out and is removed. Invariants:
+// zero failed requests, no torn or duplicated stream deltas, the joiner
+// serves traffic, the removed replica serves none after removal, and the
+// post-churn fleet stats equal the surviving replicas' own counters.
+func TestFleetMembershipChurnUnderBurst(t *testing.T) {
+	f := startFleetTier(t, router.Options{})
+	leaver := f.replicas[0]
+	joiner := startFleetReplica(t, "rep3")
+
+	const workers, perWorker = 4, 27
+	total := workers * perWorker
+	progress := make(chan struct{}, total)
+	type result struct {
+		prompt, answer, joined string
+		stream                 bool
+		err                    error
+	}
+	results := make(chan result, total)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rpc, err := serve.Dial(f.rpcAddr)
+			if err != nil {
+				results <- result{err: fmt.Errorf("worker %d dial: %w", w, err)}
+				return
+			}
+			defer rpc.Close()
+			for i := 0; i < perWorker; i++ {
+				prompt := fmt.Sprintf("churn burst %d-%d", w, i)
+				req := serve.Request{Prompt: prompt}
+				res := result{prompt: prompt}
+				switch i % 3 {
+				case 0: // HTTP unary
+					body, _ := json.Marshal(req)
+					resp, err := http.Post(f.http.URL+"/v1/completions", "application/json", bytes.NewReader(body))
+					if err != nil {
+						res.err = err
+						break
+					}
+					data, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						res.err = fmt.Errorf("status %d: %s", resp.StatusCode, data)
+						break
+					}
+					var out serve.Response
+					if res.err = json.Unmarshal(data, &out); res.err == nil {
+						res.answer = out.Suggestion
+					}
+				case 1: // SSE stream
+					res.stream = true
+					final, joined, err := sseStream(f.http.URL, req)
+					res.answer, res.joined, res.err = final.Suggestion, joined, err
+				case 2: // streamed RPC through the router frontend
+					res.stream = true
+					var deltas []string
+					final, err := rpc.PredictStream(req, func(d string) { deltas = append(deltas, d) })
+					res.answer, res.joined, res.err = final.Suggestion, strings.Join(deltas, ""), err
+				}
+				results <- res
+				progress <- struct{}{}
+			}
+		}()
+	}
+
+	// The churn driver paces itself on completed requests so every phase
+	// lands mid-burst on any machine speed, and runs the real admin
+	// surface: HTTP join, RPC drain, HTTP remove.
+	awaitCompleted := func(n int) {
+		for i := 0; i < n; i++ {
+			<-progress
+		}
+	}
+	churnErr := make(chan error, 1)
+	go func() {
+		churnErr <- func() error {
+			awaitCompleted(25)
+			code, ar := f.adminCall(t, http.MethodPost,
+				fmt.Sprintf(`{"action":"join","backend":%q}`, joiner.addr))
+			if code != 200 || ar.Status != "ok" {
+				return fmt.Errorf("admin join = %d %+v", code, ar)
+			}
+			if len(ar.Members) != 4 {
+				return fmt.Errorf("post-join members = %d, want 4", len(ar.Members))
+			}
+
+			awaitCompleted(25)
+			// Drain over RPC: the admin op rides the same binary protocol as
+			// predictions.
+			c, err := serve.Dial(f.rpcAddr)
+			if err != nil {
+				return err
+			}
+			dr, err := c.Admin(serve.AdminRequest{
+				Action: serve.AdminDrain, Backend: leaver.addr, Token: fleetAdminToken,
+			})
+			c.Close()
+			if err != nil {
+				return fmt.Errorf("admin drain: %w", err)
+			}
+			if dr.Status != "ok" {
+				return fmt.Errorf("admin drain = %+v", dr)
+			}
+
+			awaitCompleted(25)
+			code, ar = f.adminCall(t, http.MethodPost,
+				fmt.Sprintf(`{"action":"remove","backend":%q}`, leaver.addr))
+			if code != 200 || ar.Status != "ok" {
+				return fmt.Errorf("admin remove = %d %+v", code, ar)
+			}
+			if len(ar.Members) != 3 {
+				return fmt.Errorf("post-remove members = %d, want 3", len(ar.Members))
+			}
+			return nil
+		}()
+	}()
+
+	wg.Wait()
+	close(results)
+	if err := <-churnErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero failures; every answer is well-formed; every stream reassembles
+	// to exactly its final answer with exactly one copy of the completion.
+	servedCount := map[string]int{}
+	for res := range results {
+		if res.err != nil {
+			t.Fatalf("request %q failed during churn: %v", res.prompt, res.err)
+		}
+		if !strings.Contains(res.answer, res.prompt) {
+			t.Fatalf("request %q got wrong answer %q", res.prompt, res.answer)
+		}
+		open, close_ := strings.Index(res.answer, "["), strings.Index(res.answer, "]")
+		if open < 0 || close_ < open {
+			t.Fatalf("answer %q carries no replica tag", res.answer)
+		}
+		servedCount[res.answer[open+1:close_]]++
+		if res.stream {
+			if res.joined != res.answer {
+				t.Fatalf("stream %q deltas reassemble to %q, want exactly %q", res.prompt, res.joined, res.answer)
+			}
+			if strings.Count(res.joined, res.prompt) != 1 {
+				t.Fatalf("stream %q delivered %d copies of the completion, want exactly 1",
+					res.prompt, strings.Count(res.joined, res.prompt))
+			}
+		}
+	}
+	if servedCount[joiner.name] == 0 {
+		t.Error("the joined replica served no traffic across ~75 post-join requests")
+	}
+
+	// After removal the leaver serves nothing: fresh prompts only land on
+	// the survivors.
+	for i := 0; i < 20; i++ {
+		resp, out := postJSON(t, f.http.URL+"/v1/completions", serve.Request{Prompt: fmt.Sprintf("post-churn probe %d", i)})
+		if resp.StatusCode != 200 {
+			t.Fatalf("post-churn probe %d: status %d", i, resp.StatusCode)
+		}
+		if got := servedBy(t, out.Suggestion); got == leaver.name {
+			t.Fatalf("removed replica %s still serving traffic", leaver.name)
+		}
+	}
+
+	// The admin status read and the stats aggregate agree on the surviving
+	// fleet, and the fleet counters equal the replicas' own sum.
+	code, status := f.adminCall(t, http.MethodGet, "")
+	if code != 200 || len(status.Members) != 3 {
+		t.Fatalf("admin status = %d with %d members, want 200 with 3", code, len(status.Members))
+	}
+	survivors := []*fleetReplica{f.replicas[1], f.replicas[2], joiner}
+	for _, m := range status.Members {
+		if m.State != "active" {
+			t.Errorf("member %s state = %q post-churn, want active", m.Addr, m.State)
+		}
+		if m.Addr == leaver.addr {
+			t.Errorf("removed backend %s still in the membership table", leaver.addr)
+		}
+	}
+
+	direct := 0
+	for _, r := range survivors {
+		c, err := serve.Dial(r.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Stats()
+		c.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct += st.Requests
+	}
+	hr, err := http.Get(f.http.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var fleetStats router.FleetStats
+	if err := json.NewDecoder(hr.Body).Decode(&fleetStats); err != nil {
+		t.Fatal(err)
+	}
+	if len(fleetStats.Backends) != 3 {
+		t.Fatalf("post-churn aggregate lists %d backends, want 3", len(fleetStats.Backends))
+	}
+	if fleetStats.Fleet.Requests != direct {
+		t.Errorf("aggregated fleet requests = %d, want surviving-replica sum %d", fleetStats.Fleet.Requests, direct)
+	}
+	for _, row := range fleetStats.Backends {
+		if row.Addr == leaver.addr {
+			t.Errorf("removed backend %s still in the stats aggregate", leaver.addr)
+		}
+		if row.State != "active" {
+			t.Errorf("backend %s state = %q post-churn, want active", row.Addr, row.State)
+		}
+	}
 }
 
 func TestFleetKeyAffinityHTTP(t *testing.T) {

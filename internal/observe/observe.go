@@ -316,6 +316,42 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	r.getOrCreate(name, help, kindGauge, labels, nil, fn)
 }
 
+// Unregister removes the series registered under name with exactly the
+// given labels, reporting whether one existed. The family disappears from
+// the export when its last series goes. It exists for dynamic label sets —
+// a router backend that leaves the fleet should stop exporting, and a
+// later re-registration of the same series must bind fresh (the
+// first-registration-wins rule would otherwise pin callbacks to a departed
+// object forever). Direct instruments handed out earlier keep working;
+// they just stop being exported.
+func (r *Registry) Unregister(name string, labels ...Label) bool {
+	if r == nil {
+		return false
+	}
+	lbl := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.fams[name]
+	if !ok {
+		return false
+	}
+	s, ok := fam.byLbl[lbl]
+	if !ok {
+		return false
+	}
+	delete(fam.byLbl, lbl)
+	for i, ss := range fam.series {
+		if ss == s {
+			fam.series = append(fam.series[:i], fam.series[i+1:]...)
+			break
+		}
+	}
+	if len(fam.series) == 0 {
+		delete(r.fams, name)
+	}
+	return true
+}
+
 // getOrCreate returns the series for name+labels, creating the family and
 // the series' instrument while r.mu is held: a series never becomes visible
 // in a half-built state, and concurrent first registrations of the same

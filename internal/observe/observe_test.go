@@ -31,6 +31,61 @@ func TestGauge(t *testing.T) {
 	}
 }
 
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("fleet_total", "help", func() float64 { return 1 }, Label{"backend", "a"})
+	r.CounterFunc("fleet_total", "help", func() float64 { return 2 }, Label{"backend", "b"})
+	r.Gauge("lone", "help").Set(3)
+
+	if !r.Unregister("fleet_total", Label{"backend", "a"}) {
+		t.Fatal("Unregister of an existing series returned false")
+	}
+	if r.Unregister("fleet_total", Label{"backend", "a"}) {
+		t.Error("second Unregister of the same series returned true")
+	}
+	if r.Unregister("fleet_total", Label{"backend", "missing"}) {
+		t.Error("Unregister of an unknown label set returned true")
+	}
+	if r.Unregister("no_such_family") {
+		t.Error("Unregister of an unknown family returned true")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `backend="a"`) {
+		t.Errorf("unregistered series still exported:\n%s", out)
+	}
+	if !strings.Contains(out, `fleet_total{backend="b"} 2`) {
+		t.Errorf("sibling series lost:\n%s", out)
+	}
+
+	// Removing the last series removes the family, so the same name can be
+	// re-registered with a fresh callback (the rejoin-after-remove case).
+	if !r.Unregister("fleet_total", Label{"backend", "b"}) {
+		t.Fatal("Unregister of the last series returned false")
+	}
+	r.CounterFunc("fleet_total", "help", func() float64 { return 9 }, Label{"backend", "b"})
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `fleet_total{backend="b"} 9`) {
+		t.Errorf("re-registered series kept the old callback:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "lone 3") {
+		t.Errorf("unrelated family disturbed:\n%s", buf.String())
+	}
+
+	// Nil receiver: a no-op, like every other Registry method.
+	var nilReg *Registry
+	if nilReg.Unregister("x") {
+		t.Error("nil registry Unregister returned true")
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewRegistry().Histogram("h_seconds", "help", []float64{0.1, 1, 10})
 	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {

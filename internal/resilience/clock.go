@@ -1,0 +1,57 @@
+// Injectable time for deterministic tests: components in this package (and
+// consumers like internal/router) take a `Now func() time.Time` seam; a
+// ManualClock satisfies it with time that moves only when the test says so,
+// replacing wall-clock sleeps — the classic CI flake surface — with exact,
+// instant advances.
+
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// ManualClock is a time source that advances only when told to. Feed its
+// Now method to BreakerConfig.Now (or any `func() time.Time` seam) and call
+// Advance to move through cooldowns and timeouts without sleeping — tests
+// stay deterministic under -race on arbitrarily slow machines. Safe for
+// concurrent use. The zero value starts at the zero time; NewManualClock
+// picks an arbitrary fixed epoch so durations behave naturally.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManualClock returns a clock frozen at an arbitrary fixed instant.
+func NewManualClock() *ManualClock {
+	return &ManualClock{now: time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the clock's current instant. Pass the method value
+// (clock.Now) wherever a `func() time.Time` is expected.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (negative d is ignored — time does
+// not run backwards, matching the monotonic clock the seam replaces).
+func (c *ManualClock) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to t when t is not earlier than the current instant
+// (earlier instants are ignored, preserving monotonicity).
+func (c *ManualClock) Set(t time.Time) {
+	c.mu.Lock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,67 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestManualClockAdvanceAndSet(t *testing.T) {
+	c := NewManualClock()
+	start := c.Now()
+	if start.IsZero() {
+		t.Fatal("NewManualClock started at the zero time")
+	}
+	if !c.Now().Equal(start) {
+		t.Error("clock moved without Advance")
+	}
+
+	c.Advance(3 * time.Second)
+	if got := c.Now().Sub(start); got != 3*time.Second {
+		t.Errorf("after Advance(3s): %v elapsed, want 3s", got)
+	}
+	c.Advance(-time.Hour) // negative: ignored, time never runs backwards
+	if got := c.Now().Sub(start); got != 3*time.Second {
+		t.Errorf("negative Advance moved the clock: %v elapsed", got)
+	}
+
+	c.Set(start.Add(10 * time.Second))
+	if got := c.Now().Sub(start); got != 10*time.Second {
+		t.Errorf("after Set(+10s): %v elapsed, want 10s", got)
+	}
+	c.Set(start) // earlier than current: ignored
+	if got := c.Now().Sub(start); got != 10*time.Second {
+		t.Errorf("backwards Set moved the clock: %v elapsed", got)
+	}
+}
+
+func TestManualClockZeroValue(t *testing.T) {
+	var c ManualClock
+	if !c.Now().IsZero() {
+		t.Errorf("zero-value clock reads %v, want the zero time", c.Now())
+	}
+	c.Advance(time.Minute)
+	if got := c.Now(); !got.Equal(time.Time{}.Add(time.Minute)) {
+		t.Errorf("zero-value clock after Advance(1m) = %v", got)
+	}
+}
+
+func TestManualClockConcurrent(t *testing.T) {
+	c := NewManualClock()
+	start := c.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Advance(time.Millisecond)
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Now().Sub(start), 8*1000*time.Millisecond; got != want {
+		t.Errorf("concurrent advances lost time: %v elapsed, want %v", got, want)
+	}
+}

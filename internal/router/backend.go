@@ -6,6 +6,7 @@
 package router
 
 import (
+	"context"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -39,7 +40,17 @@ type backend struct {
 	hbClient *serve.Client
 	hbFails  int
 
-	alive atomic.Bool
+	alive    atomic.Bool
+	draining atomic.Bool // set once by Drain/Remove; a draining backend never serves new placements
+
+	// In-flight forward accounting for graceful removal: beginForward /
+	// endForward bracket every forwarded exchange, and awaitIdle blocks a
+	// Remove until the count hits zero. Waiter registration and the final
+	// decrement both run under drainMu so a waiter can never miss the
+	// wakeup for a decrement that raced its registration.
+	inflight    atomic.Int64
+	drainMu     sync.Mutex
+	drainWaiter chan struct{} // lazily created; closed (and cleared) when inflight reaches 0
 
 	// Per-backend counters (live regardless of instrumentation).
 	requests   atomic.Uint64      // forwards answered by this backend
@@ -58,6 +69,49 @@ func newBackend(addr string, cfg resilience.BreakerConfig, wrap func(net.Conn) n
 	}
 	b.alive.Store(true) // optimistic until the first heartbeat verdict
 	return b
+}
+
+// beginForward records one in-flight forwarded exchange.
+func (b *backend) beginForward() { b.inflight.Add(1) }
+
+// endForward retires one in-flight exchange, waking any Remove blocked in
+// awaitIdle when the count reaches zero.
+func (b *backend) endForward() {
+	if b.inflight.Add(-1) != 0 {
+		return
+	}
+	b.drainMu.Lock()
+	w := b.drainWaiter
+	b.drainWaiter = nil
+	b.drainMu.Unlock()
+	if w != nil {
+		close(w)
+	}
+}
+
+// awaitIdle blocks until the backend has no in-flight forwards or ctx
+// expires. The check-then-register loop runs under drainMu, mirroring
+// endForward's decrement-then-close, so a wakeup is never lost: either the
+// waiter sees inflight==0 directly, or it registers the channel before the
+// final endForward collects it.
+func (b *backend) awaitIdle(ctx context.Context) error {
+	for {
+		b.drainMu.Lock()
+		if b.inflight.Load() == 0 {
+			b.drainMu.Unlock()
+			return nil
+		}
+		if b.drainWaiter == nil {
+			b.drainWaiter = make(chan struct{})
+		}
+		w := b.drainWaiter
+		b.drainMu.Unlock()
+		select {
+		case <-w:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }
 
 // get checks out a pooled client, dialing a fresh one when the pool is

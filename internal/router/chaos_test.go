@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -185,6 +186,171 @@ func TestRouterChaosStreamIntegrity(t *testing.T) {
 	if inj.Injected(resilience.FaultCorrupt) != 1 || inj.Injected(resilience.FaultHang) != 1 {
 		t.Errorf("fault counts corrupt=%d hang=%d, want 1 and 1",
 			inj.Injected(resilience.FaultCorrupt), inj.Injected(resilience.FaultHang))
+	}
+}
+
+// TestRouterChaosMembershipChurn runs a sustained mixed unary/stream burst
+// while the fleet churns underneath it — a fourth replica joins, one
+// replica drains and is removed, another is killed outright — all with a
+// seeded random fault injector corrupting one backend's transport the whole
+// time. The burst and the churn synchronise on completed-request counts
+// (never wall-clock sleeps), and the breaker clock is a ManualClock
+// advanced at each churn phase so cooldown behaviour is deterministic.
+// Invariants: zero failed requests, every answer byte-exact from some
+// replica, every stream's deltas reassemble to exactly one copy of its
+// final answer, and the post-churn membership table is exactly the
+// surviving fleet.
+func TestRouterChaosMembershipChurn(t *testing.T) {
+	inj := resilience.NewRandom(7, resilience.FaultConfig{PError: 0.3, PHang: 0.1, PCorrupt: 0.2})
+	clock := resilience.NewManualClock()
+	rt, reps, victim, _ := chaosFleet(t, inj, resilience.BreakerConfig{
+		FailureThreshold: 3, Cooldown: time.Second, Now: clock.Now,
+	})
+	// The two fault-free original replicas: one drains out, one is killed.
+	var leaver, casualty *replica
+	for _, r := range reps {
+		if r == victim {
+			continue
+		}
+		if leaver == nil {
+			leaver = r
+		} else {
+			casualty = r
+		}
+	}
+	joiner := startReplica(t, "joiner", "", serve.Options{})
+	epoch0 := rt.MembershipEpoch()
+
+	const workers, perWorker = 4, 30
+	total := workers * perWorker
+	progress := make(chan struct{}, total)
+	type result struct {
+		prompt, answer, joined string
+		stream                 bool
+		err                    error
+	}
+	results := make(chan result, total)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				prompt := fmt.Sprintf("churn-%d-%d", w, i)
+				req := serve.Request{Prompt: prompt}
+				var res result
+				res.prompt = prompt
+				if i%2 == 0 {
+					resp, err := rt.PredictRoute(context.Background(), req)
+					res.answer, res.err = resp.Suggestion, err
+				} else {
+					res.stream = true
+					var deltas []string
+					resp, err := rt.PredictStreamRoute(context.Background(), req, func(d string) {
+						deltas = append(deltas, d)
+					})
+					res.answer, res.joined, res.err = resp.Suggestion, strings.Join(deltas, ""), err
+				}
+				results <- res
+				progress <- struct{}{}
+			}
+		}()
+	}
+
+	// The churn driver paces itself on completed requests, so every phase
+	// lands mid-burst regardless of machine speed.
+	awaitCompleted := func(n int) {
+		for i := 0; i < n; i++ {
+			<-progress
+		}
+	}
+	churnErr := make(chan error, 1)
+	go func() {
+		awaitCompleted(20)
+		if err := rt.Join(context.Background(), joiner.addr); err != nil {
+			churnErr <- fmt.Errorf("join: %w", err)
+			return
+		}
+		clock.Advance(2 * time.Second) // any open breaker may re-probe
+		awaitCompleted(20)
+		if err := rt.Drain(leaver.addr); err != nil {
+			churnErr <- fmt.Errorf("drain: %w", err)
+			return
+		}
+		if err := rt.Remove(context.Background(), leaver.addr); err != nil {
+			churnErr <- fmt.Errorf("remove: %w", err)
+			return
+		}
+		clock.Advance(2 * time.Second)
+		awaitCompleted(20)
+		// Kill without ceremony: the replica leaves the network but stays on
+		// the ring, so its arcs survive only through breaker + spillover.
+		casualty.stop(t)
+		churnErr <- nil
+	}()
+
+	wg.Wait()
+	close(results)
+	if err := <-churnErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// Every request succeeded with some replica's exact answer; streams
+	// reassembled without tearing or duplication.
+	all := append(append([]*replica{}, reps...), joiner)
+	servedBy := map[string]int{}
+	for res := range results {
+		if res.err != nil {
+			t.Fatalf("request %q failed during churn: %v", res.prompt, res.err)
+		}
+		server := strings.SplitN(res.answer, "|", 2)[0]
+		servedBy[server]++
+		exact := false
+		for _, r := range all {
+			if r.name == server && res.answer == r.model.answer(res.prompt) {
+				exact = true
+			}
+		}
+		if !exact {
+			t.Fatalf("request %q answered %q — not any replica's exact answer (corruption?)", res.prompt, res.answer)
+		}
+		if res.stream {
+			if res.joined != res.answer {
+				t.Fatalf("stream %q deltas reassemble to %q, want exactly %q", res.prompt, res.joined, res.answer)
+			}
+			if strings.Count(res.joined, res.prompt) != 1 {
+				t.Fatalf("stream %q delivered %d copies of the completion, want exactly 1",
+					res.prompt, strings.Count(res.joined, res.prompt))
+			}
+		}
+	}
+	if servedBy[joiner.name] == 0 {
+		t.Error("the joined replica never served a request across 60 post-join requests")
+	}
+
+	// Exactly two ring mutations happened: the join and the drain (removal
+	// and the kill do not touch the ring again).
+	if got := rt.MembershipEpoch(); got != epoch0+2 {
+		t.Errorf("membership epoch advanced %d -> %d, want exactly +2 (join, drain)", epoch0, got)
+	}
+	members := rt.Members()
+	if len(members) != 3 {
+		t.Fatalf("post-churn members = %d, want 3 (victim, casualty, joiner): %+v", len(members), members)
+	}
+	for _, m := range members {
+		if m.Addr == leaver.addr {
+			t.Errorf("removed backend %s still in the membership table", leaver.addr)
+		}
+		if m.State != "active" {
+			t.Errorf("post-churn member %s state = %q, want active", m.Addr, m.State)
+		}
+	}
+	// The injector genuinely exercised the data path.
+	faults := inj.Injected(resilience.FaultError) + inj.Injected(resilience.FaultHang) + inj.Injected(resilience.FaultCorrupt)
+	if faults == 0 {
+		t.Error("the fault injector never fired — the chaos test tested nothing")
 	}
 }
 

@@ -1,0 +1,171 @@
+// Metrics lifecycle tests: Instrument wires the fleet-level and per-backend
+// series, a runtime join registers the new backend's series, and a remove
+// retires them so the export never accumulates departed fleet members.
+
+package router
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"wisdom/internal/observe"
+	"wisdom/internal/serve"
+)
+
+func scrape(t *testing.T, reg *observe.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+func TestInstrumentMembershipLifecycle(t *testing.T) {
+	rt, reps := startFleet(t, 2, Options{})
+	reg := observe.NewRegistry()
+	rt.Instrument(reg)
+	rt.Instrument(nil) // nil registry: a no-op
+
+	out := scrape(t, reg)
+	for _, want := range []string{
+		"wisdom_router_membership_epoch",
+		`wisdom_router_backends{state="active"} 2`,
+		`wisdom_router_backends{state="draining"} 0`,
+		"wisdom_router_joins_total 0",
+		"wisdom_router_draining_inflight 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("initial scrape missing %q:\n%s", want, out)
+		}
+	}
+	for _, rep := range reps {
+		if !strings.Contains(out, fmt.Sprintf("wisdom_router_backend_alive{backend=%q} 1", rep.addr)) {
+			t.Errorf("scrape missing liveness for %s:\n%s", rep.addr, out)
+		}
+		if !strings.Contains(out, fmt.Sprintf("wisdom_router_ring_share{backend=%q}", rep.addr)) {
+			t.Errorf("scrape missing ring share for %s:\n%s", rep.addr, out)
+		}
+	}
+
+	// A forwarded request is counted on exactly the backend that answered.
+	if got := rt.Predict("", "hello"); !strings.Contains(got, "hello") {
+		t.Fatalf("Predict = %q", got)
+	}
+	out = scrape(t, reg)
+	counted := 0
+	for _, rep := range reps {
+		if strings.Contains(out, fmt.Sprintf("wisdom_router_backend_requests_total{backend=%q} 1", rep.addr)) {
+			counted++
+		}
+	}
+	if counted != 1 {
+		t.Errorf("request counted on %d backends, want exactly 1:\n%s", counted, out)
+	}
+
+	// A runtime join registers the new backend's series...
+	extra := startReplica(t, "extra", "", serve.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rt.Join(ctx, extra.addr); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	out = scrape(t, reg)
+	if !strings.Contains(out, fmt.Sprintf("wisdom_router_backend_alive{backend=%q} 1", extra.addr)) {
+		t.Errorf("joined backend not instrumented:\n%s", out)
+	}
+	if !strings.Contains(out, "wisdom_router_joins_total 1") {
+		t.Errorf("join not counted:\n%s", out)
+	}
+
+	// ...a drain shows on the by-state fleet gauge...
+	if err := rt.Drain(extra.addr); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	out = scrape(t, reg)
+	if !strings.Contains(out, `wisdom_router_backends{state="draining"} 1`) {
+		t.Errorf("draining backend not gauged:\n%s", out)
+	}
+
+	// ...and a remove retires every per-backend series.
+	if err := rt.Remove(ctx, extra.addr); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	out = scrape(t, reg)
+	if strings.Contains(out, fmt.Sprintf("backend=%q", extra.addr)) {
+		t.Errorf("removed backend still exported:\n%s", out)
+	}
+	for _, want := range []string{
+		"wisdom_router_drains_total 1",
+		"wisdom_router_removes_total 1",
+		`wisdom_router_backends{state="active"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("post-remove scrape missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBackendsAndOwner(t *testing.T) {
+	rt, reps := startFleet(t, 3, Options{})
+	addrs := rt.Backends()
+	if len(addrs) != 3 {
+		t.Fatalf("Backends = %v, want 3 entries", addrs)
+	}
+	if !sort.StringsAreSorted(addrs) {
+		t.Errorf("Backends not sorted: %v", addrs)
+	}
+	known := byAddr(reps)
+	for _, a := range addrs {
+		if known[a] == nil {
+			t.Errorf("Backends reported unknown address %s", a)
+		}
+	}
+
+	addr, ok := rt.Owner(serve.Request{Prompt: "who owns me"})
+	if !ok || known[addr] == nil {
+		t.Fatalf("Owner = %q, %v", addr, ok)
+	}
+	// The session ID, not the content, picks a session request's owner.
+	s1, ok1 := rt.Owner(serve.Request{SessionID: "sess", Prompt: "a"})
+	s2, ok2 := rt.Owner(serve.Request{SessionID: "sess", Prompt: "b"})
+	if !ok1 || !ok2 || s1 != s2 {
+		t.Errorf("session owner unstable across prompts: %q vs %q", s1, s2)
+	}
+}
+
+// TestHeartbeatLoopMarksDead exercises the background sweep loop itself —
+// every other test drives CheckBackends explicitly. The loop is wall-clock
+// driven by design, so this test polls for convergence under a bounded
+// deadline; it is a liveness check, not a hot assertion.
+func TestHeartbeatLoopMarksDead(t *testing.T) {
+	var addrs []string
+	var reps []*replica
+	for i := 0; i < 2; i++ {
+		r := startReplica(t, fmt.Sprintf("hb%d", i), "", serve.Options{})
+		reps = append(reps, r)
+		addrs = append(addrs, r.addr)
+	}
+	rt, err := New(addrs, Options{HeartbeatInterval: 2 * time.Millisecond, DeadAfter: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Close()
+
+	reps[0].stop(t)
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Ring().Alive(reps[0].addr) {
+		if time.Now().After(deadline) {
+			t.Fatal("background heartbeat never marked the stopped replica dead")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !rt.Ring().Alive(reps[1].addr) {
+		t.Error("surviving replica marked dead by the sweep")
+	}
+}

@@ -1,0 +1,318 @@
+// Membership control plane: runtime join, drain and removal of backends,
+// the session ownership tracker behind the cold-start check, and the
+// router's implementation of the serve package's AdminHandler seam. The
+// serve layer owns decoding, validation and token authentication of admin
+// requests; this file owns what they mean.
+
+package router
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"wisdom/internal/serve"
+)
+
+// Membership states reported in admin and stats payloads.
+const (
+	memberActive   = "active"
+	memberDraining = "draining"
+)
+
+// DefaultSessionTrack is how many sessions the router's ownership tracker
+// remembers. A session evicted from the tracker loses move detection until
+// its next request re-seats it — an accepted tradeoff for a hard memory
+// bound (entries are ~100 bytes).
+const DefaultSessionTrack = 65536
+
+// Membership error taxonomy, matched by errors.Is through the admin
+// surface's wrapped errors (docs/PROTOCOL.md §7).
+var (
+	// ErrUnknownBackend: the action targets an address the router does not
+	// currently hold.
+	ErrUnknownBackend = errors.New("router: unknown backend")
+	// ErrBackendExists: a join targets an address already present (or mid-
+	// join).
+	ErrBackendExists = errors.New("router: backend already present")
+	// ErrLastBackend: draining or removing the target would leave the
+	// fleet without any active backend.
+	ErrLastBackend = errors.New("router: cannot drain the last active backend")
+	// ErrJoinUnhealthy: the joining backend failed its warm-up health
+	// check, so it never took ring ownership.
+	ErrJoinUnhealthy = errors.New("router: joining backend failed its health check")
+)
+
+// MembershipEpoch returns the current membership epoch (see Ring.Epoch):
+// bumped by every join, leave and liveness flip, and echoed through admin
+// responses so operators can correlate observations.
+func (r *Router) MembershipEpoch() uint64 { return r.ring.Epoch() }
+
+// SessionMoves returns how many session requests the router cold-started
+// because their ring owner changed.
+func (r *Router) SessionMoves() uint64 { return r.sessionMoves.Load() }
+
+// Joins returns how many backends joined the fleet at runtime.
+func (r *Router) Joins() uint64 { return r.joins.Load() }
+
+// Drains returns how many drains were initiated at runtime.
+func (r *Router) Drains() uint64 { return r.drains.Load() }
+
+// Removes returns how many backends completed removal at runtime.
+func (r *Router) Removes() uint64 { return r.removes.Load() }
+
+// Join adds a backend to the fleet at runtime. The backend is warmed
+// before it takes ring ownership: one health round trip must succeed —
+// proving the replica reachable and answering, and priming the heartbeat
+// connection the liveness sweep will reuse — or the join is rejected and
+// nothing changes. On success the ring epoch bumps and the new backend
+// immediately owns its arcs (exactly the joiner's arcs move; every other
+// assignment is untouched).
+func (r *Router) Join(ctx context.Context, addr string) error {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return errors.New("router: empty backend address")
+	}
+	r.backMu.Lock()
+	if _, ok := r.backends[addr]; ok {
+		r.backMu.Unlock()
+		return fmt.Errorf("%w: %s", ErrBackendExists, addr)
+	}
+	if r.joining[addr] {
+		r.backMu.Unlock()
+		return fmt.Errorf("%w: %s (join in progress)", ErrBackendExists, addr)
+	}
+	r.joining[addr] = true
+	r.backMu.Unlock()
+
+	// Warm-up runs outside the lock — it is network I/O — with the
+	// joining set holding the address against concurrent joins.
+	b := r.newBackendFor(addr)
+	ok, _ := b.heartbeat(r.opts.HeartbeatTimeout)
+
+	r.backMu.Lock()
+	delete(r.joining, addr)
+	if !ok || ctx.Err() != nil {
+		r.backMu.Unlock()
+		b.closeIdle()
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("router: join %s: %w", addr, err)
+		}
+		return fmt.Errorf("%w: %s", ErrJoinUnhealthy, addr)
+	}
+	r.backends[addr] = b
+	r.backMu.Unlock()
+	r.ring.Add(addr)
+	r.joins.Add(1)
+	r.instMu.Lock()
+	if reg := r.inst; reg != nil {
+		r.instrumentBackend(reg, addr)
+	}
+	r.instMu.Unlock()
+	return nil
+}
+
+// Drain begins a backend's departure: it leaves the ring immediately — new
+// placements skip it, its arcs move to its ring successors, the epoch
+// bumps — while in-flight forwards and pooled connections stay untouched.
+// A draining backend still answers the work it already holds; Remove
+// completes the departure. Draining an already-draining backend is a
+// no-op; draining the last active backend is refused, because a fleet
+// with zero placeable backends answers nothing.
+func (r *Router) Drain(addr string) error {
+	addr = strings.TrimSpace(addr)
+	r.backMu.Lock()
+	b := r.backends[addr]
+	if b == nil {
+		r.backMu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownBackend, addr)
+	}
+	if b.draining.Load() {
+		r.backMu.Unlock()
+		return nil
+	}
+	active := 0
+	for _, other := range r.backends {
+		if !other.draining.Load() {
+			active++
+		}
+	}
+	if active <= 1 {
+		r.backMu.Unlock()
+		return fmt.Errorf("%w: %s", ErrLastBackend, addr)
+	}
+	b.draining.Store(true)
+	r.backMu.Unlock()
+	r.ring.Remove(addr)
+	r.drains.Add(1)
+	return nil
+}
+
+// Remove completes a backend's departure: drain (if not already draining),
+// wait — bounded by ctx — until the backend's in-flight forwards hit
+// zero, then close its connections, forget it, and retire its metric
+// series. A request that raced the removal either finishes on its own
+// connection first or fails and spills to the ring successors, so traffic
+// never observes a half-removed backend.
+func (r *Router) Remove(ctx context.Context, addr string) error {
+	addr = strings.TrimSpace(addr)
+	if err := r.Drain(addr); err != nil {
+		return err
+	}
+	b := r.backendFor(addr)
+	if b == nil {
+		return nil // a concurrent Remove already finished the job
+	}
+	if err := b.awaitIdle(ctx); err != nil {
+		return fmt.Errorf("router: remove %s: waiting for in-flight forwards: %w", addr, err)
+	}
+	r.backMu.Lock()
+	if r.backends[addr] != b {
+		r.backMu.Unlock()
+		return nil // lost the race to another Remove
+	}
+	delete(r.backends, addr)
+	r.backMu.Unlock()
+	b.closeIdle()
+	r.removes.Add(1)
+	r.instMu.Lock()
+	if reg := r.inst; reg != nil {
+		r.unregisterBackend(reg, addr)
+	}
+	r.instMu.Unlock()
+	return nil
+}
+
+// Members returns the membership table, sorted by address — the payload of
+// an admin status exchange.
+func (r *Router) Members() []serve.AdminMember {
+	share := r.ring.Ownership()
+	backends := r.snapshotBackends()
+	addrs := make([]string, 0, len(backends))
+	for addr := range backends {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	out := make([]serve.AdminMember, 0, len(addrs))
+	for _, addr := range addrs {
+		b := backends[addr]
+		state := memberActive
+		if b.draining.Load() {
+			state = memberDraining
+		}
+		out = append(out, serve.AdminMember{
+			Addr:      addr,
+			State:     state,
+			Alive:     b.alive.Load(),
+			Inflight:  b.inflight.Load(),
+			RingShare: share[addr],
+		})
+	}
+	return out
+}
+
+// HandleAdmin satisfies serve.AdminHandler: it runs one authenticated,
+// validated admin request against the membership state machine. Every
+// response — success or failure — carries the post-action epoch and
+// membership table, so a mutation doubles as a status read.
+func (r *Router) HandleAdmin(ctx context.Context, req serve.AdminRequest) serve.AdminResponse {
+	var err error
+	switch req.Action {
+	case serve.AdminStatus:
+		// membership table only
+	case serve.AdminJoin:
+		err = r.Join(ctx, req.Backend)
+	case serve.AdminDrain:
+		err = r.Drain(req.Backend)
+	case serve.AdminRemove:
+		err = r.Remove(ctx, req.Backend)
+	default:
+		err = fmt.Errorf("router: unknown admin action %q", req.Action)
+	}
+	resp := serve.AdminResponse{
+		Status:  "ok",
+		Epoch:   r.ring.Epoch(),
+		Members: r.Members(),
+	}
+	if err != nil {
+		resp.Status = "error"
+		resp.Error = err.Error()
+	}
+	return resp
+}
+
+// ---- session ownership tracking ----
+
+// sessionTracker remembers, for a bounded set of recently routed sessions,
+// which backend last served each session and under which membership epoch.
+// It backs the cold-start check: a session request about to be forwarded
+// to a backend other than its remembered one gets SessionReset stamped on,
+// because the receiving replica's retained state (empty or stale) does not
+// belong to this conversation.
+type sessionTracker struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*sessionEntry
+	order   *list.List // front = most recently routed; back evicts first
+}
+
+// sessionEntry is one tracked session's placement.
+type sessionEntry struct {
+	addr  string
+	epoch uint64
+	elem  *list.Element // holds the session id for eviction
+}
+
+func (t *sessionTracker) init(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultSessionTrack
+	}
+	t.cap = capacity
+	t.entries = make(map[string]*sessionEntry)
+	t.order = list.New()
+}
+
+// movedTo reports whether forwarding session sid to addr changes the
+// backend serving the session. The stored epoch is the fast path: an entry
+// recorded under the current membership epoch whose address already equals
+// addr cannot have moved (same snapshot, same hash, same owner), so the
+// common steady-state request exits on two comparisons. An untracked
+// session (first contact, or evicted) reports false — there is no known
+// prior placement to contradict.
+func (t *sessionTracker) movedTo(sid, addr string, epoch uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[sid]
+	if e == nil {
+		return false
+	}
+	if e.epoch == epoch && e.addr == addr {
+		return false
+	}
+	return e.addr != addr
+}
+
+// note records that sid was just served by addr under epoch, bumping the
+// session's recency and evicting the least-recently routed session beyond
+// capacity.
+func (t *sessionTracker) note(sid, addr string, epoch uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.entries[sid]; e != nil {
+		e.addr, e.epoch = addr, epoch
+		t.order.MoveToFront(e.elem)
+		return
+	}
+	e := &sessionEntry{addr: addr, epoch: epoch}
+	e.elem = t.order.PushFront(sid)
+	t.entries[sid] = e
+	if len(t.entries) > t.cap {
+		oldest := t.order.Back()
+		t.order.Remove(oldest)
+		delete(t.entries, oldest.Value.(string))
+	}
+}

@@ -26,6 +26,20 @@
 // requests spill only before their first delta — a started stream is never
 // replayed, because the client has already rendered its output.
 //
+// # Dynamic membership
+//
+// The fleet is not fixed at startup: backends join, drain and leave at
+// runtime through an authenticated admin surface (HTTP /admin/backends and
+// the RPC "admin" op — see docs/PROTOCOL.md §7). Every membership mutation
+// publishes a new immutable ring snapshot under a bumped epoch, so in-
+// flight lookups never lock against membership changes; removal goes
+// through a drain state that first takes the backend out of the ring and
+// then waits for its in-flight forwards to finish before closing
+// connections; and a session whose ring owner changed across epochs is
+// detected by an ownership-epoch check and cold-started on its new replica
+// instead of silently resuming against state the replica never had. See
+// ARCHITECTURE.md "Dynamic membership".
+//
 // # Placement in the serve stack
 //
 // The router reuses the serve package's admission stack unchanged: a
@@ -42,6 +56,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultVNodes is the number of virtual nodes each backend contributes to
@@ -53,11 +68,24 @@ const DefaultVNodes = 128
 // first live node clockwise from their point, so marking a node dead moves
 // only that node's key range (to its ring successors) and leaves every
 // other assignment untouched — which is exactly the property that keeps
-// replica caches warm across fleet changes. The zero value is not usable;
-// call NewRing. All methods are safe for concurrent use.
+// replica caches warm across fleet changes.
+//
+// Membership is copy-on-write: every mutation (Add, Remove, SetAlive)
+// builds a fresh immutable snapshot and publishes it atomically under a
+// bumped epoch, so lookups are lock-free — an in-flight Lookup reads one
+// consistent snapshot and never blocks on (or is blocked by) a concurrent
+// join, drain or leave. The zero value is not usable; call NewRing. All
+// methods are safe for concurrent use.
 type Ring struct {
-	mu     sync.RWMutex
+	mu     sync.Mutex // serialises mutations; reads never take it
 	vnodes int
+	state  atomic.Pointer[ringState]
+}
+
+// ringState is one immutable membership snapshot. Mutations clone it and
+// swap the pointer; readers load it once and work on a consistent view.
+type ringState struct {
+	epoch  uint64
 	points []ringPoint     // sorted by hash, ascending
 	alive  map[string]bool // node -> liveness
 }
@@ -74,7 +102,9 @@ func NewRing(vnodes int) *Ring {
 	if vnodes <= 0 {
 		vnodes = DefaultVNodes
 	}
-	return &Ring{vnodes: vnodes, alive: make(map[string]bool)}
+	r := &Ring{vnodes: vnodes}
+	r.state.Store(&ringState{alive: map[string]bool{}})
+	return r
 }
 
 // hashKey positions a request key on the ring: FNV-1a (64-bit, fixed
@@ -111,19 +141,43 @@ func mix64(h uint64) uint64 {
 	return h
 }
 
+// clone copies the current state for mutation; callers hold r.mu.
+func (r *Ring) clone() *ringState {
+	cur := r.state.Load()
+	next := &ringState{
+		epoch:  cur.epoch,
+		points: append([]ringPoint(nil), cur.points...),
+		alive:  make(map[string]bool, len(cur.alive)+1),
+	}
+	for n, a := range cur.alive {
+		next.alive[n] = a
+	}
+	return next
+}
+
+// Epoch returns the membership epoch: a counter bumped by every effective
+// mutation (Add, Remove, SetAlive that changed liveness). Two lookups under
+// the same epoch are guaranteed to have used the same membership snapshot,
+// which is what the router's session ownership check relies on.
+func (r *Ring) Epoch() uint64 { return r.state.Load().epoch }
+
 // Add inserts a node (initially alive). Adding an existing node is a no-op,
 // so a config reload cannot double a node's ring share.
 func (r *Ring) Add(node string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.alive[node]; ok {
+	cur := r.state.Load()
+	if _, ok := cur.alive[node]; ok {
 		return
 	}
-	r.alive[node] = true
+	next := r.clone()
+	next.alive[node] = true
 	for i := 0; i < r.vnodes; i++ {
-		r.points = append(r.points, ringPoint{hash: vnodeHash(node, i), node: node})
+		next.points = append(next.points, ringPoint{hash: vnodeHash(node, i), node: node})
 	}
-	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	sort.Slice(next.points, func(a, b int) bool { return next.points[a].hash < next.points[b].hash })
+	next.epoch++
+	r.state.Store(next)
 }
 
 // Remove deletes a node and all its virtual points. Removing an unknown
@@ -131,45 +185,52 @@ func (r *Ring) Add(node string) {
 func (r *Ring) Remove(node string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.alive[node]; !ok {
+	cur := r.state.Load()
+	if _, ok := cur.alive[node]; !ok {
 		return
 	}
-	delete(r.alive, node)
-	kept := r.points[:0]
-	for _, p := range r.points {
+	next := r.clone()
+	delete(next.alive, node)
+	kept := next.points[:0]
+	for _, p := range next.points {
 		if p.node != node {
 			kept = append(kept, p)
 		}
 	}
-	r.points = kept
+	next.points = kept
+	next.epoch++
+	r.state.Store(next)
 }
 
 // SetAlive marks a node live or dead. A dead node keeps its ring points but
 // stops owning keys: lookups skip to its successors until it recovers, at
 // which point its original range snaps back (no rehash, no residual
-// movement). Unknown nodes are ignored.
+// movement). Unknown nodes and no-op transitions are ignored (the epoch
+// only advances when ownership actually changed).
 func (r *Ring) SetAlive(node string, alive bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.alive[node]; ok {
-		r.alive[node] = alive
+	cur := r.state.Load()
+	if was, ok := cur.alive[node]; !ok || was == alive {
+		return
 	}
+	next := r.clone()
+	next.alive[node] = alive
+	next.epoch++
+	r.state.Store(next)
 }
 
 // Alive reports whether the node is currently marked live (false for
 // unknown nodes).
 func (r *Ring) Alive(node string) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.alive[node]
+	return r.state.Load().alive[node]
 }
 
 // Nodes returns every node on the ring, sorted, live or not.
 func (r *Ring) Nodes() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	nodes := make([]string, 0, len(r.alive))
-	for n := range r.alive {
+	st := r.state.Load()
+	nodes := make([]string, 0, len(st.alive))
+	for n := range st.alive {
 		nodes = append(nodes, n)
 	}
 	sort.Strings(nodes)
@@ -179,11 +240,24 @@ func (r *Ring) Nodes() []string {
 // Lookup returns the live owner of key: the first live node clockwise from
 // the key's ring position. ok is false when no live node exists.
 func (r *Ring) Lookup(key string) (node string, ok bool) {
-	nodes := r.successors(key, 1, true)
+	nodes := r.state.Load().successors(key, 1, true)
 	if len(nodes) == 0 {
 		return "", false
 	}
 	return nodes[0], true
+}
+
+// LookupEpoch is Lookup plus the epoch of the snapshot that resolved it —
+// one atomic read, so the pair is consistent even while membership mutates
+// concurrently. The router's session ownership check uses it to decide
+// whether a session's owner may have changed since its previous request.
+func (r *Ring) LookupEpoch(key string) (node string, epoch uint64, ok bool) {
+	st := r.state.Load()
+	nodes := st.successors(key, 1, true)
+	if len(nodes) == 0 {
+		return "", st.epoch, false
+	}
+	return nodes[0], st.epoch, true
 }
 
 // Successors returns up to n distinct live nodes in ring order starting at
@@ -191,7 +265,7 @@ func (r *Ring) Lookup(key string) (node string, ok bool) {
 // later entry is the node the key range would move to if everything before
 // it failed. n <= 0 returns every live node.
 func (r *Ring) Successors(key string, n int) []string {
-	return r.successors(key, n, true)
+	return r.state.Load().successors(key, n, true)
 }
 
 // SuccessorsAll is Successors without the liveness filter: every node in
@@ -200,30 +274,28 @@ func (r *Ring) Successors(key string, n int) []string {
 // dead — attempting a dead backend cannot make a total outage worse, and
 // succeeds when the heartbeat verdict was stale.
 func (r *Ring) SuccessorsAll(key string, n int) []string {
-	return r.successors(key, n, false)
+	return r.state.Load().successors(key, n, false)
 }
 
-func (r *Ring) successors(key string, n int, liveOnly bool) []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if len(r.points) == 0 {
+func (st *ringState) successors(key string, n int, liveOnly bool) []string {
+	if len(st.points) == 0 {
 		return nil
 	}
-	if n <= 0 || n > len(r.alive) {
-		n = len(r.alive)
+	if n <= 0 || n > len(st.alive) {
+		n = len(st.alive)
 	}
 	h := hashKey(key)
 	// First point with hash >= h, wrapping to 0 past the top of the ring.
-	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	start := sort.Search(len(st.points), func(i int) bool { return st.points[i].hash >= h })
 	seen := make(map[string]bool, n)
 	var out []string
-	for i := 0; i < len(r.points) && len(out) < n; i++ {
-		p := r.points[(start+i)%len(r.points)]
+	for i := 0; i < len(st.points) && len(out) < n; i++ {
+		p := st.points[(start+i)%len(st.points)]
 		if seen[p.node] {
 			continue
 		}
 		seen[p.node] = true
-		if liveOnly && !r.alive[p.node] {
+		if liveOnly && !st.alive[p.node] {
 			continue
 		}
 		out = append(out, p.node)
@@ -236,14 +308,13 @@ func (r *Ring) successors(key string, n int, liveOnly bool) []string {
 // nothing; the fractions of live nodes sum to 1. An empty map means no live
 // node exists. Exported for the ring-share gauge and for balance tests.
 func (r *Ring) Ownership() map[string]float64 {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	st := r.state.Load()
 	out := make(map[string]float64)
-	if len(r.points) == 0 {
+	if len(st.points) == 0 {
 		return out
 	}
 	anyAlive := false
-	for _, ok := range r.alive {
+	for _, ok := range st.alive {
 		if ok {
 			anyAlive = true
 			break
@@ -254,29 +325,29 @@ func (r *Ring) Ownership() map[string]float64 {
 	}
 	// ownerAt resolves the live owner of the arc ending at point i.
 	ownerAt := func(i int) string {
-		for j := 0; j < len(r.points); j++ {
-			p := r.points[(i+j)%len(r.points)]
-			if r.alive[p.node] {
+		for j := 0; j < len(st.points); j++ {
+			p := st.points[(i+j)%len(st.points)]
+			if st.alive[p.node] {
 				return p.node
 			}
 		}
 		return "" // unreachable: anyAlive checked above
 	}
-	if len(r.points) == 1 {
+	if len(st.points) == 1 {
 		// A single point owns the whole ring; the arc arithmetic below
 		// would compute 2^64 mod 2^64 = 0 for it.
 		out[ownerAt(0)] = 1
 		return out
 	}
 	const whole = float64(1<<63) * 2 // 2^64 as float64
-	for i := range r.points {
+	for i := range st.points {
 		var arc uint64
 		if i == 0 {
 			// Wrap-around arc: from the last point through 2^64-1 and 0 to
 			// the first point.
-			arc = r.points[0].hash - r.points[len(r.points)-1].hash // wraps mod 2^64
+			arc = st.points[0].hash - st.points[len(st.points)-1].hash // wraps mod 2^64
 		} else {
-			arc = r.points[i].hash - r.points[i-1].hash
+			arc = st.points[i].hash - st.points[i-1].hash
 		}
 		out[ownerAt(i)] += float64(arc) / whole
 	}

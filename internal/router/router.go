@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -99,18 +100,42 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Router shards requests across a static fleet of backend replicas by
-// consistent hashing, with per-backend circuit breakers, spillover to ring
-// successors on failure, heartbeat-driven liveness, and fleet-wide stats
-// aggregation. Wrap it in a serve.Server to expose the full HTTP+RPC
-// surface. Safe for concurrent use; Close releases its connections and
-// stops the heartbeat loop.
+// Router shards requests across a fleet of backend replicas by consistent
+// hashing, with per-backend circuit breakers, spillover to ring successors
+// on failure, heartbeat-driven liveness, fleet-wide stats aggregation, and
+// runtime membership: backends Join, Drain and Remove while traffic flows
+// (see ARCHITECTURE.md "Dynamic membership"). Wrap it in a serve.Server to
+// expose the full HTTP+RPC surface, including the authenticated admin
+// surface through the serve.AdminHandler seam. Safe for concurrent use;
+// Close releases its connections and stops the heartbeat loop.
 type Router struct {
-	opts     Options
-	ring     *Ring
-	backends map[string]*backend // immutable after New
+	opts Options
+	ring *Ring
 
-	spillovers atomic.Uint64
+	// Fleet membership. backMu guards the map and the joining set; the
+	// forwarding path takes only the read lock (per-address lookups), and
+	// the ring itself is copy-on-write, so lookups never wait on a
+	// membership mutation's network I/O.
+	backMu   sync.RWMutex
+	backends map[string]*backend
+	joining  map[string]bool // addresses mid-Join (warm-up in progress)
+
+	// sessions remembers which backend last served each session and under
+	// which membership epoch, so a session whose ring owner changed is
+	// cold-started on its new replica instead of silently resuming against
+	// state the replica never had.
+	sessions sessionTracker
+
+	// instMu/inst retain the Instrument registry so backends joining later
+	// get their per-backend series registered too.
+	instMu sync.Mutex
+	inst   *observe.Registry
+
+	spillovers   atomic.Uint64
+	joins        atomic.Uint64
+	drains       atomic.Uint64
+	removes      atomic.Uint64
+	sessionMoves atomic.Uint64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -127,8 +152,10 @@ func New(addrs []string, opts Options) (*Router, error) {
 		opts:     opts,
 		ring:     NewRing(opts.VNodes),
 		backends: make(map[string]*backend),
+		joining:  make(map[string]bool),
 		stop:     make(chan struct{}),
 	}
+	r.sessions.init(0)
 	for _, addr := range addrs {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
@@ -137,12 +164,7 @@ func New(addrs []string, opts Options) (*Router, error) {
 		if _, ok := r.backends[addr]; ok {
 			continue
 		}
-		var wrap func(net.Conn) net.Conn
-		if opts.Wrap != nil {
-			a := addr
-			wrap = func(c net.Conn) net.Conn { return r.opts.Wrap(a, c) }
-		}
-		r.backends[addr] = newBackend(addr, opts.Breaker, wrap, opts.ForwardTimeout, opts.MaxIdle)
+		r.backends[addr] = r.newBackendFor(addr)
 		r.ring.Add(addr)
 	}
 	if len(r.backends) == 0 {
@@ -155,13 +177,44 @@ func New(addrs []string, opts Options) (*Router, error) {
 	return r, nil
 }
 
+// newBackendFor builds the backend record for addr, applying the router's
+// connection-wrap hook, timeout and pool size.
+func (r *Router) newBackendFor(addr string) *backend {
+	var wrap func(net.Conn) net.Conn
+	if r.opts.Wrap != nil {
+		a := addr
+		wrap = func(c net.Conn) net.Conn { return r.opts.Wrap(a, c) }
+	}
+	return newBackend(addr, r.opts.Breaker, wrap, r.opts.ForwardTimeout, r.opts.MaxIdle)
+}
+
+// backendFor resolves an address to its live backend record (nil when the
+// backend has been removed).
+func (r *Router) backendFor(addr string) *backend {
+	r.backMu.RLock()
+	b := r.backends[addr]
+	r.backMu.RUnlock()
+	return b
+}
+
+// snapshotBackends returns the current backend records keyed by address.
+func (r *Router) snapshotBackends() map[string]*backend {
+	r.backMu.RLock()
+	out := make(map[string]*backend, len(r.backends))
+	for a, b := range r.backends {
+		out[a] = b
+	}
+	r.backMu.RUnlock()
+	return out
+}
+
 // Close stops the heartbeat loop and closes every pooled connection. In-
 // flight forwards finish on their own connections; Close does not wait for
 // them (the wrapping serve.Server's drain already does).
 func (r *Router) Close() {
 	r.stopOnce.Do(func() { close(r.stop) })
 	r.wg.Wait()
-	for _, b := range r.backends {
+	for _, b := range r.snapshotBackends() {
 		b.closeIdle()
 	}
 }
@@ -233,20 +286,28 @@ func contextBG() context.Context { return context.Background() }
 // Unary retries across backends are safe — predictions are idempotent and
 // nothing has been delivered to the client until the router returns.
 func (r *Router) PredictRoute(ctx context.Context, req serve.Request) (serve.Response, error) {
-	req.Op = "" // forwarded as a plain unary predict regardless of inbound op
+	req.Op = ""     // forwarded as a plain unary predict regardless of inbound op
+	req.Admin = nil // admin requests are handled by the router, never forwarded
 	key := affinityKey(req)
 	var lastErr error
 	for i, addr := range r.candidates(key) {
 		if err := ctx.Err(); err != nil {
 			return serve.Response{}, err
 		}
-		b := r.backends[addr]
+		b := r.backendFor(addr)
+		if b == nil {
+			continue // removed after the candidate list was snapshotted
+		}
 		if !b.breaker.Allow() {
 			lastErr = fmt.Errorf("router: backend %s: %w", addr, resilience.ErrBreakerOpen)
 			continue
 		}
-		resp, err := r.forwardUnary(b, req)
+		fwd := r.stampSession(req, addr)
+		b.beginForward()
+		resp, err := r.forwardUnary(b, fwd)
+		b.endForward()
 		if err == nil {
+			r.settleSession(req, fwd, addr)
 			if i > 0 {
 				r.spillovers.Add(1)
 				b.spillovers.Add(1)
@@ -259,6 +320,31 @@ func (r *Router) PredictRoute(ctx context.Context, req serve.Request) (serve.Res
 		lastErr = ErrNoBackend
 	}
 	return serve.Response{}, lastErr
+}
+
+// stampSession prepares req for forwarding to addr: when the request is
+// session-affine and the ownership check says addr is not the backend that
+// last served the session, SessionReset is set so the replica cold-starts
+// its per-session state instead of resuming a prefix it never held (or
+// held for a conversation that has since continued elsewhere).
+func (r *Router) stampSession(req serve.Request, addr string) serve.Request {
+	if req.SessionID != "" && r.sessions.movedTo(req.SessionID, addr, r.ring.Epoch()) {
+		req.SessionReset = true
+	}
+	return req
+}
+
+// settleSession records a successful session forward: the tracker learns
+// the serving backend and epoch, and a forced cold start (reset injected by
+// the router, not requested by the client) counts as a session move.
+func (r *Router) settleSession(orig, fwd serve.Request, addr string) {
+	if orig.SessionID == "" {
+		return
+	}
+	if fwd.SessionReset && !orig.SessionReset {
+		r.sessionMoves.Add(1)
+	}
+	r.sessions.note(orig.SessionID, addr, r.ring.Epoch())
 }
 
 // forwardUnary performs one breaker-accounted round trip against b. Breaker
@@ -301,19 +387,27 @@ func (r *Router) forwardUnary(b *backend, req serve.Request) (serve.Response, er
 // streaming, the client has rendered output, so replaying on a successor
 // would duplicate it — a mid-stream failure is terminal instead.
 func (r *Router) PredictStreamRoute(ctx context.Context, req serve.Request, emit func(delta string)) (serve.Response, error) {
+	req.Admin = nil // admin requests are handled by the router, never forwarded
 	key := affinityKey(req)
 	var lastErr error
 	for i, addr := range r.candidates(key) {
 		if err := ctx.Err(); err != nil {
 			return serve.Response{}, err
 		}
-		b := r.backends[addr]
+		b := r.backendFor(addr)
+		if b == nil {
+			continue // removed after the candidate list was snapshotted
+		}
 		if !b.breaker.Allow() {
 			lastErr = fmt.Errorf("router: backend %s: %w", addr, resilience.ErrBreakerOpen)
 			continue
 		}
-		resp, started, err := r.forwardStream(ctx, b, req, emit)
+		fwd := r.stampSession(req, addr)
+		b.beginForward()
+		resp, started, err := r.forwardStream(ctx, b, fwd, emit)
+		b.endForward()
 		if err == nil {
+			r.settleSession(req, fwd, addr)
 			if i > 0 {
 				r.spillovers.Add(1)
 				b.spillovers.Add(1)
@@ -412,7 +506,10 @@ func (r *Router) heartbeatLoop() {
 // successors. Exported so tests (and operators via SIGUSR-style tooling)
 // can force a sweep instead of waiting out the interval.
 func (r *Router) CheckBackends() {
-	for addr, b := range r.backends {
+	for addr, b := range r.snapshotBackends() {
+		if b.draining.Load() {
+			continue // off the ring already; Remove owns its lifecycle
+		}
 		ok, fails := b.heartbeat(r.opts.HeartbeatTimeout)
 		switch {
 		case ok:
@@ -435,6 +532,9 @@ type BackendStats struct {
 	Addr string `json:"addr"`
 	// Alive is the heartbeat verdict.
 	Alive bool `json:"alive"`
+	// State is the membership state: "active" (on the ring) or "draining"
+	// (leaving; finishing in-flight work, taking no new placements).
+	State string `json:"state"`
 	// Breaker is the circuit-breaker position: closed, half-open or open.
 	Breaker string `json:"breaker"`
 	// RingShare is the fraction of the hash keyspace this backend currently
@@ -477,11 +577,22 @@ func (r *Router) AggregateStats(local serve.Stats) any {
 	fleet := FleetStats{Router: local, Spillovers: r.spillovers.Load()}
 	fleet.Fleet.Model = "fleet"
 	share := r.ring.Ownership()
-	for _, addr := range r.ring.Nodes() {
-		b := r.backends[addr]
+	backends := r.snapshotBackends()
+	addrs := make([]string, 0, len(backends))
+	for addr := range backends {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		b := backends[addr]
+		state := memberActive
+		if b.draining.Load() {
+			state = memberDraining
+		}
 		row := BackendStats{
 			Addr:       addr,
 			Alive:      b.alive.Load(),
+			State:      state,
 			Breaker:    b.breaker.State().String(),
 			RingShare:  share[addr],
 			Requests:   b.requests.Load(),
@@ -539,6 +650,12 @@ func addStats(dst *serve.Stats, src serve.Stats) {
 // Instrument registers the router's fleet metrics on reg:
 //
 //	wisdom_router_spillover_total                  — requests served off-owner
+//	wisdom_router_membership_epoch                 — current ring epoch
+//	wisdom_router_backends{state}                  — backend count by membership state
+//	wisdom_router_joins_total                      — backends joined at runtime
+//	wisdom_router_removes_total                    — backends removed at runtime
+//	wisdom_router_session_moves_total              — sessions cold-started after owner change
+//	wisdom_router_draining_inflight                — in-flight forwards on draining backends
 //	wisdom_router_backend_requests_total{backend}  — per-backend forwards
 //	wisdom_router_backend_errors_total{backend}    — per-backend failures
 //	wisdom_router_backend_latency_seconds{backend} — forward latency histogram
@@ -546,38 +663,122 @@ func addStats(dst *serve.Stats, src serve.Stats) {
 //	wisdom_router_ring_share{backend}              — fraction of keyspace owned
 //	wisdom_breaker_state{backend}                  — breaker position (resilience)
 //
-// Call at most once per registry, before serving.
+// Backends that join later are instrumented at join time; a removed
+// backend's series are unregistered so the export does not accumulate
+// departed fleet members. Call at most once per registry, before serving.
 func (r *Router) Instrument(reg *observe.Registry) {
 	if reg == nil {
 		return
 	}
+	r.instMu.Lock()
+	r.inst = reg
+	r.instMu.Unlock()
 	reg.CounterFunc("wisdom_router_spillover_total",
 		"Requests answered by a backend other than their ring owner.",
 		func() float64 { return float64(r.spillovers.Load()) })
-	buckets := []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+	reg.GaugeFunc("wisdom_router_membership_epoch",
+		"Membership epoch: bumped by every join, leave and liveness flip.",
+		func() float64 { return float64(r.ring.Epoch()) })
+	reg.CounterFunc("wisdom_router_joins_total",
+		"Backends joined at runtime through the admin surface.",
+		func() float64 { return float64(r.joins.Load()) })
+	reg.CounterFunc("wisdom_router_drains_total",
+		"Backends put into the draining state through the admin surface.",
+		func() float64 { return float64(r.drains.Load()) })
+	reg.CounterFunc("wisdom_router_removes_total",
+		"Backends removed at runtime through the admin surface.",
+		func() float64 { return float64(r.removes.Load()) })
+	reg.CounterFunc("wisdom_router_session_moves_total",
+		"Session requests cold-started because their ring owner changed.",
+		func() float64 { return float64(r.sessionMoves.Load()) })
+	reg.GaugeFunc("wisdom_router_draining_inflight",
+		"In-flight forwards still pending on draining backends.",
+		func() float64 {
+			var n int64
+			for _, b := range r.snapshotBackends() {
+				if b.draining.Load() {
+					n += b.inflight.Load()
+				}
+			}
+			return float64(n)
+		})
+	for _, state := range []string{memberActive, memberDraining} {
+		s := state
+		reg.GaugeFunc("wisdom_router_backends",
+			"Fleet size by membership state.",
+			func() float64 {
+				var n int
+				for _, b := range r.snapshotBackends() {
+					if (s == memberDraining) == b.draining.Load() {
+						n++
+					}
+				}
+				return float64(n)
+			}, observe.Label{Key: "state", Value: s})
+	}
 	for _, addr := range r.ring.Nodes() {
-		b := r.backends[addr]
-		label := observe.Label{Key: "backend", Value: addr}
-		reg.CounterFunc("wisdom_router_backend_requests_total",
-			"Forwarded requests answered per backend.",
-			func() float64 { return float64(b.requests.Load()) }, label)
-		reg.CounterFunc("wisdom_router_backend_errors_total",
-			"Failed forward attempts per backend.",
-			func() float64 { return float64(b.errors.Load()) }, label)
+		r.instrumentBackend(reg, addr)
+	}
+}
+
+// instrumentBackend registers (or, after a re-join, re-binds) the
+// per-backend series for addr. Every callback resolves the backend through
+// the membership map at sample time rather than capturing the record:
+// registry re-registration keeps the first callback, so a capture would pin
+// a removed backend's counters forever if the address later re-joined.
+func (r *Router) instrumentBackend(reg *observe.Registry, addr string) {
+	label := observe.Label{Key: "backend", Value: addr}
+	reg.CounterFunc("wisdom_router_backend_requests_total",
+		"Forwarded requests answered per backend.",
+		func() float64 {
+			if b := r.backendFor(addr); b != nil {
+				return float64(b.requests.Load())
+			}
+			return 0
+		}, label)
+	reg.CounterFunc("wisdom_router_backend_errors_total",
+		"Failed forward attempts per backend.",
+		func() float64 {
+			if b := r.backendFor(addr); b != nil {
+				return float64(b.errors.Load())
+			}
+			return 0
+		}, label)
+	if b := r.backendFor(addr); b != nil {
+		buckets := []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+		// Same name+buckets → the registry returns the existing series on
+		// re-join, so the histogram keeps accumulating across a leave/join.
 		b.latency = reg.Histogram("wisdom_router_backend_latency_seconds",
 			"Forward round-trip latency per backend.", buckets, label)
-		reg.GaugeFunc("wisdom_router_backend_alive",
-			"Heartbeat verdict per backend: 1 live, 0 dead.",
-			func() float64 {
-				if b.alive.Load() {
-					return 1
-				}
-				return 0
-			}, label)
-		a := addr
-		reg.GaugeFunc("wisdom_router_ring_share",
-			"Fraction of the hash keyspace each live backend owns.",
-			func() float64 { return r.ring.Ownership()[a] }, label)
 		resilience.InstrumentBreaker(reg, addr, b.breaker)
+	}
+	reg.GaugeFunc("wisdom_router_backend_alive",
+		"Heartbeat verdict per backend: 1 live, 0 dead.",
+		func() float64 {
+			if b := r.backendFor(addr); b != nil && b.alive.Load() {
+				return 1
+			}
+			return 0
+		}, label)
+	reg.GaugeFunc("wisdom_router_ring_share",
+		"Fraction of the hash keyspace each live backend owns.",
+		func() float64 { return r.ring.Ownership()[addr] }, label)
+}
+
+// unregisterBackend retires a removed backend's per-backend metric series
+// so the export does not accumulate departed fleet members — and so a
+// later re-join of the same address registers fresh callbacks bound to the
+// new backend record (the registry keeps the first callback otherwise).
+func (r *Router) unregisterBackend(reg *observe.Registry, addr string) {
+	label := observe.Label{Key: "backend", Value: addr}
+	for _, name := range []string{
+		"wisdom_router_backend_requests_total",
+		"wisdom_router_backend_errors_total",
+		"wisdom_router_backend_latency_seconds",
+		"wisdom_router_backend_alive",
+		"wisdom_router_ring_share",
+		"wisdom_breaker_state",
+	} {
+		reg.Unregister(name, label)
 	}
 }

@@ -18,29 +18,53 @@ import (
 )
 
 // replicaModel is the backend model: answers carry the replica's name so a
-// test can tell which backend served. Prompt "block" parks until release
-// (for overload tests).
+// test can tell which backend served. Prompt "block" signals arrival on
+// started, then parks until release — tests synchronise on the signal
+// instead of sleeping, so nothing here depends on wall-clock timing.
 type replicaModel struct {
 	name    string
 	gate    chan struct{}
+	started chan struct{} // one send per "block" prompt reaching the model
 	release sync.Once
 }
 
 // unblock releases every parked "block" call (idempotent).
 func (m *replicaModel) unblock() { m.release.Do(func() { close(m.gate) }) }
 
+// awaitBlocked waits until one "block" prompt has reached the model — the
+// deterministic replacement for "sleep and hope the forward arrived".
+func (m *replicaModel) awaitBlocked(t testing.TB) {
+	t.Helper()
+	select {
+	case <-m.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no block prompt reached the replica within 5s")
+	}
+}
+
+func (m *replicaModel) park() {
+	if m.gate == nil {
+		return
+	}
+	select {
+	case m.started <- struct{}{}:
+	default: // a test that never waits must not wedge the replica
+	}
+	<-m.gate
+}
+
 func (m *replicaModel) answer(prompt string) string { return m.name + "|" + prompt }
 
 func (m *replicaModel) Predict(c, prompt string) string {
-	if prompt == "block" && m.gate != nil {
-		<-m.gate
+	if prompt == "block" {
+		m.park()
 	}
 	return m.answer(prompt)
 }
 
 func (m *replicaModel) PredictStream(ctx context.Context, c, prompt string, emit func(string)) string {
-	if prompt == "block" && m.gate != nil {
-		<-m.gate
+	if prompt == "block" {
+		m.park()
 	}
 	emit(m.name + "|")
 	emit(prompt)
@@ -80,7 +104,7 @@ func startReplica(t testing.TB, name, addr string, opts serve.Options) *replica 
 	if err != nil {
 		t.Fatalf("listen %s: %v", addr, err)
 	}
-	m := &replicaModel{name: name, gate: make(chan struct{})}
+	m := &replicaModel{name: name, gate: make(chan struct{}), started: make(chan struct{}, 64)}
 	srv := serve.NewServerWithOptions(m, name, opts)
 	go func() { _ = srv.ServeRPC(ln) }()
 	r := &replica{name: name, addr: ln.Addr().String(), srv: srv, model: m, ln: ln}
@@ -279,13 +303,7 @@ func TestRouterOverloadShedSpillsWithoutTrippingBreaker(t *testing.T) {
 		_, err := c.Predict(serve.Request{Prompt: "block"})
 		blocked <- err
 	}()
-	deadline := time.Now().Add(2 * time.Second)
-	for victim.srv.Stats().PoolActive == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("victim worker never became busy")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	victim.model.awaitBlocked(t)
 
 	resp, err := rt.PredictRoute(context.Background(), serve.Request{Prompt: prompt})
 	if err != nil {
@@ -451,7 +469,7 @@ func TestRouterStreamCancellationPropagates(t *testing.T) {
 		_, err := rt.PredictStreamRoute(ctx, serve.Request{Prompt: "block"}, func(string) {})
 		done <- err
 	}()
-	time.Sleep(50 * time.Millisecond) // let the forward reach the backend
+	rep.model.awaitBlocked(t) // the forward has reached the backend
 	cancel()
 	select {
 	case err := <-done:

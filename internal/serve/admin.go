@@ -1,0 +1,280 @@
+// Admin surface: the authenticated fleet-administration exchange that lets
+// an operator add, drain and remove router backends at runtime. The serve
+// layer owns decoding, validation and token authentication; the membership
+// semantics live behind the AdminHandler seam (implemented by
+// *router.Router). docs/PROTOCOL.md §7 is the normative specification.
+
+package serve
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// OpAdmin is the Request.Op selecting a fleet-administration exchange. The
+// request carries an AdminRequest in Request.Admin; the answer is an
+// OpResponse whose Admin field holds the AdminResponse. Unknown to servers
+// predating it, which answer with the standard unknown-op error (see
+// docs/PROTOCOL.md versioning).
+const OpAdmin = "admin"
+
+// AdminTokenHeader is the HTTP header carrying the admin token when the
+// AdminRequest.Token field is empty (mirroring the X-Wisdom-Session
+// pattern: the JSON field wins when both are present).
+const AdminTokenHeader = "X-Wisdom-Admin-Token"
+
+// Admin actions accepted by ParseAdminRequest.
+const (
+	// AdminStatus reports the membership table without changing it.
+	AdminStatus = "status"
+	// AdminJoin adds a backend: it is warmed (health-checked) first and
+	// takes ring ownership only after answering.
+	AdminJoin = "join"
+	// AdminDrain takes a backend off the ring for new placements while its
+	// in-flight work finishes; the backend stays listed as "draining".
+	AdminDrain = "drain"
+	// AdminRemove drains a backend, waits for its in-flight forwards to
+	// finish, then closes its connections and forgets it.
+	AdminRemove = "remove"
+)
+
+// maxAdminBackend bounds the backend address in an admin request; real
+// host:port strings are far shorter, and the cap keeps a hostile request
+// from smuggling bulk data through the admin path.
+const maxAdminBackend = 256
+
+// AdminRequest is one fleet-administration request, carried in
+// Request.Admin over RPC or as the POST body of /admin/backends over HTTP.
+type AdminRequest struct {
+	// Action selects the operation: AdminStatus (default when empty),
+	// AdminJoin, AdminDrain or AdminRemove.
+	Action string `json:"action,omitempty"`
+	// Backend is the RPC address the action targets; required for join,
+	// drain and remove, ignored for status.
+	Backend string `json:"backend,omitempty"`
+	// Token authenticates the request against the server's configured
+	// admin token. Over HTTP the AdminTokenHeader header sets it when this
+	// field is empty. Never echoed back.
+	Token string `json:"token,omitempty"`
+}
+
+// AdminMember is one backend's row in the membership table an admin
+// exchange returns.
+type AdminMember struct {
+	// Addr is the backend's RPC address (its ring node name).
+	Addr string `json:"addr"`
+	// State is the membership state: "active" or "draining".
+	State string `json:"state"`
+	// Alive is the heartbeat verdict.
+	Alive bool `json:"alive"`
+	// Inflight counts forwards currently running against the backend.
+	Inflight int64 `json:"inflight"`
+	// RingShare is the fraction of the hash keyspace the backend owns
+	// (zero while draining or dead).
+	RingShare float64 `json:"ring_share"`
+}
+
+// AdminResponse answers one admin exchange: the outcome plus the
+// post-action membership table, so every mutation doubles as a status read.
+type AdminResponse struct {
+	// Status is "ok" on success, "error" otherwise.
+	Status string `json:"status"`
+	// Epoch is the membership epoch after the action; two responses with
+	// equal epochs observed the same membership.
+	Epoch uint64 `json:"epoch"`
+	// Members is the membership table, sorted by address.
+	Members []AdminMember `json:"members,omitempty"`
+	// Error describes why the action failed (Status "error").
+	Error string `json:"error,omitempty"`
+}
+
+// AdminHandler is implemented by models that expose runtime fleet
+// membership (*router.Router): HandleAdmin runs one already-authenticated,
+// already-validated admin request and returns the outcome with the updated
+// membership table. The serve layer owns token checking — HandleAdmin is
+// never called for unauthenticated requests.
+type AdminHandler interface {
+	HandleAdmin(ctx context.Context, req AdminRequest) AdminResponse
+}
+
+// Admin error taxonomy (docs/PROTOCOL.md §7): the serve layer's own
+// rejections, distinguished so the HTTP projection can map them to status
+// codes and RPC clients can classify without string matching the cause.
+var (
+	// errAdminUnsupported: the model behind this server has no membership
+	// to administer (a plain replica, not a router).
+	errAdminUnsupported = errors.New("serve: admin: not supported by this server")
+	// errAdminDisabled: no admin token was configured, so the whole
+	// surface is off — fail closed rather than open.
+	errAdminDisabled = errors.New("serve: admin: disabled (no admin token configured)")
+	// errAdminUnauthorized: token mismatch.
+	errAdminUnauthorized = errors.New("serve: admin: unauthorized")
+)
+
+// ParseAdminRequest decodes one admin request body and validates it:
+// unknown JSON fields are ignored (the protocol's versioning rule), the
+// action is case-normalised with "" meaning status, unknown actions are
+// rejected, and the mutating actions require a plausible backend address
+// (non-empty, no whitespace or control characters, bounded length).
+// FuzzAdminRequest holds this decoder to those rules against arbitrary
+// bytes.
+func ParseAdminRequest(data []byte) (AdminRequest, error) {
+	var req AdminRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return AdminRequest{}, fmt.Errorf("serve: admin: bad request body: %w", err)
+	}
+	return NormalizeAdminRequest(req)
+}
+
+// NormalizeAdminRequest validates an already-decoded admin request and
+// canonicalises it (action lower-cased, fields trimmed). It is the shared
+// validation step behind ParseAdminRequest (HTTP) and the RPC admin op,
+// so both surfaces enforce identical rules.
+func NormalizeAdminRequest(req AdminRequest) (AdminRequest, error) {
+	req.Action = strings.ToLower(strings.TrimSpace(req.Action))
+	if req.Action == "" {
+		req.Action = AdminStatus
+	}
+	req.Backend = strings.TrimSpace(req.Backend)
+	switch req.Action {
+	case AdminStatus:
+		return req, nil
+	case AdminJoin, AdminDrain, AdminRemove:
+	default:
+		return AdminRequest{}, fmt.Errorf("serve: admin: unknown action %q", req.Action)
+	}
+	if req.Backend == "" {
+		return AdminRequest{}, fmt.Errorf("serve: admin: action %q requires a backend address", req.Action)
+	}
+	if len(req.Backend) > maxAdminBackend {
+		return AdminRequest{}, fmt.Errorf("serve: admin: backend address longer than %d bytes", maxAdminBackend)
+	}
+	for _, c := range req.Backend {
+		if c <= ' ' || c == 0x7f {
+			return AdminRequest{}, fmt.Errorf("serve: admin: backend address contains whitespace or control characters")
+		}
+	}
+	return req, nil
+}
+
+// adminDispatch authenticates and runs one admin request. Auth comes
+// first and fails closed: no handler, no configured token, or a token
+// mismatch all reject before any validation detail leaks.
+func (s *Server) adminDispatch(ctx context.Context, req AdminRequest) (AdminResponse, error) {
+	if s.admin == nil {
+		return AdminResponse{}, errAdminUnsupported
+	}
+	if s.adminToken == "" {
+		return AdminResponse{}, errAdminDisabled
+	}
+	if subtle.ConstantTimeCompare([]byte(req.Token), []byte(s.adminToken)) != 1 {
+		return AdminResponse{}, errAdminUnauthorized
+	}
+	norm, err := NormalizeAdminRequest(req)
+	if err != nil {
+		return AdminResponse{}, err
+	}
+	norm.Token = "" // the handler never sees credentials
+	return s.admin.HandleAdmin(ctx, norm), nil
+}
+
+// handleAdminRPC answers one op:"admin" frame.
+func (s *Server) handleAdminRPC(req Request) OpResponse {
+	var ar AdminRequest
+	if req.Admin != nil {
+		ar = *req.Admin
+	}
+	resp, err := s.adminDispatch(context.Background(), ar)
+	if err != nil {
+		s.countError("rpc", "admin_rejected")
+		return OpResponse{Model: s.modelName, Error: err.Error()}
+	}
+	return OpResponse{Status: resp.Status, Model: s.modelName, Admin: &resp}
+}
+
+// handleAdminHTTP answers /admin/backends: GET is a status read, POST runs
+// the action in the JSON body. The error taxonomy maps onto status codes —
+// 400 malformed/invalid, 401 unauthorized (or surface disabled), 404 not
+// supported, 405 method, 409 for a membership action the handler refused
+// (unknown backend, duplicate join, last backend, drain timeout).
+func (s *Server) handleAdminHTTP(w http.ResponseWriter, r *http.Request) {
+	var req AdminRequest
+	switch r.Method {
+	case http.MethodGet:
+		req = AdminRequest{Action: AdminStatus}
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
+		if err != nil || int64(len(body)) > s.maxBody {
+			s.countError("http", "admin_rejected")
+			http.Error(w, `{"error":"serve: admin: request body unreadable or too large"}`, http.StatusRequestEntityTooLarge)
+			return
+		}
+		req, err = ParseAdminRequest(body)
+		if err != nil {
+			s.countError("http", "admin_rejected")
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+			return
+		}
+	default:
+		s.countError("http", "admin_rejected")
+		http.Error(w, `{"error":"serve: admin: use GET (status) or POST (action)"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	if req.Token == "" {
+		req.Token = r.Header.Get(AdminTokenHeader)
+	}
+	resp, err := s.adminDispatch(r.Context(), req)
+	if err != nil {
+		s.countError("http", "admin_rejected")
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, errAdminUnauthorized), errors.Is(err, errAdminDisabled):
+			code = http.StatusUnauthorized
+		case errors.Is(err, errAdminUnsupported):
+			code = http.StatusNotFound
+		}
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if resp.Status != "ok" {
+		w.WriteHeader(http.StatusConflict)
+	}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		return
+	}
+}
+
+// AdminMux returns an HTTP handler exposing only the admin surface
+// (/admin/backends) — what wisdom-router serves on its dedicated -admin
+// listener, so membership control can bind to an operator-only interface
+// while the data plane faces the world.
+func (s *Server) AdminMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/admin/backends", s.handleAdminHTTP)
+	return mux
+}
+
+// Admin performs one fleet-administration exchange (op "admin") against
+// the server, returning the outcome and post-action membership table. A
+// server-delivered rejection (bad token, unknown backend, …) comes back
+// as an error with the connection healthy, like every in-band op error.
+func (c *Client) Admin(req AdminRequest) (AdminResponse, error) {
+	var resp OpResponse
+	if err := c.roundTrip(Request{Op: OpAdmin, Admin: &req}, &resp); err != nil {
+		return AdminResponse{}, err
+	}
+	if resp.Error != "" {
+		return AdminResponse{}, errors.New(resp.Error)
+	}
+	if resp.Admin == nil {
+		return AdminResponse{}, errors.New("serve: admin: malformed response (no admin payload)")
+	}
+	return *resp.Admin, nil
+}

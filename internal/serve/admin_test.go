@@ -1,0 +1,380 @@
+// Admin surface tests: request validation, the fail-closed auth order, the
+// HTTP status-code taxonomy, and the RPC admin op — plus FuzzAdminRequest,
+// which holds the decoder to its validation rules against arbitrary bytes.
+
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+// adminModel is a predictor with a scriptable AdminHandler: it records what
+// the serve layer hands it and answers with a canned response.
+type adminModel struct {
+	echoModel
+	last   AdminRequest
+	called int
+	refuse bool // answer status=error (handler-level refusal)
+}
+
+func (m *adminModel) HandleAdmin(_ context.Context, req AdminRequest) AdminResponse {
+	m.called++
+	m.last = req
+	resp := AdminResponse{
+		Status: "ok",
+		Epoch:  7,
+		Members: []AdminMember{
+			{Addr: "127.0.0.1:9001", State: "active", Alive: true, RingShare: 0.5},
+			{Addr: "127.0.0.1:9002", State: "draining", Alive: true, RingShare: 0},
+		},
+	}
+	if m.refuse {
+		resp.Status = "error"
+		resp.Error = "router: unknown backend"
+	}
+	return resp
+}
+
+// TestNormalizeAdminRequest pins the validation rules both surfaces share:
+// case/space normalisation, status as the default action, and the backend
+// address constraints on mutating actions.
+func TestNormalizeAdminRequest(t *testing.T) {
+	long := strings.Repeat("a", maxAdminBackend+1)
+	cases := []struct {
+		name    string
+		in      AdminRequest
+		want    AdminRequest
+		wantErr bool
+	}{
+		{name: "empty means status", in: AdminRequest{}, want: AdminRequest{Action: AdminStatus}},
+		{name: "status passes backend through untouched",
+			in:   AdminRequest{Action: "status", Backend: ""},
+			want: AdminRequest{Action: AdminStatus}},
+		{name: "action case and space normalised",
+			in:   AdminRequest{Action: "  JOIN ", Backend: "127.0.0.1:9001"},
+			want: AdminRequest{Action: AdminJoin, Backend: "127.0.0.1:9001"}},
+		{name: "backend trimmed",
+			in:   AdminRequest{Action: "drain", Backend: " 127.0.0.1:9001 "},
+			want: AdminRequest{Action: AdminDrain, Backend: "127.0.0.1:9001"}},
+		{name: "unknown action rejected", in: AdminRequest{Action: "explode"}, wantErr: true},
+		{name: "join requires a backend", in: AdminRequest{Action: "join"}, wantErr: true},
+		{name: "drain requires a backend", in: AdminRequest{Action: "drain"}, wantErr: true},
+		{name: "remove requires a backend", in: AdminRequest{Action: "remove"}, wantErr: true},
+		{name: "oversized backend rejected", in: AdminRequest{Action: "join", Backend: long}, wantErr: true},
+		{name: "backend with inner whitespace rejected",
+			in: AdminRequest{Action: "join", Backend: "127.0.0.1 :9001"}, wantErr: true},
+		{name: "backend with control bytes rejected",
+			in: AdminRequest{Action: "join", Backend: "127.0.0.1:\x009001"}, wantErr: true},
+		{name: "token preserved",
+			in:   AdminRequest{Action: "remove", Backend: "b:1", Token: "s3cret"},
+			want: AdminRequest{Action: AdminRemove, Backend: "b:1", Token: "s3cret"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := NormalizeAdminRequest(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("NormalizeAdminRequest(%+v) accepted, want error", tc.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NormalizeAdminRequest(%+v): %v", tc.in, err)
+			}
+			if got != tc.want {
+				t.Fatalf("NormalizeAdminRequest(%+v) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// adminPost sends one POST to /admin/backends with the given body and
+// headers, returning the status code and decoded body.
+func adminPost(t *testing.T, ts *httptest.Server, body string, hdr map[string]string) (int, AdminResponse) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/admin/backends", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var ar AdminResponse
+	_ = json.Unmarshal(raw, &ar)
+	return resp.StatusCode, ar
+}
+
+// TestAdminHTTPStatusTaxonomy drives /admin/backends through every rejection
+// class and checks the documented status codes (docs/PROTOCOL.md §7).
+func TestAdminHTTPStatusTaxonomy(t *testing.T) {
+	model := &adminModel{}
+	srv := NewServerWithOptions(model, "m", Options{AdminToken: "s3cret", MaxBodyBytes: 1 << 10})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	auth := map[string]string{AdminTokenHeader: "s3cret"}
+
+	// 401: no token at all, and a wrong token.
+	if code, _ := adminPost(t, ts, `{"action":"status"}`, nil); code != http.StatusUnauthorized {
+		t.Errorf("no token: status %d, want 401", code)
+	}
+	if code, _ := adminPost(t, ts, `{"action":"status"}`, map[string]string{AdminTokenHeader: "wrong"}); code != http.StatusUnauthorized {
+		t.Errorf("wrong token: status %d, want 401", code)
+	}
+	if model.called != 0 {
+		t.Fatalf("handler ran %d times for unauthenticated requests", model.called)
+	}
+
+	// 200: GET status with the token.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/admin/backends", nil)
+	req.Header.Set(AdminTokenHeader, "s3cret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got AdminResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || got.Status != "ok" || len(got.Members) != 2 || got.Epoch != 7 {
+		t.Fatalf("GET status = %d %+v, want 200 with the membership table", resp.StatusCode, got)
+	}
+	if model.last.Action != AdminStatus {
+		t.Errorf("GET dispatched action %q, want status", model.last.Action)
+	}
+
+	// 200: POST join; the handler sees a normalised request with no token.
+	code, body := adminPost(t, ts, `{"action":" Join ","backend":" 127.0.0.1:9003 "}`, auth)
+	if code != http.StatusOK || body.Status != "ok" {
+		t.Fatalf("POST join = %d %+v, want 200 ok", code, body)
+	}
+	if model.last.Action != AdminJoin || model.last.Backend != "127.0.0.1:9003" {
+		t.Errorf("handler saw %+v, want normalised join", model.last)
+	}
+	if model.last.Token != "" {
+		t.Error("handler saw the credential; dispatch must clear it")
+	}
+
+	// The JSON token field wins over the header (the header is a fallback).
+	if code, _ := adminPost(t, ts, `{"action":"status","token":"wrong"}`, auth); code != http.StatusUnauthorized {
+		t.Errorf("JSON token should override the header: status %d, want 401", code)
+	}
+
+	// 400: malformed JSON and invalid actions.
+	if code, _ := adminPost(t, ts, `{not json`, auth); code != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d, want 400", code)
+	}
+	if code, _ := adminPost(t, ts, `{"action":"explode"}`, auth); code != http.StatusBadRequest {
+		t.Errorf("unknown action: status %d, want 400", code)
+	}
+	if code, _ := adminPost(t, ts, `{"action":"join"}`, auth); code != http.StatusBadRequest {
+		t.Errorf("join without backend: status %d, want 400", code)
+	}
+
+	// 405: only GET and POST exist.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/admin/backends", nil)
+	req.Header.Set(AdminTokenHeader, "s3cret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE: status %d, want 405", resp.StatusCode)
+	}
+
+	// 413: body beyond MaxBodyBytes.
+	big := `{"action":"status","backend":"` + strings.Repeat("x", 2<<10) + `"}`
+	if code, _ := adminPost(t, ts, big, auth); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", code)
+	}
+
+	// 409: an authenticated, valid action the membership layer refused.
+	model.refuse = true
+	code, body = adminPost(t, ts, `{"action":"drain","backend":"127.0.0.1:9009"}`, auth)
+	if code != http.StatusConflict || body.Status != "error" || body.Error == "" {
+		t.Errorf("refused action = %d %+v, want 409 with the handler's error", code, body)
+	}
+}
+
+// TestAdminHTTPDisabledAndUnsupported covers the two dark-surface cases:
+// a server with a handler but no token answers 401 (disabled, fail closed);
+// a server whose model has no membership at all answers 404 — in both cases
+// before any validation detail leaks.
+func TestAdminHTTPDisabledAndUnsupported(t *testing.T) {
+	// Handler present, no token configured: the whole surface is off.
+	dark := NewServerWithOptions(&adminModel{}, "m", Options{})
+	ts := httptest.NewServer(dark.Handler())
+	defer ts.Close()
+	if code, _ := adminPost(t, ts, `{"action":"status"}`, map[string]string{AdminTokenHeader: "anything"}); code != http.StatusUnauthorized {
+		t.Errorf("disabled surface: status %d, want 401", code)
+	}
+
+	// Plain replica: no membership to administer.
+	plain := NewServerWithOptions(&echoModel{}, "m", Options{AdminToken: "s3cret"})
+	ts2 := httptest.NewServer(plain.Handler())
+	defer ts2.Close()
+	if code, _ := adminPost(t, ts2, `{"action":"status"}`, map[string]string{AdminTokenHeader: "s3cret"}); code != http.StatusNotFound {
+		t.Errorf("unsupported surface: status %d, want 404", code)
+	}
+}
+
+// TestAdminMuxServesOnlyAdmin checks the dedicated operator mux exposes
+// /admin/backends and nothing else (no completions on the admin port).
+func TestAdminMuxServesOnlyAdmin(t *testing.T) {
+	srv := NewServerWithOptions(&adminModel{}, "m", Options{AdminToken: "s3cret"})
+	ts := httptest.NewServer(srv.AdminMux())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/admin/backends", nil)
+	req.Header.Set(AdminTokenHeader, "s3cret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("admin mux status read: %d, want 200", resp.StatusCode)
+	}
+
+	other, err := http.Post(ts.URL+"/v1/completions", "application/json", bytes.NewReader([]byte(`{"prompt":"x"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Body.Close()
+	if other.StatusCode != http.StatusNotFound {
+		t.Errorf("admin mux served /v1/completions with %d, want 404", other.StatusCode)
+	}
+}
+
+// TestAdminRPC exercises op:"admin" end to end over a real RPC connection:
+// an authenticated exchange succeeds; a rejected one comes back as an
+// in-band error with the connection still healthy.
+func TestAdminRPC(t *testing.T) {
+	model := &adminModel{}
+	srv := NewServerWithOptions(model, "m", Options{AdminToken: "s3cret"})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.ServeRPC(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Admin(AdminRequest{Action: AdminDrain, Backend: "127.0.0.1:9002", Token: "s3cret"})
+	if err != nil {
+		t.Fatalf("Admin: %v", err)
+	}
+	if resp.Status != "ok" || len(resp.Members) != 2 {
+		t.Fatalf("Admin = %+v, want ok with the membership table", resp)
+	}
+	if model.last.Action != AdminDrain || model.last.Token != "" {
+		t.Errorf("handler saw %+v, want drain with the token cleared", model.last)
+	}
+
+	// Bad token: an in-band rejection, not a transport failure …
+	if _, err := c.Admin(AdminRequest{Action: AdminStatus, Token: "wrong"}); err == nil {
+		t.Fatal("Admin with a bad token succeeded")
+	}
+	// … so the same connection still serves the next exchange.
+	if resp, err = c.Admin(AdminRequest{Token: "s3cret"}); err != nil || resp.Status != "ok" {
+		t.Fatalf("connection unhealthy after an in-band rejection: %+v, %v", resp, err)
+	}
+
+	// An op:"admin" frame with no admin payload is a plain (rejected)
+	// status request — never a panic.
+	var op OpResponse
+	if err := c.roundTrip(Request{Op: OpAdmin}, &op); err != nil {
+		t.Fatalf("bare admin frame: %v", err)
+	}
+	if op.Error == "" {
+		t.Error("bare admin frame (no token) accepted, want an in-band error")
+	}
+}
+
+// FuzzAdminRequest holds ParseAdminRequest to its contract on arbitrary
+// bytes: it never panics; whatever it accepts is canonical (normalising
+// again changes nothing) and satisfies the documented validation rules.
+func FuzzAdminRequest(f *testing.F) {
+	f.Add([]byte(`{"action":"status"}`))
+	f.Add([]byte(`{"action":"join","backend":"127.0.0.1:9001"}`))
+	f.Add([]byte(`{"action":"drain","backend":"127.0.0.1:9001","token":"s3cret"}`))
+	f.Add([]byte(`{"action":"remove","backend":"b"}`))
+	f.Add([]byte(`{"action":" JOIN ","backend":" b:1 "}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"unknown_field":true}`))
+	f.Add([]byte(`{"action":"explode"}`))
+	f.Add([]byte(`{"action":"join","backend":""}`))
+	f.Add([]byte(`{"action":"join","backend":"` + strings.Repeat("a", 300) + `"}`))
+	f.Add([]byte(`{"action":"join","backend":"with space:1"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("{\"action\":\"join\",\"backend\":\"\\u0000:1\"}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseAdminRequest(data)
+		if err != nil {
+			return
+		}
+		// Accepted requests are canonical: normalising again is a fixpoint.
+		again, err := NormalizeAdminRequest(req)
+		if err != nil {
+			t.Fatalf("accepted request %+v fails re-normalisation: %v", req, err)
+		}
+		if again != req {
+			t.Fatalf("normalisation is not a fixpoint: %+v -> %+v", req, again)
+		}
+		// The documented invariants of an accepted request.
+		switch req.Action {
+		case AdminStatus:
+		case AdminJoin, AdminDrain, AdminRemove:
+			if req.Backend == "" {
+				t.Fatalf("accepted mutating request with empty backend: %+v", req)
+			}
+			if len(req.Backend) > maxAdminBackend {
+				t.Fatalf("accepted oversized backend (%d bytes)", len(req.Backend))
+			}
+			for _, c := range req.Backend {
+				if c <= ' ' || c == 0x7f {
+					t.Fatalf("accepted backend with whitespace/control byte: %q", req.Backend)
+				}
+			}
+		default:
+			t.Fatalf("accepted unknown action %q", req.Action)
+		}
+		if req.Action != strings.ToLower(req.Action) {
+			t.Fatalf("accepted non-canonical action %q", req.Action)
+		}
+		if !utf8.ValidString(req.Backend) {
+			// json.Unmarshal replaces invalid sequences, so an accepted
+			// backend is always valid UTF-8; anything else is a decoder bug.
+			t.Fatalf("accepted backend with invalid UTF-8: %q", req.Backend)
+		}
+	})
+}

@@ -122,6 +122,19 @@ type SessionPredictor interface {
 	SessionStats() (enabled bool, active int, evictions uint64, reuseRatio float64)
 }
 
+// SessionResetter is implemented by session predictors that can discard
+// one session's retained decode state on demand (*wisdom.Model over a
+// neural session cache): ResetSession forgets whatever the server holds
+// under sessionID, so the next request of that session decodes from
+// scratch. The server calls it when a request arrives with SessionReset
+// set — the router's ownership-epoch check injects that flag when a
+// session's ring owner changed, because the state this replica retains
+// (if any) belongs to a conversation that continued elsewhere. Resetting
+// an unknown session is a no-op.
+type SessionResetter interface {
+	ResetSession(sessionID string)
+}
+
 // SessionStreamingPredictor is the streaming face of a session predictor:
 // PredictStreamSession follows PredictStream's emission contract while
 // reusing the named session's decode state.
@@ -208,6 +221,17 @@ type Request struct {
 	// route the session to the replica holding its state. Unknown to old
 	// servers, which ignore it (see docs/PROTOCOL.md versioning).
 	SessionID string `json:"session_id,omitempty"`
+	// SessionReset, when set on a session request, discards whatever state
+	// the server retains under SessionID before answering, forcing a cold
+	// start. A router injects it when the session's ring owner changed —
+	// the new replica either never saw the session or holds a prefix the
+	// conversation has since outgrown elsewhere, so resuming would be
+	// silently wrong. Meaningless without SessionID; unknown to old
+	// servers, which ignore it (the answer is byte-identical either way).
+	SessionReset bool `json:"session_reset,omitempty"`
+	// Admin carries a fleet-administration request when Op is OpAdmin (see
+	// admin.go and docs/PROTOCOL.md §7); nil for every other op.
+	Admin *AdminRequest `json:"admin,omitempty"`
 }
 
 // Response carries the suggestion back to the editor.
@@ -246,7 +270,10 @@ type OpResponse struct {
 	// local process's view — a router frontend sums this field over its
 	// backends to build the fleet aggregate (see docs/PROTOCOL.md).
 	Stats *Stats `json:"stats,omitempty"`
-	Error string `json:"error,omitempty"`
+	// Admin carries the admin exchange's outcome (op "admin"); nil for
+	// every other op and on admin rejections (Error is set instead).
+	Admin *AdminResponse `json:"admin,omitempty"`
+	Error string         `json:"error,omitempty"`
 }
 
 // OpStats is the Request.Op requesting the server's Stats snapshot over RPC
@@ -284,6 +311,11 @@ type Options struct {
 	// fault injector plugs into (resilience.Injector.WrapConn). Production
 	// deployments leave it nil.
 	ConnHook func(net.Conn) net.Conn
+	// AdminToken authenticates fleet-administration requests (op "admin",
+	// /admin/backends). Empty disables the whole admin surface — there is
+	// no unauthenticated mode. Only meaningful when the model implements
+	// AdminHandler (the router); replicas ignore it.
+	AdminToken string
 }
 
 // DefaultQueueTimeout is the admission deadline used when Options leave
@@ -325,6 +357,9 @@ type Server struct {
 	route         RoutingPredictor            // non-nil when model forwards to a backend tier
 	routeStream   RoutingStreamingPredictor   // non-nil when routing model also streams
 	statsAgg      StatsAggregator             // non-nil when model widens /v1/stats
+	admin         AdminHandler                // non-nil when model exposes fleet membership
+	sessionReset  SessionResetter             // non-nil when model can cold-start a session
+	adminToken    string                      // "" disables the admin surface
 	modelName     string
 	cache         *Cache
 	requests      atomic.Int64 // predictions served, both protocols
@@ -395,6 +430,9 @@ func NewServerWithOptions(model Predictor, modelName string, opts Options) *Serv
 			if ssp, ok := model.(SessionStreamingPredictor); ok {
 				s.sessionStream = ssp
 			}
+			if sr, ok := model.(SessionResetter); ok {
+				s.sessionReset = sr
+			}
 		}
 	}
 	// Scheduler routing engages only when the model actually runs a
@@ -420,6 +458,12 @@ func NewServerWithOptions(model Predictor, modelName string, opts Options) *Serv
 	}
 	if sa, ok := model.(StatsAggregator); ok {
 		s.statsAgg = sa
+	}
+	// The admin surface engages only for models with membership to
+	// administer, and stays dark without a configured token (fail closed).
+	if ah, ok := model.(AdminHandler); ok {
+		s.admin = ah
+		s.adminToken = opts.AdminToken
 	}
 	if opts.CacheSize > 0 {
 		s.cache = NewCache(opts.CacheSize)
@@ -764,6 +808,9 @@ func (s *Server) answer(ctx context.Context, req Request) (Response, error) {
 			}
 			defer s.pool.Release()
 		}
+		if req.SessionReset && s.sessionReset != nil {
+			s.sessionReset.ResetSession(req.SessionID)
+		}
 		v := s.session.PredictSession(req.SessionID, req.Context, req.Prompt)
 		if s.cache != nil {
 			s.cache.Put(key, v)
@@ -912,6 +959,7 @@ func (s *Server) retryAfter() string {
 //
 //	POST /v1/completions         {"prompt": ..., "context": ...} -> Response
 //	POST /v1/completions/stream  same body -> Server-Sent Events stream
+//	GET/POST /admin/backends     fleet membership (token-gated; admin.go)
 //	GET  /v1/health       -> {"status": "ok", "model": ...}
 //	GET  /healthz         -> {"status": "ok", "model": ...}   (liveness probe)
 //	GET  /v1/stats        -> Stats
@@ -940,6 +988,7 @@ func (s *Server) Handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("/v1/completions/stream", s.handleStreamHTTP)
+	mux.HandleFunc("/admin/backends", s.handleAdminHTTP)
 	health := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"status":"ok","model":%q,"requests":%d}`+"\n", s.modelName, s.Requests())
@@ -1193,6 +1242,8 @@ func (s *Server) handleRPC(req Request) any {
 	case OpStats:
 		st := s.Stats()
 		return OpResponse{Model: s.modelName, Stats: &st}
+	case OpAdmin:
+		return s.handleAdminRPC(req)
 	default:
 		s.countError("rpc", "unknown_op")
 		return OpResponse{Model: s.modelName, Error: "unknown op " + req.Op}

@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestClientStatsOp drives op:"stats" through the typed client helper: the
+// snapshot reflects served work and the connection stays usable afterwards.
+func TestClientStatsOp(t *testing.T) {
+	srv := NewServerWithOptions(&echoModel{}, "m", Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.ServeRPC(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Predict(Request{Context: "ctx", Prompt: "hello"}); err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Requests < 1 {
+		t.Errorf("stats snapshot counted %d requests, want >= 1", st.Requests)
+	}
+	if _, err := c.Predict(Request{Context: "ctx", Prompt: "again"}); err != nil {
+		t.Errorf("connection unusable after stats op: %v", err)
+	}
+}

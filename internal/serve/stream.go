@@ -280,6 +280,9 @@ func (s *Server) predictStream(ctx context.Context, req Request, proto string, s
 		// time-to-first-body-delta shrinks to the changed suffix. Streams
 		// already bypass singleflight and the batcher, which is exactly the
 		// isolation exclusive session state needs.
+		if req.SessionReset && s.sessionReset != nil {
+			s.sessionReset.ResetSession(req.SessionID)
+		}
 		final = s.sessionStream.PredictStreamSession(gctx, req.SessionID, req.Context, req.Prompt, emit)
 	case s.schedStream != nil:
 		// Scheduled streams decode through the continuous-batching engine:

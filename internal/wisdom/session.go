@@ -97,6 +97,19 @@ func (m *Model) PredictSession(sessionID, context, prompt string) string {
 	return m.finishPredict(s, nameLine, indent, m.finishSample(out))
 }
 
+// ResetSession discards whatever decode state the model retains for
+// sessionID, so the session's next request cold-starts from scratch. It
+// satisfies the serve package's SessionResetter seam: a sharded frontend
+// sends session_reset when a session's ring owner changed, because any
+// state this replica holds under that id belongs to a conversation that
+// has since continued on another replica. Unknown sessions (and models
+// without session state) are a no-op.
+func (m *Model) ResetSession(sessionID string) {
+	if nl, ok := m.LM.(*NeuralLM); ok && nl.sessions != nil {
+		nl.sessions.Invalidate(sessionID)
+	}
+}
+
 // PredictStreamSession is PredictStream keyed to a client session: the same
 // emission contract (in-order deltas, concatenation equal to the returned
 // answer unless post-processing rewrote it), with the decode reusing the
